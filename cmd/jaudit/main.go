@@ -1,0 +1,120 @@
+// Command jaudit inspects kernel audit logs: verifies the hash chain,
+// summarizes per-kernel activity, and answers provenance queries.
+//
+//	jaudit --log audit.jsonl --verify
+//	jaudit --log audit.jsonl --who-touched notebooks/exp.ipynb
+//	jaudit --log audit.jsonl --exfiltrated
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/audit"
+)
+
+func main() {
+	logPath := flag.String("log", "", "audit log JSONL file")
+	verify := flag.Bool("verify", false, "verify the hash chain")
+	whoTouched := flag.String("who-touched", "", "list executions that touched this path")
+	blast := flag.Uint64("blast-radius", 0, "list artifacts reached by this exec seq")
+	exfil := flag.Bool("exfiltrated", false, "list file -> endpoint data flows")
+	summary := flag.Bool("summary", true, "print per-kernel summaries")
+	flag.Parse()
+
+	if *logPath == "" {
+		fmt.Fprintln(os.Stderr, "jaudit: need --log FILE")
+		os.Exit(2)
+	}
+	records, err := readRecords(*logPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jaudit: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("jaudit: %d records\n", len(records))
+
+	if *verify {
+		if i := audit.Verify(records); i >= 0 {
+			fmt.Printf("CHAIN BROKEN at record %d (seq %d): log has been tampered with\n",
+				i, records[i].Seq)
+			os.Exit(1)
+		}
+		fmt.Println("hash chain intact")
+	}
+
+	prov := audit.BuildProvenance(records)
+
+	if *whoTouched != "" {
+		execs := prov.WhoTouched(*whoTouched)
+		fmt.Printf("executions touching %s: %d\n", *whoTouched, len(execs))
+		for _, r := range execs {
+			fmt.Printf("  seq=%d kernel=%s user=%s time=%s\n    code: %.120s\n",
+				r.Seq, r.KernelID, r.User, r.Time.Format("15:04:05"), r.Detail)
+		}
+	}
+
+	if *blast > 0 {
+		edges := prov.Reached(*blast)
+		fmt.Printf("artifacts reached by exec %d: %d\n", *blast, len(edges))
+		for _, e := range edges {
+			fmt.Printf("  %-10s %-16s %s (%d bytes)\n", e.Relation, e.Kind, e.Target, e.Bytes)
+		}
+	}
+
+	if *exfil {
+		flows := prov.Exfiltrated()
+		if len(flows) == 0 {
+			fmt.Println("no read->network flows found")
+		}
+		files := make([]string, 0, len(flows))
+		for f := range flows {
+			files = append(files, f)
+		}
+		sort.Strings(files)
+		for _, f := range files {
+			fmt.Printf("POSSIBLE EXFIL: %s -> %v\n", f, flows[f])
+		}
+	}
+
+	if *summary {
+		sums := audit.Summarize(records)
+		ids := make([]string, 0, len(sums))
+		for id := range sums {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Printf("%-12s %6s %6s %6s %6s %6s %6s\n",
+			"KERNEL", "EXECS", "READS", "WRITES", "DELS", "NET", "SHELL")
+		for _, id := range ids {
+			s := sums[id]
+			fmt.Printf("%-12s %6d %6d %6d %6d %6d %6d\n",
+				id, s.Executions, s.Reads, s.Writes, s.Deletes, s.NetOps, s.ShellOps)
+		}
+	}
+}
+
+func readRecords(path string) ([]audit.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []audit.Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var r audit.Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			return nil, fmt.Errorf("line %d: %w", len(out)+1, err)
+		}
+		out = append(out, r)
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,84 @@
+// Command jscan is the misconfiguration scanner: it audits a named
+// configuration preset or probes a live server the way an internet
+// scanner would.
+//
+//	jscan --preset sloppy
+//	jscan --preset hardened
+//	jscan --probe 127.0.0.1:8888
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cryptoaudit"
+	"repro/internal/misconfig"
+	"repro/internal/nbformat"
+	"repro/internal/nbscan"
+	"repro/internal/server"
+)
+
+func main() {
+	preset := flag.String("preset", "", "scan a config preset: hardened | sloppy")
+	probe := flag.String("probe", "", "probe a live server at host:port")
+	notebook := flag.String("notebook", "", "statically scan a .ipynb file for attack-shaped cells")
+	cryptoFlag := flag.Bool("crypto", false, "include the quantum-threat crypto inventory")
+	flag.Parse()
+
+	switch {
+	case *notebook != "":
+		data, err := os.ReadFile(*notebook)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jscan: %v\n", err)
+			os.Exit(1)
+		}
+		nb, err := nbformat.Parse(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jscan: invalid notebook: %v\n", err)
+			os.Exit(1)
+		}
+		findings := nbscan.ScanNotebook(nb)
+		fmt.Print(nbscan.Render(findings))
+		if len(findings) > 0 {
+			os.Exit(1)
+		}
+	case *preset != "":
+		var cfg server.Config
+		switch *preset {
+		case "hardened":
+			cfg = server.HardenedConfig("scan-placeholder-token")
+			cfg.ContentQuota = 10 << 30
+		case "sloppy":
+			cfg = server.SloppyConfig()
+		default:
+			fmt.Fprintf(os.Stderr, "jscan: unknown preset %q\n", *preset)
+			os.Exit(2)
+		}
+		findings := misconfig.Scan(cfg)
+		fmt.Print(misconfig.Render(findings))
+		if *cryptoFlag {
+			fmt.Println()
+			fmt.Print(cryptoaudit.Audit(cfg).Render())
+		}
+		if misconfig.Score(findings) < 70 {
+			os.Exit(1)
+		}
+	case *probe != "":
+		res := misconfig.Probe(*probe, 5*time.Second)
+		if !res.Reachable {
+			fmt.Printf("jscan: %s unreachable\n", *probe)
+			os.Exit(1)
+		}
+		fmt.Printf("probe of %s: open_access=%v terminals=%v wildcard_cors=%v\n",
+			*probe, res.OpenAccess, res.TerminalsEnabled, res.WildcardCORS)
+		fmt.Print(misconfig.Render(res.Findings))
+		if len(res.Findings) > 0 {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "jscan: need --preset NAME, --probe ADDR, or --notebook FILE")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,130 @@
+// Command jsentinel is the Jupyter network monitoring tool the paper
+// proposes: it either (a) replays a JSONL trace file through the
+// detection engine and prints the incident report, or (b) runs a
+// reverse-proxy-style tapped server and streams alerts live.
+//
+//	jsentinel --replay events.jsonl
+//	jsentinel --listen 127.0.0.1:9999 --token <tok>   (tapped live server)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netmon"
+	"repro/internal/rules"
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+func main() {
+	replay := flag.String("replay", "", "JSONL trace file to analyze offline")
+	listen := flag.String("listen", "", "boot a tapped hardened server on this address and monitor it live")
+	token := flag.String("token", "sentinel-demo-token", "token for the live server")
+	showAlerts := flag.Bool("alerts", true, "print individual alerts")
+	zeekOut := flag.String("zeek", "", "write Zeek-format conn/http/websocket/jupyter logs here on exit (live mode)")
+	flag.Parse()
+
+	switch {
+	case *replay != "":
+		replayFile(*replay, *showAlerts)
+	case *listen != "":
+		live(*listen, *token, *showAlerts, *zeekOut)
+	default:
+		fmt.Fprintln(os.Stderr, "jsentinel: need --replay FILE or --listen ADDR")
+		os.Exit(2)
+	}
+}
+
+func newEngine(showAlerts bool) *core.Engine {
+	opts := core.DefaultOptions()
+	if showAlerts {
+		opts.OnAlert = func(a rules.Alert) {
+			fmt.Printf("ALERT [%-8s] %-28s %-24s %s\n", a.Severity, a.Class, a.RuleID, a.Description)
+		}
+	}
+	eng, err := core.NewEngine(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jsentinel: %v\n", err)
+		os.Exit(1)
+	}
+	return eng
+}
+
+func replayFile(path string, showAlerts bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jsentinel: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	events, err := trace.ReadJSONL(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jsentinel: parse: %v\n", err)
+		os.Exit(1)
+	}
+	eng := newEngine(showAlerts)
+	start := time.Now()
+	for _, e := range events {
+		eng.Process(e)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("\nreplayed %d events in %v (%.0f events/sec)\n\n",
+		len(events), elapsed.Round(time.Millisecond),
+		float64(len(events))/elapsed.Seconds())
+	fmt.Print(eng.Report(time.Now()).Render())
+	for _, inc := range eng.Incidents() {
+		fmt.Println(inc.Summary())
+	}
+}
+
+func live(addr, token string, showAlerts bool, zeekOut string) {
+	cfg := server.HardenedConfig(token)
+	srv := server.NewServer(cfg)
+	mon := netmon.NewMonitor(netmon.FullVisibility(), nil)
+	eng := newEngine(showAlerts)
+	mon.Bus().Subscribe(eng) // wire-derived events
+	srv.Bus().Subscribe(eng) // host-derived events
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jsentinel: %v\n", err)
+		os.Exit(1)
+	}
+	bound, err := srv.Serve(mon.WrapListener(ln))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jsentinel: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("jsentinel: monitored server on http://%s (token %s)\n", bound, token)
+	fmt.Println("jsentinel: streaming alerts; Ctrl-C for final report")
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	_ = srv.Close()
+
+	vis := mon.Visibility()
+	fmt.Printf("\nwire visibility: conns=%d bytes=%d http=%d ws_frames=%d jupyter_msgs=%d\n",
+		vis.Conns, vis.BytesTotal, vis.HTTPRequests, vis.WSFrames, vis.JupyterMessages)
+	fmt.Print(eng.Report(time.Now()).Render())
+
+	if zeekOut != "" {
+		f, err := os.Create(zeekOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jsentinel: %v\n", err)
+			return
+		}
+		defer f.Close()
+		if err := mon.WriteAllLogs(f); err != nil {
+			fmt.Fprintf(os.Stderr, "jsentinel: zeek export: %v\n", err)
+			return
+		}
+		fmt.Printf("jsentinel: Zeek logs written to %s\n", zeekOut)
+	}
+}

@@ -1,0 +1,57 @@
+// Command jtaxonomy regenerates the paper's figures as machine-
+// produced artifacts: Fig. 1 (the attack taxonomy), Fig. 3 / Table 1
+// (the OSCRP mapping), and the JSON registry for downstream tooling.
+//
+//	jtaxonomy -fig1
+//	jtaxonomy -fig3
+//	jtaxonomy -json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/oscrp"
+	"repro/internal/taxonomy"
+)
+
+func main() {
+	fig1 := flag.Bool("fig1", false, "render Fig. 1: taxonomy of attacks")
+	fig3 := flag.Bool("fig3", false, "render Fig. 3 / Table 1: OSCRP mapping")
+	jsonOut := flag.Bool("json", false, "emit the taxonomy registry as JSON")
+	flag.Parse()
+
+	if !*fig1 && !*fig3 && !*jsonOut {
+		*fig1, *fig3 = true, true
+	}
+
+	reg := taxonomy.Default()
+	if err := reg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "jtaxonomy: registry invalid: %v\n", err)
+		os.Exit(1)
+	}
+	profile := oscrp.Default()
+	if err := profile.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "jtaxonomy: profile invalid: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *fig1 {
+		fmt.Print(reg.Render())
+		fmt.Println()
+	}
+	if *fig3 {
+		fmt.Print(profile.Render())
+		fmt.Println()
+	}
+	if *jsonOut {
+		data, err := reg.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jtaxonomy: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+	}
+}

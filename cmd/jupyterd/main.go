@@ -1,0 +1,100 @@
+// Command jupyterd runs the simulated Jupyter server.
+//
+// By default it boots the hardened configuration and prints the token.
+// The --sloppy flag boots the exposed archetype (auth off, terminals
+// on, wildcard CORS) used for attack demonstrations and honeypots.
+//
+//	jupyterd --addr 127.0.0.1:8888
+//	jupyterd --sloppy --log events.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+
+	"repro/internal/auth"
+	"repro/internal/misconfig"
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "listen address")
+	sloppy := flag.Bool("sloppy", false, "run with every misconfiguration (demo/honeypot mode)")
+	token := flag.String("token", "", "bearer token (generated if empty)")
+	logPath := flag.String("log", "", "write trace events as JSONL to this file")
+	terminals := flag.Bool("terminals", false, "enable terminals on hardened config")
+	scan := flag.Bool("scan", false, "print misconfiguration scan of the chosen config and exit")
+	flag.Parse()
+
+	var cfg server.Config
+	if *sloppy {
+		cfg = server.SloppyConfig()
+	} else {
+		tok := *token
+		if tok == "" {
+			tok = auth.GenerateToken()
+		}
+		cfg = server.HardenedConfig(tok)
+		cfg.EnableTerminals = *terminals
+	}
+	host, portStr, err := net.SplitHostPort(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jupyterd: bad --addr: %v\n", err)
+		os.Exit(2)
+	}
+	cfg.BindAddress = host
+	cfg.Port, _ = strconv.Atoi(portStr)
+
+	if *scan {
+		fmt.Print(misconfig.Render(misconfig.Scan(cfg)))
+		return
+	}
+
+	srv := server.NewServer(cfg)
+	if *logPath != "" {
+		f, err := os.Create(*logPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jupyterd: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		jw := trace.NewJSONLWriter(f)
+		defer jw.Flush()
+		srv.Bus().Subscribe(jw)
+	}
+
+	bound, err := srv.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jupyterd: %v\n", err)
+		os.Exit(1)
+	}
+	mode := "hardened"
+	if *sloppy {
+		mode = "SLOPPY (deliberately misconfigured)"
+	}
+	fmt.Printf("jupyterd: serving on http://%s (%s)\n", bound, mode)
+	if !cfg.Auth.DisableAuth {
+		fmt.Printf("jupyterd: token: %s\n", cfg.Auth.Token)
+		fmt.Printf("jupyterd: try: curl -H 'Authorization: token %s' http://%s/api/status\n",
+			cfg.Auth.Token, bound)
+	} else {
+		fmt.Printf("jupyterd: auth DISABLED — findings:\n%s",
+			indent(misconfig.Render(misconfig.Scan(cfg))))
+	}
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	fmt.Println("\njupyterd: shutting down")
+	_ = srv.Close()
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ") + "\n"
+}

@@ -1,0 +1,15 @@
+// Package repro is JupyterGuard: a Go reproduction of "Jupyter
+// Notebook Attacks Taxonomy: Ransomware, Data Exfiltration, and
+// Security Misconfiguration" (Cao, SC'24 workshops).
+//
+// The repository implements the simulated Jupyter server substrate
+// (REST + WebSocket + kernel messaging protocol), attack drivers for
+// every taxonomy class, and the monitoring/auditing tooling the paper
+// proposes: a Zeek-like network monitor, an embedded kernel auditor,
+// edge honeypots with threat-intel sharing, a misconfiguration
+// scanner, and a post-quantum audit-log signing scheme.
+//
+// See README.md for the tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the per-figure reproduction record. The root
+// bench_test.go regenerates every experiment.
+package repro

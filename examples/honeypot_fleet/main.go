@@ -1,0 +1,93 @@
+// Honeypot fleet: the paper's edge-deployment strategy end to end.
+// Attackers hit decoy Jupyter servers at the network edge; the fleet
+// extracts signatures and indicators; a production monitor merges the
+// intel and then catches — on the very first event — a payload it had
+// never seen locally.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/attacks"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/honeypot"
+	"repro/internal/threatintel"
+	"repro/internal/trace"
+)
+
+func main() {
+	// 1. Three decoys at the "network edge".
+	fleet, err := honeypot.NewFleet(3, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fleet.Close()
+	fmt.Printf("fleet: %d decoys up\n", len(fleet.Honeypots))
+
+	// 2. Attackers find them (open servers, baited content).
+	campaigns := 0
+	for i, hp := range fleet.Honeypots {
+		c := client.New(hp.Addr, "")
+		switch i % 3 {
+		case 0:
+			if _, err := attacks.Cryptominer(c, attacks.MinerOptions{
+				Rounds: 2, BurnMillis: 1000, Blatant: true, Username: "attacker-a",
+			}); err != nil {
+				log.Fatal(err)
+			}
+		case 1:
+			if _, err := attacks.Ransomware(c, attacks.RansomwareOptions{Username: "attacker-b"}); err != nil {
+				log.Fatal(err)
+			}
+		case 2:
+			if _, err := attacks.Exfiltration(c, attacks.ExfilOptions{
+				TargetDir: "secrets", Encode: true, Username: "attacker-c",
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		campaigns++
+	}
+	fmt.Printf("fleet: absorbed %d attack campaigns\n\n", campaigns)
+
+	// 3. Collect intel from the edge.
+	now := time.Now()
+	indicators, sigs := fleet.Collect(now)
+	fmt.Printf("intel collected: %d new indicators, %d extracted signatures\n", indicators, sigs)
+	for _, ind := range fleet.Store.Indicators(now) {
+		if ind.Type == threatintel.TypeSourceIP {
+			fmt.Printf("  blocklist candidate %s (confidence %.2f, class %s)\n",
+				ind.Value, ind.Confidence, ind.Class)
+		}
+	}
+
+	// 4. Production loads the intel.
+	eng := core.MustEngine()
+	before := eng.RuleCount()
+	for _, r := range fleet.Store.Rules() {
+		if err := eng.AddRule(r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("\nproduction monitor: %d stock rules + %d intel rules\n", before, eng.RuleCount()-before)
+
+	// 5. The same actor pivots to production. The first execute is
+	// flagged by an edge-extracted signature — production never had to
+	// learn the hard way.
+	alerts := eng.Process(trace.Event{
+		Time: now, Kind: trace.KindExec, User: "prod-account-7",
+		Code: `pool = "stratum+tcp://pool.minexmr.example:4444"` + "\n" + `worker = "xmrig-6.21"` + "\n" + `print("miner", worker, "->", pool)`,
+	})
+	fmt.Printf("\nfirst sighting in production -> %d alerts:\n", len(alerts))
+	for _, a := range alerts {
+		fmt.Printf("  [%s] %s (%s)\n", a.Severity, a.RuleID, a.Class)
+	}
+
+	// 6. Block check: is the honeypot-observed source on the blocklist?
+	if fleet.Store.IsBlocked("127.0.0.1", now.Add(time.Minute)) {
+		fmt.Println("\nsource 127.0.0.1 is block-listed at the production edge")
+	}
+}

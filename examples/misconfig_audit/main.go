@@ -1,0 +1,56 @@
+// Misconfiguration audit: scan the sloppy archetype against the
+// hardened baseline (static checks), probe both live the way an
+// internet scanner would, and print the quantum-threat crypto
+// inventory for each — the paper's security-misconfiguration class
+// plus its post-quantum discussion, in one run.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cryptoaudit"
+	"repro/internal/misconfig"
+	"repro/internal/server"
+)
+
+func main() {
+	hardened := server.HardenedConfig("audit-demo-token")
+	hardened.ContentQuota = 10 << 30
+	sloppy := server.SloppyConfig()
+
+	// Static audits.
+	for _, tc := range []struct {
+		name string
+		cfg  server.Config
+	}{{"hardened", hardened}, {"sloppy", sloppy}} {
+		findings := misconfig.Scan(tc.cfg)
+		fmt.Printf("=== static scan: %s ===\n", tc.name)
+		fmt.Print(misconfig.Render(findings))
+		fmt.Println()
+	}
+
+	// Live probes: boot both and scan them like a stranger.
+	for _, tc := range []struct {
+		name string
+		cfg  server.Config
+	}{{"hardened", hardened}, {"sloppy", sloppy}} {
+		srv := server.NewServer(tc.cfg)
+		addr, err := srv.Start()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := misconfig.Probe(addr, 3*time.Second)
+		fmt.Printf("=== live probe: %s (%s) ===\n", tc.name, addr)
+		fmt.Printf("open_access=%v terminals_spawnable=%v wildcard_cors=%v findings=%d\n\n",
+			res.OpenAccess, res.TerminalsEnabled, res.WildcardCORS, len(res.Findings))
+		_ = srv.Close()
+	}
+
+	// Quantum-threat inventory (paper §IV.B).
+	fmt.Println("=== crypto inventory: hardened ===")
+	fmt.Print(cryptoaudit.Audit(hardened).Render())
+	fmt.Println("\n=== crypto inventory: sloppy ===")
+	fmt.Print(cryptoaudit.Audit(sloppy).Render())
+}

@@ -1,0 +1,491 @@
+// Package anomaly implements the statistical detectors that complement
+// the signature engine: EWMA rate baselines, a byte-entropy
+// exfiltration detector, a write-burst + extension-churn ransomware
+// detector, a sustained-CPU cryptomining detector, and the
+// low-and-slow detector for the evasion attacks the paper warns about.
+//
+// Each detector consumes trace events and produces rules.Alert values
+// so the core engine treats signature and anomaly findings uniformly.
+package anomaly
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/rules"
+	"repro/internal/trace"
+)
+
+// Detector consumes events and emits alerts.
+type Detector interface {
+	// Name identifies the detector in alerts.
+	Name() string
+	// Process evaluates one event, returning zero or more alerts.
+	Process(e trace.Event) []rules.Alert
+}
+
+// ---- EWMA baseline ----
+
+// EWMA is an exponentially weighted moving average with variance
+// tracking, used for per-entity rate baselines.
+type EWMA struct {
+	Alpha    float64
+	mean     float64
+	variance float64
+	n        int
+}
+
+// Update folds in an observation and returns the z-score of the
+// observation against the pre-update baseline (0 during warmup).
+func (e *EWMA) Update(x float64) float64 {
+	if e.Alpha <= 0 {
+		e.Alpha = 0.1
+	}
+	var z float64
+	if e.n >= 5 && e.variance > 1e-12 {
+		z = (x - e.mean) / math.Sqrt(e.variance)
+	}
+	if e.n == 0 {
+		e.mean = x
+	} else {
+		diff := x - e.mean
+		incr := e.Alpha * diff
+		e.mean += incr
+		e.variance = (1 - e.Alpha) * (e.variance + diff*incr)
+	}
+	e.n++
+	return z
+}
+
+// Mean returns the current baseline mean.
+func (e *EWMA) Mean() float64 { return e.mean }
+
+// StdDev returns the current baseline standard deviation.
+func (e *EWMA) StdDev() float64 { return math.Sqrt(e.variance) }
+
+// Samples returns the number of observations folded in.
+func (e *EWMA) Samples() int { return e.n }
+
+// ---- Ransomware detector ----
+
+// RansomwareConfig tunes the ransomware detector.
+type RansomwareConfig struct {
+	EntropyThreshold float64       // bits/byte over which a write is "encrypted-looking"
+	BurstCount       int           // encrypted-looking writes to trigger
+	BurstWindow      time.Duration // within this window
+	// EntropyJump triggers on a single file whose write entropy rises
+	// by this much versus its previous content entropy.
+	EntropyJump float64
+}
+
+// DefaultRansomwareConfig returns tuned defaults.
+func DefaultRansomwareConfig() RansomwareConfig {
+	return RansomwareConfig{
+		EntropyThreshold: 7.2,
+		BurstCount:       5,
+		BurstWindow:      2 * time.Minute,
+		EntropyJump:      3.5,
+	}
+}
+
+// Ransomware detects encryption sweeps over the content filesystem.
+type Ransomware struct {
+	cfg RansomwareConfig
+
+	mu          sync.Mutex
+	writeTimes  map[string][]time.Time // user -> encrypted-looking write times
+	lastEntropy map[string]float64     // path -> last observed write entropy
+}
+
+// NewRansomware returns a ransomware detector.
+func NewRansomware(cfg RansomwareConfig) *Ransomware {
+	if cfg.EntropyThreshold == 0 {
+		cfg = DefaultRansomwareConfig()
+	}
+	return &Ransomware{
+		cfg:         cfg,
+		writeTimes:  map[string][]time.Time{},
+		lastEntropy: map[string]float64{},
+	}
+}
+
+// Name implements Detector.
+func (d *Ransomware) Name() string { return "anomaly.ransomware" }
+
+// Process implements Detector.
+func (d *Ransomware) Process(e trace.Event) []rules.Alert {
+	if e.Kind != trace.KindFileOp || (e.Op != "write" && e.Op != "create") || !e.Success {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var alerts []rules.Alert
+
+	// Per-file entropy jump: a notebook that was text suddenly
+	// becomes ciphertext.
+	prev, seen := d.lastEntropy[e.Target]
+	d.lastEntropy[e.Target] = e.Entropy
+	if seen && e.Entropy-prev >= d.cfg.EntropyJump && e.Entropy >= d.cfg.EntropyThreshold {
+		alerts = append(alerts, rules.Alert{
+			RuleID: "ANOM-RW-entropy-jump", Class: rules.ClassRansomware,
+			Severity: rules.SevHigh,
+			Description: fmt.Sprintf("entropy of %s jumped %.1f -> %.1f bits/byte",
+				e.Target, prev, e.Entropy),
+			Time: e.Time, Group: e.User, Trigger: e.Clone(), Count: 1,
+		})
+	}
+
+	// Burst of encrypted-looking writes.
+	if e.Entropy >= d.cfg.EntropyThreshold {
+		times := d.writeTimes[e.User]
+		fresh := times[:0]
+		for _, t := range times {
+			if e.Time.Sub(t) <= d.cfg.BurstWindow {
+				fresh = append(fresh, t)
+			}
+		}
+		fresh = append(fresh, e.Time)
+		d.writeTimes[e.User] = fresh
+		if len(fresh) >= d.cfg.BurstCount {
+			d.writeTimes[e.User] = nil
+			alerts = append(alerts, rules.Alert{
+				RuleID: "ANOM-RW-write-burst", Class: rules.ClassRansomware,
+				Severity: rules.SevCritical,
+				Description: fmt.Sprintf("%d high-entropy overwrites by %q within %s",
+					len(fresh), e.User, d.cfg.BurstWindow),
+				Time: e.Time, Group: e.User, Trigger: e.Clone(), Count: len(fresh),
+			})
+		}
+	}
+	return alerts
+}
+
+// ---- Exfiltration detector ----
+
+// ExfilConfig tunes the exfiltration detector.
+type ExfilConfig struct {
+	// VolumeZ triggers when a user's outbound bytes-per-event z-score
+	// exceeds this value against their EWMA baseline.
+	VolumeZ float64
+	// AbsoluteBytes triggers on any single outbound transfer at or
+	// above this size regardless of baseline.
+	AbsoluteBytes int64
+	// EntropyThreshold flags outbound payloads that look packed.
+	EntropyThreshold float64
+	// ReadAmplification triggers when cumulative reads within Window
+	// exceed this multiple of the user's prior average.
+	Window time.Duration
+}
+
+// DefaultExfilConfig returns tuned defaults.
+func DefaultExfilConfig() ExfilConfig {
+	return ExfilConfig{
+		VolumeZ:          6.0,
+		AbsoluteBytes:    1 << 20, // 1 MiB in one shot
+		EntropyThreshold: 7.0,
+		Window:           5 * time.Minute,
+	}
+}
+
+// Exfil detects data exfiltration through outbound volume and payload
+// shape.
+type Exfil struct {
+	cfg ExfilConfig
+
+	mu        sync.Mutex
+	baselines map[string]*EWMA // user -> outbound bytes baseline
+}
+
+// NewExfil returns an exfiltration detector.
+func NewExfil(cfg ExfilConfig) *Exfil {
+	if cfg.VolumeZ == 0 {
+		cfg = DefaultExfilConfig()
+	}
+	return &Exfil{cfg: cfg, baselines: map[string]*EWMA{}}
+}
+
+// Name implements Detector.
+func (d *Exfil) Name() string { return "anomaly.exfil" }
+
+// Process implements Detector.
+func (d *Exfil) Process(e trace.Event) []rules.Alert {
+	if e.Kind != trace.KindNetOp || !e.Success {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var alerts []rules.Alert
+	if e.Bytes >= d.cfg.AbsoluteBytes {
+		alerts = append(alerts, rules.Alert{
+			RuleID: "ANOM-EX-volume-abs", Class: rules.ClassExfiltration,
+			Severity:    rules.SevCritical,
+			Description: fmt.Sprintf("outbound transfer of %d bytes to %s", e.Bytes, e.Target),
+			Time:        e.Time, Group: e.User, Trigger: e.Clone(), Count: 1,
+		})
+	}
+	if e.Entropy >= d.cfg.EntropyThreshold && e.Bytes >= 256 {
+		alerts = append(alerts, rules.Alert{
+			RuleID: "ANOM-EX-entropy", Class: rules.ClassExfiltration,
+			Severity: rules.SevHigh,
+			Description: fmt.Sprintf("outbound payload entropy %.2f bits/byte (%d bytes) to %s",
+				e.Entropy, e.Bytes, e.Target),
+			Time: e.Time, Group: e.User, Trigger: e.Clone(), Count: 1,
+		})
+	}
+	b := d.baselines[e.User]
+	if b == nil {
+		b = &EWMA{Alpha: 0.2}
+		d.baselines[e.User] = b
+	}
+	if z := b.Update(float64(e.Bytes)); z >= d.cfg.VolumeZ {
+		alerts = append(alerts, rules.Alert{
+			RuleID: "ANOM-EX-volume-z", Class: rules.ClassExfiltration,
+			Severity: rules.SevHigh,
+			Description: fmt.Sprintf("outbound volume z-score %.1f (bytes=%d, baseline=%.0f)",
+				z, e.Bytes, b.Mean()),
+			Time: e.Time, Group: e.User, Trigger: e.Clone(), Count: 1,
+		})
+	}
+	return alerts
+}
+
+// ---- Cryptomining detector ----
+
+// MinerConfig tunes the mining detector.
+type MinerConfig struct {
+	// CPUMillisPerExec flags a single execution above this budget.
+	CPUMillisPerExec int64
+	// DutyCycle flags a kernel whose CPU time over the window exceeds
+	// this fraction of wall time.
+	DutyCycle float64
+	Window    time.Duration
+}
+
+// DefaultMinerConfig returns tuned defaults.
+func DefaultMinerConfig() MinerConfig {
+	return MinerConfig{
+		CPUMillisPerExec: 30_000,
+		DutyCycle:        0.6,
+		Window:           5 * time.Minute,
+	}
+}
+
+// Miner detects sustained compute abuse per kernel.
+type Miner struct {
+	cfg MinerConfig
+
+	mu    sync.Mutex
+	usage map[string][]cpuSample // kernel -> samples
+}
+
+type cpuSample struct {
+	t  time.Time
+	ms int64
+}
+
+// NewMiner returns a mining detector.
+func NewMiner(cfg MinerConfig) *Miner {
+	if cfg.CPUMillisPerExec == 0 {
+		cfg = DefaultMinerConfig()
+	}
+	return &Miner{cfg: cfg, usage: map[string][]cpuSample{}}
+}
+
+// Name implements Detector.
+func (d *Miner) Name() string { return "anomaly.miner" }
+
+// Process implements Detector.
+func (d *Miner) Process(e trace.Event) []rules.Alert {
+	if e.Kind != trace.KindSysRes || e.CPUMillis <= 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var alerts []rules.Alert
+	if e.CPUMillis >= d.cfg.CPUMillisPerExec {
+		alerts = append(alerts, rules.Alert{
+			RuleID: "ANOM-CM-single-burn", Class: rules.ClassCryptomining,
+			Severity:    rules.SevHigh,
+			Description: fmt.Sprintf("one execution burned %dms CPU on %s", e.CPUMillis, e.KernelID),
+			Time:        e.Time, Group: e.KernelID, Trigger: e.Clone(), Count: 1,
+		})
+	}
+	samples := append(d.usage[e.KernelID], cpuSample{t: e.Time, ms: e.CPUMillis})
+	fresh := samples[:0]
+	var burned int64
+	for _, s := range samples {
+		if e.Time.Sub(s.t) <= d.cfg.Window {
+			fresh = append(fresh, s)
+			burned += s.ms
+		}
+	}
+	d.usage[e.KernelID] = fresh
+	if len(fresh) >= 3 {
+		span := e.Time.Sub(fresh[0].t)
+		if span > 0 {
+			duty := float64(burned) / float64(span.Milliseconds())
+			if duty >= d.cfg.DutyCycle {
+				d.usage[e.KernelID] = nil
+				alerts = append(alerts, rules.Alert{
+					RuleID: "ANOM-CM-duty-cycle", Class: rules.ClassCryptomining,
+					Severity: rules.SevCritical,
+					Description: fmt.Sprintf("kernel %s CPU duty cycle %.0f%% over %s",
+						e.KernelID, duty*100, span.Round(time.Second)),
+					Time: e.Time, Group: e.KernelID, Trigger: e.Clone(), Count: len(fresh),
+				})
+			}
+		}
+	}
+	return alerts
+}
+
+// ---- Low-and-slow DoS detector ----
+
+// LowSlowConfig tunes the low-and-slow detector, which targets the
+// evasion technique the paper highlights: attacks paced below
+// threshold rules but sustained far longer than benign activity.
+type LowSlowConfig struct {
+	// MinEvents is the minimum observations before judging a source.
+	MinEvents int
+	// MaxJitterCV flags sources whose inter-arrival coefficient of
+	// variation is below this value (machine-regular pacing).
+	MaxJitterCV float64
+	// MinSpan requires the activity to persist at least this long.
+	MinSpan time.Duration
+	// FailFraction requires at least this fraction of failures
+	// (probing that never succeeds).
+	FailFraction float64
+}
+
+// DefaultLowSlowConfig returns tuned defaults.
+func DefaultLowSlowConfig() LowSlowConfig {
+	return LowSlowConfig{
+		MinEvents:    12,
+		MaxJitterCV:  0.25,
+		MinSpan:      5 * time.Minute,
+		FailFraction: 0.5,
+	}
+}
+
+// LowSlow detects slow, regular probe trains per source IP.
+type LowSlow struct {
+	cfg LowSlowConfig
+
+	mu      sync.Mutex
+	sources map[string]*lowSlowState
+}
+
+type lowSlowState struct {
+	first, last time.Time
+	gaps        []float64 // inter-arrival seconds
+	events      int
+	failures    int
+	alerted     bool
+}
+
+// NewLowSlow returns a low-and-slow detector.
+func NewLowSlow(cfg LowSlowConfig) *LowSlow {
+	if cfg.MinEvents == 0 {
+		cfg = DefaultLowSlowConfig()
+	}
+	return &LowSlow{cfg: cfg, sources: map[string]*lowSlowState{}}
+}
+
+// Name implements Detector.
+func (d *LowSlow) Name() string { return "anomaly.lowslow" }
+
+// Process implements Detector.
+func (d *LowSlow) Process(e trace.Event) []rules.Alert {
+	if e.Kind != trace.KindHTTP && e.Kind != trace.KindAuth {
+		return nil
+	}
+	if e.SrcIP == "" {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.sources[e.SrcIP]
+	if st == nil {
+		st = &lowSlowState{first: e.Time, last: e.Time}
+		d.sources[e.SrcIP] = st
+		st.events = 1
+		if !e.Success {
+			st.failures++
+		}
+		return nil
+	}
+	gap := e.Time.Sub(st.last).Seconds()
+	if gap > 0 {
+		st.gaps = append(st.gaps, gap)
+		if len(st.gaps) > 256 {
+			st.gaps = st.gaps[len(st.gaps)-256:]
+		}
+	}
+	st.last = e.Time
+	st.events++
+	if !e.Success {
+		st.failures++
+	}
+	if st.alerted || st.events < d.cfg.MinEvents ||
+		st.last.Sub(st.first) < d.cfg.MinSpan ||
+		float64(st.failures)/float64(st.events) < d.cfg.FailFraction {
+		return nil
+	}
+	cv := coefficientOfVariation(st.gaps)
+	if cv < 0 || cv > d.cfg.MaxJitterCV {
+		return nil
+	}
+	st.alerted = true
+	return []rules.Alert{{
+		RuleID: "ANOM-DS-low-slow", Class: rules.ClassDoS,
+		Severity: rules.SevHigh,
+		Description: fmt.Sprintf(
+			"low-and-slow train from %s: %d events over %s, pacing CV %.2f, %.0f%% failures",
+			e.SrcIP, st.events, st.last.Sub(st.first).Round(time.Second), cv,
+			100*float64(st.failures)/float64(st.events)),
+		Time: e.Time, Group: e.SrcIP, Trigger: e.Clone(), Count: st.events,
+	}}
+}
+
+func coefficientOfVariation(xs []float64) float64 {
+	if len(xs) < 4 {
+		return -1
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	if mean <= 0 {
+		return -1
+	}
+	var sq float64
+	for _, x := range xs {
+		sq += (x - mean) * (x - mean)
+	}
+	return math.Sqrt(sq/float64(len(xs))) / mean
+}
+
+// ---- Composite ----
+
+// Suite bundles the default detector set.
+func Suite() []Detector {
+	return []Detector{
+		NewRansomware(DefaultRansomwareConfig()),
+		NewExfil(DefaultExfilConfig()),
+		NewMiner(DefaultMinerConfig()),
+		NewLowSlow(DefaultLowSlowConfig()),
+	}
+}
+
+// Describe returns a one-line description per detector, for reports.
+func Describe(ds []Detector) string {
+	var names []string
+	for _, d := range ds {
+		names = append(names, d.Name())
+	}
+	return strings.Join(names, ", ")
+}

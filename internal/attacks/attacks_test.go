@@ -1,0 +1,374 @@
+package attacks
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/nbformat"
+	"repro/internal/rules"
+	"repro/internal/server"
+	"repro/internal/vfs"
+)
+
+// lab boots a sloppy (attackable) server with a core engine watching
+// its bus and science artifacts seeded, optionally with an exfil sink
+// gateway.
+type lab struct {
+	srv  *server.Server
+	eng  *core.Engine
+	c    *client.Client
+	sink *SinkGateway
+}
+
+func newLab(t *testing.T, cfg server.Config) *lab {
+	t.Helper()
+	sink := NewSinkGateway()
+	srv := server.NewServer(cfg, server.WithGateway(sink))
+	eng := core.MustEngine()
+	srv.Bus().Subscribe(eng)
+	addr, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	// Seed artifacts: notebooks, data, models. Notebooks carry enough
+	// content (as real research notebooks do) that ciphertext entropy
+	// is measurable.
+	nb := nbformat.New()
+	nb.AppendMarkdown("md1", "# Experiment 7\n"+strings.Repeat("Observations about the training run.\n", 20))
+	for i := 0; i < 10; i++ {
+		nb.AppendCode("c"+string(rune('0'+i)),
+			`data = read_file("data/train.csv")`+"\n"+`print("epoch", `+string(rune('0'+i))+`, len(data))`)
+	}
+	nbJSON, _ := nb.Marshal()
+	for i := 0; i < 6; i++ {
+		path := "notebooks/exp_" + string(rune('a'+i)) + ".ipynb"
+		if err := srv.FS.Write(path, "setup", nbJSON); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = srv.FS.Write("data/train.csv", "setup", []byte(strings.Repeat("f1,f2,label\n0.1,0.2,1\n", 400)))
+	_ = srv.FS.Write("models/weights.bin", "setup", []byte(strings.Repeat("Wq7", 4000)))
+
+	return &lab{srv: srv, eng: eng, c: client.New(addr, cfg.Auth.Token), sink: sink}
+}
+
+func (l *lab) classIncidents(class string) []*core.Incident {
+	return l.eng.IncidentsByClass()[class]
+}
+
+func TestRansomwareAttackAndDetection(t *testing.T) {
+	l := newLab(t, server.SloppyConfig())
+	res, err := Ransomware(l.c, RansomwareOptions{Username: "mallory"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Succeeded {
+		t.Fatalf("attack failed: %+v", res.Notes)
+	}
+	// Damage check: notebooks renamed and encrypted, note planted.
+	if !l.srv.FS.Exists("README_RANSOM.txt") {
+		t.Fatal("ransom note missing")
+	}
+	if l.srv.FS.Exists("notebooks/exp_a.ipynb") {
+		t.Fatal("original notebook still present")
+	}
+	locked, err := l.srv.FS.Read("notebooks/exp_a.ipynb.locked", "check")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vfs.Entropy(locked) < 7.0 {
+		t.Fatalf("locked file entropy = %f (not encrypted?)", vfs.Entropy(locked))
+	}
+	// Detection check.
+	incs := l.classIncidents(rules.ClassRansomware)
+	if len(incs) == 0 {
+		t.Fatal("ransomware not detected")
+	}
+	ruleIDs := map[string]bool{}
+	for _, inc := range incs {
+		for _, a := range inc.Alerts {
+			ruleIDs[a.RuleID] = true
+		}
+	}
+	for _, want := range []string{"RW-001-encrypt-call", "RW-002-ransom-note", "ANOM-RW-write-burst"} {
+		if !ruleIDs[want] {
+			t.Errorf("rule %s did not fire (got %v)", want, ruleIDs)
+		}
+	}
+}
+
+func TestExfiltrationAttackAndDetection(t *testing.T) {
+	l := newLab(t, server.SloppyConfig())
+	res, err := Exfiltration(l.c, ExfilOptions{
+		TargetDir: "models", Encode: true, Username: "mallory",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Succeeded {
+		t.Fatalf("attack failed: %+v", res.Notes)
+	}
+	bytesOut, reqs := l.sink.Captured()
+	if bytesOut == 0 || reqs == 0 {
+		t.Fatal("nothing reached the collector")
+	}
+	incs := l.classIncidents(rules.ClassExfiltration)
+	if len(incs) == 0 {
+		t.Fatal("exfiltration not detected")
+	}
+}
+
+func TestExfiltrationBlockedByEgressPolicy(t *testing.T) {
+	// Hardened server: DenyAllGateway (no WithGateway option).
+	cfg := server.SloppyConfig() // auth open so attack reaches kernel
+	srv := server.NewServer(cfg) // default deny-all gateway
+	eng := core.MustEngine()
+	srv.Bus().Subscribe(eng)
+	addr, _ := srv.Start()
+	defer srv.Close()
+	_ = srv.FS.Write("data/d.csv", "setup", []byte("secret"))
+
+	res, err := Exfiltration(client.New(addr, ""), ExfilOptions{Username: "mallory"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded {
+		t.Fatal("exfiltration succeeded despite egress denial")
+	}
+	// The attempt is still visible to detection (failed net_op).
+	if len(eng.IncidentsByClass()[rules.ClassExfiltration]) == 0 {
+		t.Fatal("blocked exfil attempt not flagged")
+	}
+}
+
+func TestCryptominerAttackAndDetection(t *testing.T) {
+	l := newLab(t, server.SloppyConfig())
+	res, err := Cryptominer(l.c, MinerOptions{
+		Rounds: 5, BurnMillis: 40_000, Blatant: true, Username: "mallory",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Succeeded {
+		t.Fatalf("attack failed: %+v", res.Notes)
+	}
+	incs := l.classIncidents(rules.ClassCryptomining)
+	if len(incs) == 0 {
+		t.Fatal("miner not detected")
+	}
+	var sawSignature, sawResource bool
+	for _, inc := range incs {
+		for _, a := range inc.Alerts {
+			if a.RuleID == "CM-001-miner-strings" {
+				sawSignature = true
+			}
+			if strings.HasPrefix(a.RuleID, "CM-002") || strings.HasPrefix(a.RuleID, "ANOM-CM") {
+				sawResource = true
+			}
+		}
+	}
+	if !sawSignature || !sawResource {
+		t.Fatalf("signature=%v resource=%v", sawSignature, sawResource)
+	}
+}
+
+func TestStealthyMinerCaughtByResourceOnly(t *testing.T) {
+	l := newLab(t, server.SloppyConfig())
+	if _, err := Cryptominer(l.c, MinerOptions{
+		Rounds: 5, BurnMillis: 40_000, Blatant: false, Username: "sneaky",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	incs := l.classIncidents(rules.ClassCryptomining)
+	if len(incs) == 0 {
+		t.Fatal("stealthy miner escaped resource detection")
+	}
+	for _, inc := range incs {
+		for _, a := range inc.Alerts {
+			if a.RuleID == "CM-001-miner-strings" {
+				t.Fatal("signature fired without miner strings?")
+			}
+		}
+	}
+}
+
+func TestMisconfigProbeOpenVsHardened(t *testing.T) {
+	open := newLab(t, server.SloppyConfig())
+	res, err := MisconfigProbe(open.c, ProbeOptions{SourceLabel: "scanner"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Succeeded {
+		t.Fatal("probe found nothing open on sloppy server")
+	}
+	// MC-002 (open access) must fire.
+	if len(open.classIncidents(rules.ClassMisconfig)) == 0 {
+		t.Fatal("open access not flagged")
+	}
+
+	hardened := newLab(t, server.HardenedConfig("strong-token"))
+	res2, err := MisconfigProbe(hardened.c, ProbeOptions{SourceLabel: "scanner"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Succeeded {
+		t.Fatalf("hardened server has open endpoints: %+v", res2.Notes)
+	}
+	// The 403 sweep itself is detected (MC-001).
+	if len(hardened.classIncidents(rules.ClassMisconfig)) == 0 {
+		t.Fatal("unauthenticated sweep not flagged")
+	}
+}
+
+func TestBruteForceThrottledAndDetected(t *testing.T) {
+	cfg := server.HardenedConfig("tok")
+	cfg.Auth.Passwords = map[string]auth.PasswordHash{
+		"alice": auth.HashPassword("correct-horse"),
+	}
+	l := newLab(t, cfg)
+	res, err := BruteForce(l.c, BruteForceOptions{
+		Username: "alice", Correct: "correct-horse",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throttling must prevent even the correct credential from landing.
+	if res.Succeeded {
+		t.Fatalf("brute force succeeded despite throttle: %+v", res.Notes)
+	}
+	if len(l.classIncidents(rules.ClassAccountTakeover)) == 0 {
+		t.Fatal("brute force not detected")
+	}
+}
+
+func TestBruteForceSucceedsWithoutThrottle(t *testing.T) {
+	cfg := server.HardenedConfig("tok")
+	cfg.Auth.MaxFailures = 0 // the JPY-011 misconfiguration
+	cfg.Auth.Passwords = map[string]auth.PasswordHash{
+		"alice": auth.HashPassword("hunter2"), // in the default wordlist
+	}
+	l := newLab(t, cfg)
+	res, err := BruteForce(l.c, BruteForceOptions{Username: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Succeeded {
+		t.Fatalf("weak password survived unthrottled guessing: %+v", res.Notes)
+	}
+	// AT-002 (success after failures) must fire.
+	var at002 bool
+	for _, inc := range l.classIncidents(rules.ClassAccountTakeover) {
+		for _, a := range inc.Alerts {
+			if a.RuleID == "AT-002-success-after-failures" {
+				at002 = true
+			}
+		}
+	}
+	if !at002 {
+		t.Fatal("credential-stuffing hit not detected")
+	}
+}
+
+func TestTerminalReconDetected(t *testing.T) {
+	l := newLab(t, server.SloppyConfig())
+	res, err := TerminalRecon(l.c, "mallory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Succeeded {
+		t.Fatalf("recon blocked on open server: %+v", res.Notes)
+	}
+	incs := l.classIncidents(rules.ClassZeroDay)
+	if len(incs) == 0 {
+		t.Fatal("recon not detected")
+	}
+	var downloader bool
+	for _, inc := range incs {
+		for _, a := range inc.Alerts {
+			if a.RuleID == "TS-002-downloader" {
+				downloader = true
+			}
+		}
+	}
+	if !downloader {
+		t.Fatal("curl|bash downloader not detected")
+	}
+}
+
+func TestTerminalReconBlockedOnHardened(t *testing.T) {
+	l := newLab(t, server.HardenedConfig("tok"))
+	res, err := TerminalRecon(l.c, "mallory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded {
+		t.Fatal("terminals reachable on hardened server")
+	}
+}
+
+func TestLowSlowProbeRuns(t *testing.T) {
+	l := newLab(t, server.HardenedConfig("tok"))
+	res, err := LowSlowDoS(l.c, LowSlowOptions{Requests: 6, Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Actions != 6 {
+		t.Fatalf("actions = %d", res.Actions)
+	}
+	// With only 6 fast requests the low-slow detector must NOT fire
+	// (it requires a sustained span) — but the failed-API sweep does.
+	for _, inc := range l.eng.Incidents() {
+		for _, a := range inc.Alerts {
+			if a.RuleID == "ANOM-DS-low-slow" {
+				t.Fatal("low-slow fired on a short fast burst")
+			}
+		}
+	}
+}
+
+func TestRansomwareRecoveryViaCheckpoints(t *testing.T) {
+	l := newLab(t, server.SloppyConfig())
+	// Operator checkpoints before the incident.
+	if _, err := l.srv.FS.CreateCheckpoint("notebooks/exp_a.ipynb"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Ransomware(l.c, RansomwareOptions{Username: "mallory"}); err != nil {
+		t.Fatal(err)
+	}
+	// Restore: the file was renamed to .locked; restore the checkpoint
+	// under the original name.
+	cks, _ := l.srv.FS.Checkpoints("notebooks/exp_a.ipynb")
+	if len(cks) != 0 {
+		t.Fatal("checkpoints should have moved with rename")
+	}
+	cks, err := l.srv.FS.Checkpoints("notebooks/exp_a.ipynb.locked")
+	if err != nil || len(cks) != 1 {
+		t.Fatalf("checkpoints after rename = %v %v", cks, err)
+	}
+	if err := l.srv.FS.RestoreCheckpoint("notebooks/exp_a.ipynb.locked", cks[0].ID, "admin"); err != nil {
+		t.Fatal(err)
+	}
+	restored, _ := l.srv.FS.Read("notebooks/exp_a.ipynb.locked", "admin")
+	if _, err := nbformat.Parse(restored); err != nil {
+		t.Fatalf("restored notebook invalid: %v", err)
+	}
+}
+
+func TestSinkGatewayCaptures(t *testing.T) {
+	g := NewSinkGateway()
+	_, _, _ = g.Request("POST", "http://x/", []byte("abc"))
+	_, _, _ = g.Request("POST", "http://y/", []byte("defg"))
+	total, n := g.Captured()
+	if total != 7 || n != 2 {
+		t.Fatalf("captured = %d %d", total, n)
+	}
+	if len(g.Payloads()) != 2 {
+		t.Fatal("payload copies wrong")
+	}
+}

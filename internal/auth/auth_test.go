@@ -1,0 +1,200 @@
+package auth
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+var t0 = time.Date(2026, 6, 1, 9, 0, 0, 0, time.UTC)
+
+func newAuth(cfg Config) (*Authenticator, *trace.FakeClock, *trace.Ring) {
+	clock := trace.NewFakeClock(t0)
+	ring := trace.NewRing(1000)
+	bus := trace.NewBus(clock)
+	bus.Subscribe(ring)
+	return New(cfg, clock, bus), clock, ring
+}
+
+func TestPasswordHashRoundTrip(t *testing.T) {
+	ph := HashPassword("correct horse battery staple")
+	if !ph.Verify("correct horse battery staple") {
+		t.Fatal("correct password rejected")
+	}
+	if ph.Verify("wrong") {
+		t.Fatal("wrong password accepted")
+	}
+}
+
+func TestPasswordHashSaltsDiffer(t *testing.T) {
+	a, b := HashPassword("same"), HashPassword("same")
+	if a.Encode() == b.Encode() {
+		t.Fatal("two hashes of the same password identical (salt reuse)")
+	}
+}
+
+func TestHashEncodeDecode(t *testing.T) {
+	ph := HashPassword("secret")
+	back, err := DecodeHash(ph.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Verify("secret") {
+		t.Fatal("decoded hash does not verify")
+	}
+}
+
+func TestDecodeHashMalformed(t *testing.T) {
+	for _, s := range []string{"", "nocolon", "zz:gg", ":abc"} {
+		if _, err := DecodeHash(s); err == nil {
+			t.Errorf("DecodeHash(%q) accepted", s)
+		}
+	}
+}
+
+func TestTokenAuth(t *testing.T) {
+	a, _, _ := newAuth(DefaultConfig("tok-123"))
+	if d, err := a.CheckToken("1.2.3.4", "tok-123", false); err != nil || d != DecisionAllow {
+		t.Fatalf("valid token: %v %v", d, err)
+	}
+	if _, err := a.CheckToken("1.2.3.4", "wrong", false); !errors.Is(err, ErrBadCredentials) {
+		t.Fatalf("wrong token: %v", err)
+	}
+}
+
+func TestTokenInURLPolicy(t *testing.T) {
+	cfg := DefaultConfig("tok")
+	a, _, _ := newAuth(cfg)
+	if _, err := a.CheckToken("ip", "tok", true); err == nil {
+		t.Fatal("URL token accepted by hardened config")
+	}
+	cfg.AllowTokenInURL = true
+	a2, _, _ := newAuth(cfg)
+	if d, err := a2.CheckToken("ip", "tok", true); err != nil || d != DecisionAllow {
+		t.Fatalf("URL token rejected by permissive config: %v", err)
+	}
+}
+
+func TestLoginSessionLifecycle(t *testing.T) {
+	cfg := DefaultConfig("tok")
+	cfg.Passwords = map[string]PasswordHash{"alice": HashPassword("pw")}
+	cfg.SessionTTL = time.Hour
+	a, clock, _ := newAuth(cfg)
+	sess, d, err := a.Login("ip", "alice", "pw")
+	if err != nil || d != DecisionAllow {
+		t.Fatalf("login: %v %v", d, err)
+	}
+	if got, err := a.CheckSession(sess.ID); err != nil || got.User != "alice" {
+		t.Fatalf("session: %+v %v", got, err)
+	}
+	if a.ActiveSessions() != 1 {
+		t.Fatalf("active = %d", a.ActiveSessions())
+	}
+	clock.Advance(2 * time.Hour)
+	if _, err := a.CheckSession(sess.ID); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("expired session: %v", err)
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	cfg := DefaultConfig("tok")
+	cfg.Passwords = map[string]PasswordHash{"alice": HashPassword("pw")}
+	a, _, _ := newAuth(cfg)
+	sess, _, _ := a.Login("ip", "alice", "pw")
+	a.Revoke(sess.ID)
+	if _, err := a.CheckSession(sess.ID); err == nil {
+		t.Fatal("revoked session valid")
+	}
+}
+
+func TestThrottling(t *testing.T) {
+	cfg := DefaultConfig("tok")
+	cfg.MaxFailures = 3
+	cfg.FailureWindow = time.Minute
+	cfg.Passwords = map[string]PasswordHash{"alice": HashPassword("pw")}
+	a, clock, _ := newAuth(cfg)
+
+	for i := 0; i < 3; i++ {
+		if _, d, _ := a.Login("6.6.6.6", "alice", fmt.Sprintf("guess%d", i)); d != DecisionDeny {
+			t.Fatalf("attempt %d decision = %v", i, d)
+		}
+		clock.Advance(time.Second)
+	}
+	// Fourth attempt — even with the right password — is throttled.
+	if _, d, err := a.Login("6.6.6.6", "alice", "pw"); d != DecisionThrottled || !errors.Is(err, ErrThrottled) {
+		t.Fatalf("throttle: %v %v", d, err)
+	}
+	// A different source is unaffected.
+	if _, d, _ := a.Login("7.7.7.7", "alice", "pw"); d != DecisionAllow {
+		t.Fatalf("other source: %v", d)
+	}
+	// After the window passes, the original source recovers.
+	clock.Advance(2 * time.Minute)
+	if _, d, _ := a.Login("6.6.6.6", "alice", "pw"); d != DecisionAllow {
+		t.Fatalf("post-window: %v", d)
+	}
+}
+
+func TestFailureCountPrunes(t *testing.T) {
+	cfg := DefaultConfig("tok")
+	cfg.MaxFailures = 10
+	cfg.FailureWindow = time.Minute
+	a, clock, _ := newAuth(cfg)
+	_, _ = a.CheckToken("ip", "bad", false)
+	_, _ = a.CheckToken("ip", "bad", false)
+	if a.FailureCount("ip") != 2 {
+		t.Fatalf("count = %d", a.FailureCount("ip"))
+	}
+	clock.Advance(2 * time.Minute)
+	if a.FailureCount("ip") != 0 {
+		t.Fatalf("count after window = %d", a.FailureCount("ip"))
+	}
+}
+
+func TestDisabledAuthIsOpen(t *testing.T) {
+	a, _, ring := newAuth(Config{DisableAuth: true})
+	d, err := a.CheckToken("anywhere", "", false)
+	if err != nil || d != DecisionNoAuthOpen {
+		t.Fatalf("open: %v %v", d, err)
+	}
+	evs := ring.Filter(func(e trace.Event) bool { return e.Kind == trace.KindAuth })
+	if len(evs) != 1 || evs[0].Op != string(DecisionNoAuthOpen) {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestAuthEventsEmitted(t *testing.T) {
+	cfg := DefaultConfig("tok")
+	cfg.Passwords = map[string]PasswordHash{"alice": HashPassword("pw")}
+	a, _, ring := newAuth(cfg)
+	_, _, _ = a.Login("9.9.9.9", "alice", "bad")
+	_, _, _ = a.Login("9.9.9.9", "alice", "pw")
+	evs := ring.Filter(func(e trace.Event) bool { return e.Kind == trace.KindAuth })
+	if len(evs) != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Success || !evs[1].Success {
+		t.Fatalf("success flags = %v %v", evs[0].Success, evs[1].Success)
+	}
+	if evs[0].SrcIP != "9.9.9.9" {
+		t.Fatalf("src = %s", evs[0].SrcIP)
+	}
+}
+
+func TestGenerateToken(t *testing.T) {
+	a, b := GenerateToken(), GenerateToken()
+	if len(a) != 48 || a == b {
+		t.Fatalf("tokens: %q %q", a, b)
+	}
+}
+
+func TestUnknownUserDenied(t *testing.T) {
+	cfg := DefaultConfig("tok")
+	a, _, _ := newAuth(cfg)
+	if _, d, _ := a.Login("ip", "nobody", "pw"); d != DecisionDeny {
+		t.Fatalf("unknown user: %v", d)
+	}
+}

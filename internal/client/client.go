@@ -1,0 +1,461 @@
+// Package client is a Jupyter API client for the simulated server:
+// REST calls (contents, kernels, sessions, terminals), login, and the
+// WebSocket kernel-channel and terminal protocols.
+//
+// Attack drivers, the benign workload generator, honeypot probes, and
+// the examples all drive the server through this client, so every
+// actor produces protocol-faithful traffic for the monitors to see.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/jmsg"
+	"repro/internal/wsproto"
+)
+
+// Client talks to one Jupyter server.
+type Client struct {
+	BaseURL string // host:port
+	Token   string
+	Cookie  string // session cookie value after Login
+	HTTP    *http.Client
+
+	// TokenInURL sends the token as ?token= instead of the header —
+	// the credential-leaking pattern hardened servers reject.
+	TokenInURL bool
+
+	msgSeq  int
+	session string
+}
+
+// New returns a client for addr ("host:port").
+func New(addr, token string) *Client {
+	return &Client{
+		BaseURL: addr,
+		Token:   token,
+		HTTP:    &http.Client{Timeout: 30 * time.Second},
+		session: fmt.Sprintf("cli-sess-%d", time.Now().UnixNano()%1_000_000),
+	}
+}
+
+// APIError is a non-2xx REST response.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: HTTP %d: %s", e.Status, e.Message)
+}
+
+// IsForbidden reports whether err is a 403 APIError.
+func IsForbidden(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusForbidden
+}
+
+func (c *Client) url(path string) string {
+	u := "http://" + c.BaseURL + path
+	if c.TokenInURL && c.Token != "" {
+		sep := "?"
+		if strings.Contains(path, "?") {
+			sep = "&"
+		}
+		u += sep + "token=" + c.Token
+	}
+	return u
+}
+
+func (c *Client) do(method, path string, body any, out any) error {
+	var rdr io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rdr = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.url(path), rdr)
+	if err != nil {
+		return err
+	}
+	if c.Token != "" && !c.TokenInURL {
+		req.Header.Set("Authorization", "token "+c.Token)
+	}
+	if c.Cookie != "" {
+		req.AddCookie(&http.Cookie{Name: "jupyter-session", Value: c.Cookie})
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var msg struct {
+			Message string `json:"message"`
+		}
+		_ = json.Unmarshal(data, &msg)
+		return &APIError{Status: resp.StatusCode, Message: msg.Message}
+	}
+	if out != nil && len(data) > 0 {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+// Do performs a raw JSON API call — an escape hatch for endpoints
+// without a dedicated helper (sessions, checkpoints listing).
+func Do(c *Client, method, path string, body, out any) error {
+	return c.do(method, path, body, out)
+}
+
+// Status fetches /api/status.
+func (c *Client) Status() (map[string]any, error) {
+	var out map[string]any
+	err := c.do(http.MethodGet, "/api/status", nil, &out)
+	return out, err
+}
+
+// Login posts credentials and stores the session cookie.
+func (c *Client) Login(user, password string) error {
+	var out struct {
+		Session string `json:"session"`
+	}
+	err := c.do(http.MethodPost, "/login", map[string]string{
+		"username": user, "password": password,
+	}, &out)
+	if err != nil {
+		return err
+	}
+	c.Cookie = out.Session
+	return nil
+}
+
+// ContentsModel mirrors the server's contents API shape.
+type ContentsModel struct {
+	Name         string          `json:"name"`
+	Path         string          `json:"path"`
+	Type         string          `json:"type"`
+	Format       string          `json:"format,omitempty"`
+	Content      json.RawMessage `json:"content,omitempty"`
+	Size         int             `json:"size,omitempty"`
+	LastModified string          `json:"last_modified,omitempty"`
+}
+
+// GetContents fetches a file, notebook, or directory listing.
+func (c *Client) GetContents(path string) (*ContentsModel, error) {
+	var out ContentsModel
+	err := c.do(http.MethodGet, "/api/contents/"+path, nil, &out)
+	return &out, err
+}
+
+// ListDir returns the entries of a directory.
+func (c *Client) ListDir(path string) ([]ContentsModel, error) {
+	m, err := c.GetContents(path)
+	if err != nil {
+		return nil, err
+	}
+	var children []ContentsModel
+	if err := json.Unmarshal(m.Content, &children); err != nil {
+		return nil, fmt.Errorf("client: directory content: %w", err)
+	}
+	return children, nil
+}
+
+// ReadFile returns a text file's content.
+func (c *Client) ReadFile(path string) (string, error) {
+	m, err := c.GetContents(path)
+	if err != nil {
+		return "", err
+	}
+	if m.Format == "json" {
+		return string(m.Content), nil
+	}
+	var s string
+	if err := json.Unmarshal(m.Content, &s); err != nil {
+		return string(m.Content), nil
+	}
+	return s, nil
+}
+
+// PutFile writes a text file.
+func (c *Client) PutFile(path, content string) error {
+	b, _ := json.Marshal(content)
+	return c.do(http.MethodPut, "/api/contents/"+path, map[string]any{
+		"type": "file", "format": "text", "content": json.RawMessage(b),
+	}, nil)
+}
+
+// PutNotebook writes a notebook JSON document.
+func (c *Client) PutNotebook(path string, notebookJSON []byte) error {
+	return c.do(http.MethodPut, "/api/contents/"+path, map[string]any{
+		"type": "notebook", "format": "json", "content": json.RawMessage(notebookJSON),
+	}, nil)
+}
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(path string) error {
+	return c.do(http.MethodPut, "/api/contents/"+path, map[string]any{"type": "directory"}, nil)
+}
+
+// Delete removes a file.
+func (c *Client) Delete(path string) error {
+	return c.do(http.MethodDelete, "/api/contents/"+path, nil, nil)
+}
+
+// Rename moves a file.
+func (c *Client) Rename(oldPath, newPath string) error {
+	return c.do(http.MethodPatch, "/api/contents/"+oldPath, map[string]string{"path": newPath}, nil)
+}
+
+// Checkpoint creates a checkpoint for a file.
+func (c *Client) Checkpoint(path string) error {
+	return c.do(http.MethodPost, "/api/contents/"+path+"/checkpoints", map[string]string{}, nil)
+}
+
+// CheckpointModel describes one saved checkpoint.
+type CheckpointModel struct {
+	ID           string `json:"id"`
+	LastModified string `json:"last_modified"`
+}
+
+// ListCheckpoints returns the checkpoints for a file, oldest first.
+func (c *Client) ListCheckpoints(path string) ([]CheckpointModel, error) {
+	var out []CheckpointModel
+	err := c.do(http.MethodGet, "/api/contents/"+path+"/checkpoints", nil, &out)
+	return out, err
+}
+
+// RestoreCheckpoint restores a file to a saved checkpoint.
+func (c *Client) RestoreCheckpoint(path, id string) error {
+	return c.do(http.MethodPost, "/api/contents/"+path+"/checkpoints/"+id, map[string]string{}, nil)
+}
+
+// KernelModel mirrors the kernels API shape.
+type KernelModel struct {
+	ID             string `json:"id"`
+	Name           string `json:"name"`
+	ExecutionState string `json:"execution_state"`
+}
+
+// StartKernel launches a kernel.
+func (c *Client) StartKernel(name string) (*KernelModel, error) {
+	var out KernelModel
+	err := c.do(http.MethodPost, "/api/kernels", map[string]string{"name": name}, &out)
+	return &out, err
+}
+
+// ListKernels lists running kernels.
+func (c *Client) ListKernels() ([]KernelModel, error) {
+	var out []KernelModel
+	err := c.do(http.MethodGet, "/api/kernels", nil, &out)
+	return out, err
+}
+
+// ShutdownKernel stops a kernel.
+func (c *Client) ShutdownKernel(id string) error {
+	return c.do(http.MethodDelete, "/api/kernels/"+id, nil, nil)
+}
+
+// NewTerminal creates a terminal and returns its name.
+func (c *Client) NewTerminal() (string, error) {
+	var out struct {
+		Name string `json:"name"`
+	}
+	err := c.do(http.MethodPost, "/api/terminals", map[string]string{}, &out)
+	return out.Name, err
+}
+
+// ---- WebSocket kernel channel ----
+
+// KernelConn is an open kernel-channel WebSocket.
+type KernelConn struct {
+	ws       *wsproto.Conn
+	kernelID string
+	session  string
+	username string
+	seq      int
+}
+
+func (c *Client) dialWS(path string) (*wsproto.Conn, error) {
+	raw, err := net.DialTimeout("tcp", c.BaseURL, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	hdr := http.Header{}
+	if c.Cookie != "" {
+		hdr.Set("Cookie", "jupyter-session="+c.Cookie)
+	}
+	if c.Token != "" {
+		if c.TokenInURL {
+			sep := "?"
+			if strings.Contains(path, "?") {
+				sep = "&"
+			}
+			path += sep + "token=" + c.Token
+		} else {
+			hdr.Set("Authorization", "token "+c.Token)
+		}
+	}
+	ws, err := wsproto.Dial(raw, c.BaseURL, path, hdr)
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	return ws, nil
+}
+
+// ConnectKernel opens the kernel-channel WebSocket.
+func (c *Client) ConnectKernel(kernelID, username string) (*KernelConn, error) {
+	ws, err := c.dialWS("/api/kernels/" + kernelID + "/channels")
+	if err != nil {
+		return nil, err
+	}
+	return &KernelConn{ws: ws, kernelID: kernelID, session: c.session, username: username}, nil
+}
+
+// Close closes the channel.
+func (kc *KernelConn) Close() error {
+	return kc.ws.Close(wsproto.CloseNormal, "done")
+}
+
+// Send transmits one protocol message.
+func (kc *KernelConn) Send(m *jmsg.Message) error {
+	payload, err := m.MarshalWS()
+	if err != nil {
+		return err
+	}
+	return kc.ws.WriteMessage(wsproto.OpText, payload)
+}
+
+// Recv reads one protocol message.
+func (kc *KernelConn) Recv() (*jmsg.Message, error) {
+	for {
+		op, payload, err := kc.ws.ReadMessage()
+		if err != nil {
+			return nil, err
+		}
+		if op != wsproto.OpText && op != wsproto.OpBinary {
+			continue
+		}
+		return jmsg.UnmarshalWS(payload)
+	}
+}
+
+// ExecResult is the client-visible outcome of one execution.
+type ExecResult struct {
+	Status         string
+	ExecutionCount int
+	Stdout         string
+	EName, EValue  string
+	Messages       []*jmsg.Message // full iopub + reply sequence
+}
+
+// Execute sends an execute_request and collects the response flow
+// through the execute_reply.
+func (kc *KernelConn) Execute(code string) (*ExecResult, error) {
+	kc.seq++
+	req, err := jmsg.New(jmsg.TypeExecuteRequest,
+		fmt.Sprintf("%s-req-%d", kc.session, kc.seq),
+		kc.session, kc.username, time.Now(),
+		jmsg.ExecuteRequest{Code: code, StoreHistory: true})
+	if err != nil {
+		return nil, err
+	}
+	req.Channel = jmsg.ChannelShell
+	if err := kc.Send(req); err != nil {
+		return nil, err
+	}
+	res := &ExecResult{}
+	for {
+		m, err := kc.Recv()
+		if err != nil {
+			return res, err
+		}
+		res.Messages = append(res.Messages, m)
+		switch m.Header.MsgType {
+		case jmsg.TypeStream:
+			var sc jmsg.StreamContent
+			if m.DecodeContent(&sc) == nil && sc.Name == "stdout" {
+				res.Stdout += sc.Text
+			}
+		case jmsg.TypeError:
+			var ec jmsg.ErrorContent
+			if m.DecodeContent(&ec) == nil {
+				res.EName, res.EValue = ec.EName, ec.EValue
+			}
+		case jmsg.TypeExecuteReply:
+			var er jmsg.ExecuteReply
+			if err := m.DecodeContent(&er); err != nil {
+				return res, err
+			}
+			res.Status = er.Status
+			res.ExecutionCount = er.ExecutionCount
+			if res.EName == "" {
+				res.EName, res.EValue = er.EName, er.EValue
+			}
+			return res, nil
+		}
+	}
+}
+
+// ---- Terminal WebSocket ----
+
+// TerminalConn is an open terminal WebSocket.
+type TerminalConn struct {
+	ws *wsproto.Conn
+}
+
+// ConnectTerminal opens a terminal WebSocket by name.
+func (c *Client) ConnectTerminal(name string) (*TerminalConn, error) {
+	ws, err := c.dialWS("/terminals/websocket/" + name)
+	if err != nil {
+		return nil, err
+	}
+	return &TerminalConn{ws: ws}, nil
+}
+
+// Run sends a command line and returns the terminal output.
+func (tc *TerminalConn) Run(cmd string) (string, error) {
+	payload, _ := json.Marshal([]string{"stdin", cmd + "\n"})
+	if err := tc.ws.WriteMessage(wsproto.OpText, payload); err != nil {
+		return "", err
+	}
+	for {
+		op, data, err := tc.ws.ReadMessage()
+		if err != nil {
+			return "", err
+		}
+		if op != wsproto.OpText {
+			continue
+		}
+		var frame []string
+		if err := json.Unmarshal(data, &frame); err != nil || len(frame) < 2 {
+			continue
+		}
+		if frame[0] == "stdout" {
+			return frame[1], nil
+		}
+	}
+}
+
+// Close closes the terminal connection.
+func (tc *TerminalConn) Close() error {
+	return tc.ws.Close(wsproto.CloseNormal, "done")
+}

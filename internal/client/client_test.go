@@ -1,0 +1,159 @@
+package client_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/nbformat"
+	"repro/internal/server"
+)
+
+func boot(t *testing.T, cfg server.Config) *client.Client {
+	t.Helper()
+	cfg.BindAddress = "127.0.0.1"
+	srv := server.NewServer(cfg)
+	addr, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return client.New(addr, cfg.Auth.Token)
+}
+
+func TestAPIErrorShape(t *testing.T) {
+	c := boot(t, server.HardenedConfig("tok"))
+	c.Token = "wrong"
+	_, err := c.Status()
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != 403 {
+		t.Fatalf("err = %v", err)
+	}
+	if !client.IsForbidden(err) {
+		t.Fatal("IsForbidden false")
+	}
+	if !strings.Contains(ae.Error(), "403") {
+		t.Fatalf("error string = %q", ae.Error())
+	}
+}
+
+func TestNotebookRoundTripThroughAPI(t *testing.T) {
+	c := boot(t, server.HardenedConfig("tok"))
+	nb := nbformat.New()
+	nb.AppendCode("c1", `print("hi")`)
+	data, _ := nb.Marshal()
+	if err := c.PutNotebook("nb/test.ipynb", data); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := c.ReadFile("nb/test.ipynb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := nbformat.Parse([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SourceHash() != nb.SourceHash() {
+		t.Fatal("notebook changed through API round trip")
+	}
+}
+
+func TestInvalidNotebookRejected(t *testing.T) {
+	c := boot(t, server.HardenedConfig("tok"))
+	if err := c.PutNotebook("nb/bad.ipynb", []byte(`{"nbformat": 2}`)); err == nil {
+		t.Fatal("invalid notebook accepted")
+	}
+}
+
+func TestRenameAndCheckpointHelpers(t *testing.T) {
+	c := boot(t, server.HardenedConfig("tok"))
+	if err := c.PutFile("a.txt", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Checkpoint("a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename("a.txt", "b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadFile("b.txt"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointRestoreOverAPI(t *testing.T) {
+	c := boot(t, server.HardenedConfig("tok"))
+	if err := c.PutFile("nb.txt", "original"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Checkpoint("nb.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutFile("nb.txt", "CORRUPTED"); err != nil {
+		t.Fatal(err)
+	}
+	cks, err := c.ListCheckpoints("nb.txt")
+	if err != nil || len(cks) != 1 {
+		t.Fatalf("checkpoints = %v %v", cks, err)
+	}
+	if err := c.RestoreCheckpoint("nb.txt", cks[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.ReadFile("nb.txt")
+	if got != "original" {
+		t.Fatalf("restored = %q", got)
+	}
+	// Unknown checkpoint id is a clean 404.
+	if err := c.RestoreCheckpoint("nb.txt", "ckpt-99"); err == nil {
+		t.Fatal("unknown checkpoint restored")
+	}
+}
+
+func TestMkdirAndList(t *testing.T) {
+	c := boot(t, server.HardenedConfig("tok"))
+	if err := c.Mkdir("deep/nested/dir"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := c.ListDir("deep/nested")
+	if err != nil || len(entries) != 1 || entries[0].Type != "directory" {
+		t.Fatalf("entries = %+v err=%v", entries, err)
+	}
+}
+
+func TestKernelLifecycleHelpers(t *testing.T) {
+	c := boot(t, server.HardenedConfig("tok"))
+	k, err := c.StartKernel("minilang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := c.ListKernels()
+	if err != nil || len(ks) != 1 {
+		t.Fatalf("list = %v %v", ks, err)
+	}
+	if err := c.ShutdownKernel(k.ID); err != nil {
+		t.Fatal(err)
+	}
+	ks, _ = c.ListKernels()
+	if len(ks) != 0 {
+		t.Fatal("kernel survived shutdown")
+	}
+}
+
+func TestExecuteCollectsFullFlow(t *testing.T) {
+	c := boot(t, server.HardenedConfig("tok"))
+	k, _ := c.StartKernel("")
+	kc, err := c.ConnectKernel(k.ID, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kc.Close()
+	res, err := kc.Execute(`print("a")
+print("b")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stdout != "a\nb\n" || res.ExecutionCount != 1 || len(res.Messages) != 5 {
+		t.Fatalf("res = %+v", res)
+	}
+}

@@ -1,0 +1,309 @@
+// Package core is the detection framework — the paper's proposed
+// "Jupyter network monitoring tool" brain. It consumes the unified
+// trace event stream, evaluates the signature engine and the anomaly
+// detectors, correlates alerts into incidents per actor, and scores
+// incidents against the OSCRP risk profile.
+//
+// A deployment embeds an Engine by subscribing it to the server's (or
+// the network monitor's) trace bus:
+//
+//	eng := core.NewEngine(core.DefaultOptions())
+//	srv.Bus().Subscribe(eng)
+//	... run ...
+//	report := eng.Report()
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/anomaly"
+	"repro/internal/oscrp"
+	"repro/internal/rules"
+	"repro/internal/taxonomy"
+	"repro/internal/trace"
+)
+
+// Options configures an Engine.
+type Options struct {
+	Rules     []*rules.Rule
+	Detectors []anomaly.Detector
+	Profile   *oscrp.Profile
+	Taxonomy  *taxonomy.Registry
+	// IncidentGap closes an incident after this much quiet time from
+	// the same actor (default 10 minutes).
+	IncidentGap time.Duration
+	// OnAlert, if set, is invoked synchronously per alert.
+	OnAlert func(rules.Alert)
+}
+
+// DefaultOptions returns the stock ruleset, detector suite, and
+// profiles.
+func DefaultOptions() Options {
+	return Options{
+		Rules:       rules.BuiltinRules(),
+		Detectors:   anomaly.Suite(),
+		Profile:     oscrp.Default(),
+		Taxonomy:    taxonomy.Default(),
+		IncidentGap: 10 * time.Minute,
+	}
+}
+
+// Incident is a correlated group of alerts attributed to one actor
+// (user or source IP) and one taxonomy class.
+type Incident struct {
+	ID        string         `json:"id"`
+	Actor     string         `json:"actor"`
+	Class     string         `json:"class"`
+	Opened    time.Time      `json:"opened"`
+	LastAlert time.Time      `json:"last_alert"`
+	Alerts    []rules.Alert  `json:"alerts"`
+	Severity  rules.Severity `json:"severity"`
+	RiskScore float64        `json:"risk_score"`
+}
+
+// Summary renders a one-line incident description.
+func (inc *Incident) Summary() string {
+	return fmt.Sprintf("[%s] %s by %q: %d alerts, severity %s, risk %.0f",
+		inc.ID, inc.Class, inc.Actor, len(inc.Alerts), inc.Severity, inc.RiskScore)
+}
+
+// Engine is the composed detection pipeline. It implements trace.Sink.
+type Engine struct {
+	opts  Options
+	sig   *rules.Engine
+	mu    sync.Mutex
+	open  map[string]*Incident // actor|class -> open incident
+	done  []*Incident
+	seq   int
+	stats Stats
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	Events    uint64
+	Alerts    uint64
+	Incidents int
+}
+
+// NewEngine builds an Engine; it panics only on invalid built-in rules
+// (a programming error), returning errors for caller-supplied rules.
+func NewEngine(opts Options) (*Engine, error) {
+	if opts.Profile == nil {
+		opts.Profile = oscrp.Default()
+	}
+	if opts.Taxonomy == nil {
+		opts.Taxonomy = taxonomy.Default()
+	}
+	if opts.IncidentGap == 0 {
+		opts.IncidentGap = 10 * time.Minute
+	}
+	sig, err := rules.NewEngine(opts.Rules)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{opts: opts, sig: sig, open: map[string]*Incident{}}, nil
+}
+
+// MustEngine builds an Engine with DefaultOptions, panicking on error
+// (the built-in configuration is tested to be valid).
+func MustEngine() *Engine {
+	e, err := NewEngine(DefaultOptions())
+	if err != nil {
+		panic("core: default engine: " + err.Error())
+	}
+	return e
+}
+
+// Emit implements trace.Sink.
+func (e *Engine) Emit(ev trace.Event) {
+	e.Process(ev)
+}
+
+// Process evaluates one event through signatures and detectors and
+// returns the alerts fired.
+func (e *Engine) Process(ev trace.Event) []rules.Alert {
+	fired := e.sig.Process(ev)
+	for _, d := range e.opts.Detectors {
+		fired = append(fired, d.Process(ev)...)
+	}
+	e.mu.Lock()
+	e.stats.Events++
+	e.stats.Alerts += uint64(len(fired))
+	for _, a := range fired {
+		e.correlateLocked(a)
+	}
+	e.mu.Unlock()
+	if e.opts.OnAlert != nil {
+		for _, a := range fired {
+			e.opts.OnAlert(a)
+		}
+	}
+	return fired
+}
+
+// actorOf attributes an alert to a user, else a source IP, else the
+// kernel.
+func actorOf(a rules.Alert) string {
+	k := a.Trigger.Kind
+	if (k == trace.KindAuth || k == trace.KindHTTP || k == trace.KindConn) && a.Trigger.SrcIP != "" {
+		// Transport- and auth-layer alerts attribute to the source
+		// address: the username is the victim, not the actor.
+		return a.Trigger.SrcIP
+	}
+	switch {
+	case a.Trigger.User != "" && a.Trigger.User != "anonymous":
+		return a.Trigger.User
+	case a.Trigger.SrcIP != "":
+		return a.Trigger.SrcIP
+	case a.Trigger.KernelID != "":
+		return a.Trigger.KernelID
+	case a.Group != "":
+		return a.Group
+	default:
+		return "unknown"
+	}
+}
+
+func (e *Engine) correlateLocked(a rules.Alert) {
+	actor := actorOf(a)
+	key := actor + "|" + a.Class
+	inc := e.open[key]
+	if inc != nil && a.Time.Sub(inc.LastAlert) > e.opts.IncidentGap {
+		e.done = append(e.done, inc)
+		delete(e.open, key)
+		inc = nil
+	}
+	if inc == nil {
+		e.seq++
+		inc = &Incident{
+			ID:     fmt.Sprintf("INC-%04d", e.seq),
+			Actor:  actor,
+			Class:  a.Class,
+			Opened: a.Time,
+		}
+		e.open[key] = inc
+		e.stats.Incidents++
+	}
+	inc.Alerts = append(inc.Alerts, a)
+	inc.LastAlert = a.Time
+	if a.Severity.Rank() > inc.Severity.Rank() {
+		inc.Severity = a.Severity
+	}
+	if av, ok := oscrp.AvenueForClass(a.Class); ok {
+		inc.RiskScore = e.opts.Profile.RiskScore(av, len(inc.Alerts), inc.Severity.Rank())
+	}
+}
+
+// Alerts returns all alerts fired so far (signature engine first;
+// incident records carry anomaly alerts too).
+func (e *Engine) Alerts() []rules.Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []rules.Alert
+	for _, inc := range e.allIncidentsLocked() {
+		out = append(out, inc.Alerts...)
+	}
+	rules.SortAlerts(out)
+	return out
+}
+
+// Incidents returns all incidents, open and closed, ordered by id.
+func (e *Engine) Incidents() []*Incident {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := e.allIncidentsLocked()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (e *Engine) allIncidentsLocked() []*Incident {
+	out := make([]*Incident, 0, len(e.done)+len(e.open))
+	out = append(out, e.done...)
+	for _, inc := range e.open {
+		out = append(out, inc)
+	}
+	return out
+}
+
+// IncidentsByClass groups incidents by taxonomy class.
+func (e *Engine) IncidentsByClass() map[string][]*Incident {
+	m := map[string][]*Incident{}
+	for _, inc := range e.Incidents() {
+		m[inc.Class] = append(m[inc.Class], inc)
+	}
+	return m
+}
+
+// Stats returns engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// AddRule hot-loads a signature (the threat-intel path).
+func (e *Engine) AddRule(r *rules.Rule) error {
+	return e.sig.AddRule(r)
+}
+
+// RuleCount returns the number of loaded signatures.
+func (e *Engine) RuleCount() int { return e.sig.RuleCount() }
+
+// Report is a human-readable engine summary: per-class incident and
+// alert counts with risk scores — what jsentinel prints.
+type Report struct {
+	GeneratedAt time.Time
+	Stats       Stats
+	Classes     []ClassReport
+}
+
+// ClassReport summarizes one taxonomy class.
+type ClassReport struct {
+	Class     string
+	Incidents int
+	Alerts    int
+	TopRisk   float64
+	Severity  rules.Severity
+}
+
+// Report builds the summary.
+func (e *Engine) Report(now time.Time) Report {
+	rep := Report{GeneratedAt: now, Stats: e.Stats()}
+	byClass := e.IncidentsByClass()
+	classes := make([]string, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		cr := ClassReport{Class: c}
+		for _, inc := range byClass[c] {
+			cr.Incidents++
+			cr.Alerts += len(inc.Alerts)
+			if inc.RiskScore > cr.TopRisk {
+				cr.TopRisk = inc.RiskScore
+			}
+			if inc.Severity.Rank() > cr.Severity.Rank() {
+				cr.Severity = inc.Severity
+			}
+		}
+		rep.Classes = append(rep.Classes, cr)
+	}
+	return rep
+}
+
+// Render prints the report as aligned text.
+func (r Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Detection report @ %s\n", r.GeneratedAt.Format(time.RFC3339))
+	fmt.Fprintf(&b, "events=%d alerts=%d incidents=%d\n", r.Stats.Events, r.Stats.Alerts, r.Stats.Incidents)
+	fmt.Fprintf(&b, "%-28s %10s %8s %6s %10s\n", "CLASS", "INCIDENTS", "ALERTS", "RISK", "SEVERITY")
+	for _, c := range r.Classes {
+		fmt.Fprintf(&b, "%-28s %10d %8d %6.0f %10s\n", c.Class, c.Incidents, c.Alerts, c.TopRisk, c.Severity)
+	}
+	return b.String()
+}

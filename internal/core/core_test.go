@@ -1,0 +1,200 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/rules"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+var t0 = time.Date(2026, 6, 1, 9, 0, 0, 0, time.UTC)
+
+func TestDefaultEngineBuilds(t *testing.T) {
+	eng, err := NewEngine(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.RuleCount() < 15 {
+		t.Fatalf("rules = %d", eng.RuleCount())
+	}
+	_ = MustEngine() // must not panic
+}
+
+func TestAlertsFeedIncidents(t *testing.T) {
+	eng := MustEngine()
+	// Three ransomware-ish events by the same actor inside the gap.
+	for i := 0; i < 3; i++ {
+		eng.Process(trace.Event{
+			Time: t0.Add(time.Duration(i) * time.Second),
+			Kind: trace.KindExec, User: "mallory",
+			Code: "encrypt(read_file(f), k)", Success: true,
+		})
+	}
+	incs := eng.Incidents()
+	if len(incs) != 1 {
+		t.Fatalf("incidents = %d", len(incs))
+	}
+	inc := incs[0]
+	if inc.Actor != "mallory" || inc.Class != rules.ClassRansomware {
+		t.Fatalf("incident = %+v", inc)
+	}
+	if len(inc.Alerts) != 3 {
+		t.Fatalf("alerts in incident = %d", len(inc.Alerts))
+	}
+	if inc.RiskScore <= 0 {
+		t.Fatal("no risk score")
+	}
+}
+
+func TestIncidentGapSplits(t *testing.T) {
+	opts := DefaultOptions()
+	opts.IncidentGap = time.Minute
+	eng, _ := NewEngine(opts)
+	eng.Process(trace.Event{Time: t0, Kind: trace.KindExec, User: "m", Code: "encrypt(a,b)"})
+	eng.Process(trace.Event{Time: t0.Add(time.Hour), Kind: trace.KindExec, User: "m", Code: "encrypt(a,b)"})
+	if got := len(eng.Incidents()); got != 2 {
+		t.Fatalf("incidents = %d, want 2 (gap split)", got)
+	}
+}
+
+func TestSeparateActorsSeparateIncidents(t *testing.T) {
+	eng := MustEngine()
+	eng.Process(trace.Event{Time: t0, Kind: trace.KindExec, User: "m1", Code: "encrypt(a,b)"})
+	eng.Process(trace.Event{Time: t0, Kind: trace.KindExec, User: "m2", Code: "encrypt(a,b)"})
+	if got := len(eng.Incidents()); got != 2 {
+		t.Fatalf("incidents = %d", got)
+	}
+}
+
+func TestSeverityEscalation(t *testing.T) {
+	eng := MustEngine()
+	// RW-001 (high) then RW-002 (critical) for the same actor.
+	eng.Process(trace.Event{Time: t0, Kind: trace.KindExec, User: "m", Code: "encrypt(a,b)"})
+	eng.Process(trace.Event{
+		Time: t0.Add(time.Second), Kind: trace.KindFileOp, Op: "create",
+		User: "m", Target: "README_RANSOM.txt", Success: true,
+	})
+	incs := eng.Incidents()
+	if len(incs) != 1 || incs[0].Severity != rules.SevCritical {
+		t.Fatalf("incidents = %+v", incs)
+	}
+}
+
+func TestOnAlertHook(t *testing.T) {
+	opts := DefaultOptions()
+	var n int
+	opts.OnAlert = func(rules.Alert) { n++ }
+	eng, _ := NewEngine(opts)
+	eng.Emit(trace.Event{Time: t0, Kind: trace.KindExec, User: "m", Code: "encrypt(a,b)"})
+	if n == 0 {
+		t.Fatal("OnAlert not invoked")
+	}
+}
+
+func TestHotRuleLoad(t *testing.T) {
+	eng := MustEngine()
+	err := eng.AddRule(&rules.Rule{
+		ID: "INTEL-1", Class: rules.ClassZeroDay, Severity: rules.SevHigh,
+		Conditions: []rules.Condition{{Field: "code", Contains: "magic-payload-xyz"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alerts := eng.Process(trace.Event{Time: t0, Kind: trace.KindExec, User: "m", Code: "magic-payload-xyz"})
+	found := false
+	for _, a := range alerts {
+		if a.RuleID == "INTEL-1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("intel rule did not fire")
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	eng := MustEngine()
+	eng.Process(trace.Event{Time: t0, Kind: trace.KindExec, User: "m", Code: "encrypt(a,b)"})
+	rep := eng.Report(t0.Add(time.Minute))
+	if len(rep.Classes) != 1 || rep.Classes[0].Class != rules.ClassRansomware {
+		t.Fatalf("report = %+v", rep)
+	}
+	text := rep.Render()
+	if !strings.Contains(text, "ransomware") || !strings.Contains(text, "CLASS") {
+		t.Fatalf("render = %s", text)
+	}
+}
+
+// TestPrecisionRecallMatrix is experiment E14: the engine must detect
+// every attack class in the standard mixed trace while keeping benign
+// users clean enough for precision ≥ 0.8 overall.
+func TestPrecisionRecallMatrix(t *testing.T) {
+	tr := workload.StandardMix(7, 600)
+	eng := MustEngine()
+	for _, e := range tr.Events {
+		eng.Process(e)
+	}
+
+	detected := map[string]map[string]bool{}
+	for _, inc := range eng.Incidents() {
+		if detected[inc.Actor] == nil {
+			detected[inc.Actor] = map[string]bool{}
+		}
+		detected[inc.Actor][inc.Class] = true
+	}
+	truth := tr.MaliciousActors()
+	scores := metrics.Score(truth, detected)
+
+	t.Logf("trace: %d events, %d labels\n%s", len(tr.Events), len(tr.Labels),
+		metrics.RenderScores(scores))
+
+	// Recall: every injected attack class must be caught.
+	for class, c := range scores {
+		if c.Recall() < 1.0 {
+			t.Errorf("class %s recall = %.2f (missed attacks)", class, c.Recall())
+		}
+	}
+	// Precision: aggregate false positives bounded.
+	var tp, fp int
+	for _, c := range scores {
+		tp += c.TP
+		fp += c.FP
+	}
+	precision := float64(tp) / float64(tp+fp)
+	if precision < 0.8 {
+		t.Errorf("aggregate precision = %.2f (too many false positives)", precision)
+	}
+	// No benign user may be flagged for ransomware (the costliest FP).
+	for _, user := range []string{"alice", "bob", "carol", "dave"} {
+		if detected[user][rules.ClassRansomware] {
+			t.Errorf("benign user %s flagged for ransomware", user)
+		}
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	eng := MustEngine()
+	for i := 0; i < 10; i++ {
+		eng.Process(trace.Event{Time: t0.Add(time.Duration(i) * time.Second), Kind: trace.KindHTTP, Status: 200, Success: true})
+	}
+	st := eng.Stats()
+	if st.Events != 10 {
+		t.Fatalf("events = %d", st.Events)
+	}
+}
+
+func TestActorAttributionFallbacks(t *testing.T) {
+	eng := MustEngine()
+	// Alert with only source IP.
+	eng.Process(trace.Event{
+		Time: t0, Kind: trace.KindTermCmd, Code: "whoami", SrcIP: "203.0.113.5", Success: true,
+	})
+	incs := eng.Incidents()
+	if len(incs) != 1 || incs[0].Actor != "203.0.113.5" {
+		t.Fatalf("incidents = %+v", incs)
+	}
+}

@@ -1,0 +1,313 @@
+// Package cryptoaudit addresses the paper's forward-looking section:
+// Jupyter's cryptographic design "should be adapted to resist emerging
+// quantum threats." It provides (1) a crypto inventory of a deployment
+// with harvest-now-decrypt-later exposure analysis, and (2) a
+// hash-based Lamport one-time signature scheme over SHA-256 — secure
+// against quantum adversaries — used to checkpoint the kernel audit
+// log so signatures on past records cannot be spoofed even by a
+// future quantum attacker.
+package cryptoaudit
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/rules"
+	"repro/internal/server"
+)
+
+// Primitive is one cryptographic mechanism in use.
+type Primitive struct {
+	Name      string `json:"name"`
+	Use       string `json:"use"`
+	Classical string `json:"classical_security"`
+	Quantum   string `json:"quantum_security"`
+	// HarvestNowDecryptLater marks mechanisms whose recorded traffic
+	// becomes readable once a quantum computer exists.
+	HarvestNowDecryptLater bool `json:"harvest_now_decrypt_later"`
+	// SpoofableSignature marks signature mechanisms a quantum
+	// adversary could forge going forward.
+	SpoofableSignature bool `json:"spoofable_signature"`
+}
+
+// Inventory lists the crypto posture of a deployment.
+type Inventory struct {
+	Primitives []Primitive      `json:"primitives"`
+	Findings   []rules.Severity `json:"-"`
+}
+
+// Audit inventories the crypto mechanisms implied by a server config,
+// mirroring the paper's two immediate quantum threats.
+func Audit(cfg server.Config) Inventory {
+	inv := Inventory{}
+	if cfg.ConnectionKey != "" {
+		inv.Primitives = append(inv.Primitives, Primitive{
+			Name: "HMAC-SHA256", Use: "kernel message signing",
+			Classical: "128-bit", Quantum: "~128-bit (Grover halves to 128 of 256)",
+			// Symmetric MACs survive quantum adversaries at halved
+			// margin; not spoofable, not harvestable.
+		})
+	} else {
+		inv.Primitives = append(inv.Primitives, Primitive{
+			Name: "none", Use: "kernel message signing (disabled)",
+			Classical: "0-bit", Quantum: "0-bit", SpoofableSignature: true,
+		})
+	}
+	if cfg.TLSEnabled {
+		inv.Primitives = append(inv.Primitives, Primitive{
+			Name: "TLS 1.3 (X25519 key exchange)", Use: "transport encryption",
+			Classical: "128-bit", Quantum: "broken by Shor",
+			HarvestNowDecryptLater: true,
+		})
+		inv.Primitives = append(inv.Primitives, Primitive{
+			Name: "ECDSA P-256", Use: "server certificate",
+			Classical: "128-bit", Quantum: "broken by Shor",
+			SpoofableSignature: true,
+		})
+	} else {
+		inv.Primitives = append(inv.Primitives, Primitive{
+			Name: "plaintext", Use: "transport",
+			Classical: "0-bit", Quantum: "0-bit",
+			HarvestNowDecryptLater: true,
+		})
+	}
+	inv.Primitives = append(inv.Primitives, Primitive{
+		Name: "salted iterated SHA-256", Use: "password storage",
+		Classical: "preimage-bound", Quantum: "Grover-degraded, still impractical",
+	})
+	return inv
+}
+
+// HarvestExposed returns the primitives whose traffic is exposed to
+// harvest-now-decrypt-later.
+func (inv Inventory) HarvestExposed() []Primitive {
+	var out []Primitive
+	for _, p := range inv.Primitives {
+		if p.HarvestNowDecryptLater {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Spoofable returns the signature primitives a quantum adversary could
+// forge.
+func (inv Inventory) Spoofable() []Primitive {
+	var out []Primitive
+	for _, p := range inv.Primitives {
+		if p.SpoofableSignature {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Render prints the inventory.
+func (inv Inventory) Render() string {
+	var b strings.Builder
+	b.WriteString("Cryptographic inventory (quantum-threat audit)\n")
+	for _, p := range inv.Primitives {
+		flags := ""
+		if p.HarvestNowDecryptLater {
+			flags += " [HARVEST-NOW-DECRYPT-LATER]"
+		}
+		if p.SpoofableSignature {
+			flags += " [QUANTUM-SPOOFABLE]"
+		}
+		fmt.Fprintf(&b, "  %-32s %-28s classical=%s quantum=%s%s\n",
+			p.Name, p.Use, p.Classical, p.Quantum, flags)
+	}
+	return b.String()
+}
+
+// ---- Lamport one-time signatures ----
+//
+// Classic Lamport OTS over SHA-256: the private key is 2x256 random
+// 32-byte values; the public key is their hashes; a signature reveals
+// one preimage per message-hash bit. Security rests only on hash
+// preimage resistance, which Grover degrades but does not break —
+// hence "post-quantum". Each key signs exactly ONE message.
+
+// Sizes of the Lamport scheme.
+const (
+	hashBytes = sha256.Size   // 32
+	numPairs  = hashBytes * 8 // 256 bit positions
+	KeyBytes  = numPairs * 2 * hashBytes
+	SigBytes  = numPairs * hashBytes
+)
+
+// Errors.
+var (
+	ErrKeyUsed      = errors.New("cryptoaudit: one-time key already used")
+	ErrBadSignature = errors.New("cryptoaudit: signature verification failed")
+	ErrKeyExhausted = errors.New("cryptoaudit: key chain exhausted")
+)
+
+// LamportKey is a one-time signing key.
+type LamportKey struct {
+	private [numPairs][2][hashBytes]byte
+	public  [numPairs][2][hashBytes]byte
+	used    bool
+}
+
+// PublicKey is the verification half.
+type PublicKey struct {
+	pairs [numPairs][2][hashBytes]byte
+}
+
+// Signature is a Lamport signature.
+type Signature struct {
+	preimages [numPairs][hashBytes]byte
+}
+
+// GenerateKey creates a fresh one-time key from crypto/rand.
+func GenerateKey() (*LamportKey, error) {
+	k := &LamportKey{}
+	var buf [KeyBytes]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return nil, fmt.Errorf("cryptoaudit: rand: %w", err)
+	}
+	off := 0
+	for i := 0; i < numPairs; i++ {
+		for b := 0; b < 2; b++ {
+			copy(k.private[i][b][:], buf[off:off+hashBytes])
+			k.public[i][b] = sha256.Sum256(k.private[i][b][:])
+			off += hashBytes
+		}
+	}
+	return k, nil
+}
+
+// Public returns the verification key.
+func (k *LamportKey) Public() PublicKey {
+	return PublicKey{pairs: k.public}
+}
+
+// Sign signs the message (hashed internally). A key signs once.
+func (k *LamportKey) Sign(message []byte) (*Signature, error) {
+	if k.used {
+		return nil, ErrKeyUsed
+	}
+	k.used = true
+	digest := sha256.Sum256(message)
+	var sig Signature
+	for i := 0; i < numPairs; i++ {
+		bit := (digest[i/8] >> (7 - uint(i%8))) & 1
+		sig.preimages[i] = k.private[i][bit]
+	}
+	return &sig, nil
+}
+
+// Verify checks the signature against the public key.
+func (pk PublicKey) Verify(message []byte, sig *Signature) bool {
+	digest := sha256.Sum256(message)
+	for i := 0; i < numPairs; i++ {
+		bit := (digest[i/8] >> (7 - uint(i%8))) & 1
+		h := sha256.Sum256(sig.preimages[i][:])
+		if !bytes.Equal(h[:], pk.pairs[i][bit][:]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Fingerprint returns a short hex id of the public key.
+func (pk PublicKey) Fingerprint() string {
+	h := sha256.New()
+	for i := 0; i < numPairs; i++ {
+		h.Write(pk.pairs[i][0][:])
+		h.Write(pk.pairs[i][1][:])
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}
+
+// ---- Checkpoint chain ----
+
+// Checkpoint is a signed audit-log head.
+type Checkpoint struct {
+	Seq     int
+	Head    string // audit log chain hash
+	KeyID   string
+	Sig     *Signature
+	NextKey PublicKey // pre-committed key for the next checkpoint
+}
+
+// CheckpointChain signs a sequence of audit-log heads, pre-committing
+// each next public key inside the signed payload (a simple forward-
+// secure chain: forging checkpoint N requires breaking the hash, not
+// stealing future keys).
+type CheckpointChain struct {
+	keys        []*LamportKey
+	next        int
+	checkpoints []Checkpoint
+}
+
+// NewCheckpointChain pre-generates n one-time keys.
+func NewCheckpointChain(n int) (*CheckpointChain, error) {
+	c := &CheckpointChain{}
+	for i := 0; i < n; i++ {
+		k, err := GenerateKey()
+		if err != nil {
+			return nil, err
+		}
+		c.keys = append(c.keys, k)
+	}
+	return c, nil
+}
+
+// payload binds the head to the next key commitment.
+func checkpointPayload(seq int, head string, next PublicKey) []byte {
+	return []byte(fmt.Sprintf("ckpt:%d:%s:%s", seq, head, next.Fingerprint()))
+}
+
+// Checkpoint signs an audit-log head with the next unused key.
+func (c *CheckpointChain) Checkpoint(head string) (Checkpoint, error) {
+	if c.next+1 >= len(c.keys) {
+		return Checkpoint{}, ErrKeyExhausted
+	}
+	key := c.keys[c.next]
+	nextPub := c.keys[c.next+1].Public()
+	seq := len(c.checkpoints) + 1
+	sig, err := key.Sign(checkpointPayload(seq, head, nextPub))
+	if err != nil {
+		return Checkpoint{}, err
+	}
+	ck := Checkpoint{
+		Seq: seq, Head: head, KeyID: key.Public().Fingerprint(),
+		Sig: sig, NextKey: nextPub,
+	}
+	c.checkpoints = append(c.checkpoints, ck)
+	c.next++
+	return ck, nil
+}
+
+// Root returns the first public key — the trust anchor a verifier
+// pins.
+func (c *CheckpointChain) Root() PublicKey { return c.keys[0].Public() }
+
+// Checkpoints returns all issued checkpoints.
+func (c *CheckpointChain) Checkpoints() []Checkpoint {
+	out := make([]Checkpoint, len(c.checkpoints))
+	copy(out, c.checkpoints)
+	return out
+}
+
+// VerifyChain validates a checkpoint sequence from the pinned root.
+func VerifyChain(root PublicKey, cks []Checkpoint) error {
+	pub := root
+	for i, ck := range cks {
+		if ck.Seq != i+1 {
+			return fmt.Errorf("cryptoaudit: checkpoint %d out of order", ck.Seq)
+		}
+		if !pub.Verify(checkpointPayload(ck.Seq, ck.Head, ck.NextKey), ck.Sig) {
+			return fmt.Errorf("%w: checkpoint %d", ErrBadSignature, ck.Seq)
+		}
+		pub = ck.NextKey
+	}
+	return nil
+}

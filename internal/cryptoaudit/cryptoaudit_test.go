@@ -1,0 +1,165 @@
+package cryptoaudit
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+func TestAuditHardened(t *testing.T) {
+	inv := Audit(server.HardenedConfig("tok"))
+	if len(inv.Primitives) < 3 {
+		t.Fatalf("primitives = %d", len(inv.Primitives))
+	}
+	// Even a hardened classical deployment is harvest-exposed (TLS
+	// key exchange) and signature-spoofable (certificate) — the
+	// paper's two quantum threats.
+	if len(inv.HarvestExposed()) == 0 {
+		t.Fatal("no harvest-now-decrypt-later exposure found")
+	}
+	if len(inv.Spoofable()) == 0 {
+		t.Fatal("no spoofable signatures found")
+	}
+}
+
+func TestAuditSloppy(t *testing.T) {
+	inv := Audit(server.SloppyConfig())
+	// Plaintext transport + no kernel signing.
+	var hasPlaintext, hasNoSigning bool
+	for _, p := range inv.Primitives {
+		if p.Name == "plaintext" {
+			hasPlaintext = true
+		}
+		if strings.Contains(p.Use, "disabled") {
+			hasNoSigning = true
+		}
+	}
+	if !hasPlaintext || !hasNoSigning {
+		t.Fatalf("inventory = %+v", inv.Primitives)
+	}
+}
+
+func TestInventoryRender(t *testing.T) {
+	text := Audit(server.HardenedConfig("tok")).Render()
+	for _, want := range []string{"HMAC-SHA256", "HARVEST-NOW-DECRYPT-LATER", "QUANTUM-SPOOFABLE"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestLamportSignVerify(t *testing.T) {
+	key, err := GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("audit log head: abc123")
+	sig, err := key.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !key.Public().Verify(msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+}
+
+func TestLamportRejectsForgery(t *testing.T) {
+	key, _ := GenerateKey()
+	msg := []byte("message one")
+	sig, _ := key.Sign(msg)
+	if key.Public().Verify([]byte("message two"), sig) {
+		t.Fatal("signature valid for different message")
+	}
+	// Corrupt one preimage.
+	sig.preimages[17][0] ^= 0xFF
+	if key.Public().Verify(msg, sig) {
+		t.Fatal("corrupted signature accepted")
+	}
+}
+
+func TestLamportOneTimeEnforced(t *testing.T) {
+	key, _ := GenerateKey()
+	if _, err := key.Sign([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := key.Sign([]byte("second")); !errors.Is(err, ErrKeyUsed) {
+		t.Fatalf("second sign: %v", err)
+	}
+}
+
+func TestLamportCrossKeyRejection(t *testing.T) {
+	k1, _ := GenerateKey()
+	k2, _ := GenerateKey()
+	msg := []byte("m")
+	sig, _ := k1.Sign(msg)
+	if k2.Public().Verify(msg, sig) {
+		t.Fatal("signature verified under wrong key")
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	k, _ := GenerateKey()
+	if k.Public().Fingerprint() != k.Public().Fingerprint() {
+		t.Fatal("fingerprint unstable")
+	}
+	k2, _ := GenerateKey()
+	if k.Public().Fingerprint() == k2.Public().Fingerprint() {
+		t.Fatal("fingerprint collision")
+	}
+}
+
+func TestCheckpointChain(t *testing.T) {
+	chain, err := NewCheckpointChain(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heads := []string{"head-1", "head-2", "head-3"}
+	for _, h := range heads {
+		if _, err := chain.Checkpoint(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cks := chain.Checkpoints()
+	if len(cks) != 3 {
+		t.Fatalf("checkpoints = %d", len(cks))
+	}
+	if err := VerifyChain(chain.Root(), cks); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointChainDetectsTamper(t *testing.T) {
+	chain, _ := NewCheckpointChain(4)
+	_, _ = chain.Checkpoint("head-1")
+	_, _ = chain.Checkpoint("head-2")
+	cks := chain.Checkpoints()
+	cks[1].Head = "forged-head"
+	if err := VerifyChain(chain.Root(), cks); err == nil {
+		t.Fatal("forged checkpoint accepted")
+	}
+}
+
+func TestCheckpointChainDetectsReorder(t *testing.T) {
+	chain, _ := NewCheckpointChain(4)
+	_, _ = chain.Checkpoint("h1")
+	_, _ = chain.Checkpoint("h2")
+	cks := chain.Checkpoints()
+	cks[0], cks[1] = cks[1], cks[0]
+	if err := VerifyChain(chain.Root(), cks); err == nil {
+		t.Fatal("reordered chain accepted")
+	}
+}
+
+func TestCheckpointChainExhaustion(t *testing.T) {
+	chain, _ := NewCheckpointChain(2)
+	if _, err := chain.Checkpoint("h1"); err != nil {
+		t.Fatal(err)
+	}
+	// Key 2 is reserved as the committed next key; a second checkpoint
+	// would need key 3.
+	if _, err := chain.Checkpoint("h2"); !errors.Is(err, ErrKeyExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+}

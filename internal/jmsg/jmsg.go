@@ -1,0 +1,522 @@
+// Package jmsg implements the Jupyter kernel messaging protocol: the
+// message model (header, parent header, metadata, content, buffers),
+// the ZMQ-style wire format with the <IDS|MSG> delimiter, and
+// HMAC-SHA256 message signing as specified by jupyter-client's
+// messaging documentation.
+//
+// The protocol is the paper's Fig. 2: every interaction between a
+// Jupyter front end and a kernel — executing a cell, streaming stdout,
+// kernel status — is one of these messages on one of five channels
+// (shell, iopub, control, stdin, hb). The HMAC signature is the sole
+// integrity mechanism; a leaked or weak connection key lets an
+// attacker forge execute_requests.
+package jmsg
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Channel identifies one of the kernel communication channels.
+type Channel string
+
+// The five channels of the Jupyter protocol.
+const (
+	ChannelShell   Channel = "shell"   // request/reply: execution, introspection
+	ChannelIOPub   Channel = "iopub"   // broadcast: streams, status, results
+	ChannelControl Channel = "control" // priority: interrupt, shutdown
+	ChannelStdin   Channel = "stdin"   // kernel-initiated input requests
+	ChannelHB      Channel = "hb"      // heartbeat echo
+)
+
+// Channels lists all channels in protocol order.
+func Channels() []Channel {
+	return []Channel{ChannelShell, ChannelIOPub, ChannelControl, ChannelStdin, ChannelHB}
+}
+
+// Valid reports whether c is a known channel.
+func (c Channel) Valid() bool {
+	switch c {
+	case ChannelShell, ChannelIOPub, ChannelControl, ChannelStdin, ChannelHB:
+		return true
+	}
+	return false
+}
+
+// Well-known message types.
+const (
+	TypeExecuteRequest   = "execute_request"
+	TypeExecuteReply     = "execute_reply"
+	TypeExecuteInput     = "execute_input"
+	TypeExecuteResult    = "execute_result"
+	TypeStream           = "stream"
+	TypeStatus           = "status"
+	TypeError            = "error"
+	TypeKernelInfoReq    = "kernel_info_request"
+	TypeKernelInfoReply  = "kernel_info_reply"
+	TypeInterruptRequest = "interrupt_request"
+	TypeInterruptReply   = "interrupt_reply"
+	TypeShutdownRequest  = "shutdown_request"
+	TypeShutdownReply    = "shutdown_reply"
+	TypeInputRequest     = "input_request"
+	TypeInputReply       = "input_reply"
+	TypeCommOpen         = "comm_open"
+	TypeCommMsg          = "comm_msg"
+	TypeCommClose        = "comm_close"
+	TypeInspectRequest   = "inspect_request"
+	TypeInspectReply     = "inspect_reply"
+	TypeCompleteRequest  = "complete_request"
+	TypeCompleteReply    = "complete_reply"
+)
+
+// ChannelFor returns the canonical channel a request message type
+// travels on, and whether the type is known.
+func ChannelFor(msgType string) (Channel, bool) {
+	switch msgType {
+	case TypeExecuteRequest, TypeExecuteReply, TypeKernelInfoReq, TypeKernelInfoReply,
+		TypeInspectRequest, TypeInspectReply, TypeCompleteRequest, TypeCompleteReply,
+		TypeCommOpen, TypeCommMsg, TypeCommClose:
+		return ChannelShell, true
+	case TypeExecuteInput, TypeExecuteResult, TypeStream, TypeStatus, TypeError:
+		return ChannelIOPub, true
+	case TypeInterruptRequest, TypeInterruptReply, TypeShutdownRequest, TypeShutdownReply:
+		return ChannelControl, true
+	case TypeInputRequest, TypeInputReply:
+		return ChannelStdin, true
+	}
+	return "", false
+}
+
+// ProtocolVersion is the messaging protocol version we emit.
+const ProtocolVersion = "5.4"
+
+// Header is the common message header.
+type Header struct {
+	MsgID    string `json:"msg_id"`
+	Session  string `json:"session"`
+	Username string `json:"username"`
+	Date     string `json:"date"` // ISO 8601
+	MsgType  string `json:"msg_type"`
+	Version  string `json:"version"`
+}
+
+// Message is one protocol message. Content is kept as raw JSON at the
+// transport layer; typed accessors decode it.
+type Message struct {
+	Identities   [][]byte        `json:"-"`
+	Header       Header          `json:"header"`
+	ParentHeader Header          `json:"parent_header"`
+	Metadata     json.RawMessage `json:"metadata"`
+	Content      json.RawMessage `json:"content"`
+	Buffers      [][]byte        `json:"-"`
+	Channel      Channel         `json:"channel,omitempty"`
+}
+
+// New constructs a message of the given type with marshaled content.
+// The msg_id must be unique per session; callers supply it so tests
+// stay deterministic.
+func New(msgType, msgID, session, username string, now time.Time, content any) (*Message, error) {
+	raw, err := json.Marshal(content)
+	if err != nil {
+		return nil, fmt.Errorf("jmsg: marshal content: %w", err)
+	}
+	return &Message{
+		Header: Header{
+			MsgID:    msgID,
+			Session:  session,
+			Username: username,
+			Date:     now.UTC().Format(time.RFC3339Nano),
+			MsgType:  msgType,
+			Version:  ProtocolVersion,
+		},
+		Metadata: json.RawMessage("{}"),
+		Content:  raw,
+	}, nil
+}
+
+// Reply constructs a reply to parent with the given type and content,
+// inheriting session and username and recording the parent header.
+func Reply(parent *Message, msgType, msgID string, now time.Time, content any) (*Message, error) {
+	m, err := New(msgType, msgID, parent.Header.Session, parent.Header.Username, now, content)
+	if err != nil {
+		return nil, err
+	}
+	m.ParentHeader = parent.Header
+	m.Identities = parent.Identities
+	return m, nil
+}
+
+// DecodeContent unmarshals the message content into v.
+func (m *Message) DecodeContent(v any) error {
+	if len(m.Content) == 0 {
+		return errors.New("jmsg: empty content")
+	}
+	return json.Unmarshal(m.Content, v)
+}
+
+// ExecuteRequest is the content of an execute_request message.
+type ExecuteRequest struct {
+	Code         string         `json:"code"`
+	Silent       bool           `json:"silent"`
+	StoreHistory bool           `json:"store_history"`
+	UserExprs    map[string]any `json:"user_expressions,omitempty"`
+	AllowStdin   bool           `json:"allow_stdin"`
+	StopOnError  bool           `json:"stop_on_error"`
+}
+
+// ExecuteReply is the content of an execute_reply message.
+type ExecuteReply struct {
+	Status         string   `json:"status"` // "ok" | "error" | "aborted"
+	ExecutionCount int      `json:"execution_count"`
+	EName          string   `json:"ename,omitempty"`
+	EValue         string   `json:"evalue,omitempty"`
+	Traceback      []string `json:"traceback,omitempty"`
+}
+
+// StreamContent is the content of a stream message.
+type StreamContent struct {
+	Name string `json:"name"` // "stdout" | "stderr"
+	Text string `json:"text"`
+}
+
+// StatusContent is the content of a status message.
+type StatusContent struct {
+	ExecutionState string `json:"execution_state"` // "busy" | "idle" | "starting"
+}
+
+// ErrorContent is the content of an error message.
+type ErrorContent struct {
+	EName     string   `json:"ename"`
+	EValue    string   `json:"evalue"`
+	Traceback []string `json:"traceback"`
+}
+
+// KernelInfoReply is the content of a kernel_info_reply.
+type KernelInfoReply struct {
+	Status                string `json:"status"`
+	ProtocolVersion       string `json:"protocol_version"`
+	Implementation        string `json:"implementation"`
+	ImplementationVersion string `json:"implementation_version"`
+	Banner                string `json:"banner"`
+	LanguageInfo          struct {
+		Name          string `json:"name"`
+		Version       string `json:"version"`
+		FileExtension string `json:"file_extension"`
+	} `json:"language_info"`
+}
+
+// ---- Wire format ----
+//
+// The ZMQ wire format is a list of frames:
+//
+//	[identities...] <IDS|MSG> signature header parent_header metadata content [buffers...]
+//
+// The signature is hex HMAC-SHA256 over the four JSON frames. We frame
+// the whole list for byte-stream transports with a simple
+// length-prefixed encoding (uint32 frame count, then per frame uint32
+// length + bytes), which stands in for ZMQ's own framing.
+
+// Delimiter separates routing identities from message frames.
+var Delimiter = []byte("<IDS|MSG>")
+
+// Wire errors.
+var (
+	ErrNoDelimiter  = errors.New("jmsg: missing <IDS|MSG> delimiter")
+	ErrShortMessage = errors.New("jmsg: too few frames after delimiter")
+	ErrBadSignature = errors.New("jmsg: HMAC signature mismatch")
+	ErrFrameTooBig  = errors.New("jmsg: frame exceeds limit")
+)
+
+// MaxFrameSize bounds a single frame during decoding (16 MiB), a
+// defensive limit against memory-exhaustion payloads.
+const MaxFrameSize = 16 << 20
+
+// Signer signs and verifies messages with a shared connection key.
+// An empty key disables signing (signature frame is empty) — exactly
+// the misconfiguration the paper's taxonomy flags, and something the
+// misconfig scanner detects.
+type Signer struct {
+	key []byte
+}
+
+// NewSigner returns a signer for the given connection key.
+func NewSigner(key []byte) *Signer {
+	return &Signer{key: append([]byte(nil), key...)}
+}
+
+// Keyless reports whether signing is disabled.
+func (s *Signer) Keyless() bool { return len(s.key) == 0 }
+
+// Sign computes the hex HMAC-SHA256 signature over the four message
+// frames. Returns "" when signing is disabled.
+func (s *Signer) Sign(header, parent, metadata, content []byte) string {
+	if s.Keyless() {
+		return ""
+	}
+	mac := hmac.New(sha256.New, s.key)
+	mac.Write(header)
+	mac.Write(parent)
+	mac.Write(metadata)
+	mac.Write(content)
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// Verify checks a signature against the four message frames using a
+// constant-time comparison.
+func (s *Signer) Verify(sig string, header, parent, metadata, content []byte) bool {
+	if s.Keyless() {
+		return sig == ""
+	}
+	want := s.Sign(header, parent, metadata, content)
+	return hmac.Equal([]byte(sig), []byte(want))
+}
+
+// Frames serializes the message to its ZMQ frame list, signing with s.
+func (m *Message) Frames(s *Signer) ([][]byte, error) {
+	header, err := json.Marshal(m.Header)
+	if err != nil {
+		return nil, fmt.Errorf("jmsg: marshal header: %w", err)
+	}
+	parent, err := json.Marshal(m.ParentHeader)
+	if err != nil {
+		return nil, fmt.Errorf("jmsg: marshal parent: %w", err)
+	}
+	metadata := m.Metadata
+	if len(metadata) == 0 {
+		metadata = json.RawMessage("{}")
+	}
+	content := m.Content
+	if len(content) == 0 {
+		content = json.RawMessage("{}")
+	}
+	sig := s.Sign(header, parent, metadata, content)
+	frames := make([][]byte, 0, len(m.Identities)+6+len(m.Buffers))
+	frames = append(frames, m.Identities...)
+	frames = append(frames, Delimiter, []byte(sig), header, parent, metadata, content)
+	frames = append(frames, m.Buffers...)
+	return frames, nil
+}
+
+// FromFrames parses a ZMQ frame list into a Message, verifying the
+// signature with s. The returned message shares frame backing arrays.
+func FromFrames(frames [][]byte, s *Signer) (*Message, error) {
+	di := -1
+	for i, f := range frames {
+		if bytes.Equal(f, Delimiter) {
+			di = i
+			break
+		}
+	}
+	if di < 0 {
+		return nil, ErrNoDelimiter
+	}
+	rest := frames[di+1:]
+	if len(rest) < 5 {
+		return nil, ErrShortMessage
+	}
+	sig, header, parent, metadata, content := rest[0], rest[1], rest[2], rest[3], rest[4]
+	if !s.Verify(string(sig), header, parent, metadata, content) {
+		return nil, ErrBadSignature
+	}
+	var m Message
+	m.Identities = frames[:di]
+	if err := json.Unmarshal(header, &m.Header); err != nil {
+		return nil, fmt.Errorf("jmsg: header: %w", err)
+	}
+	if len(parent) > 0 && !bytes.Equal(parent, []byte("{}")) {
+		if err := json.Unmarshal(parent, &m.ParentHeader); err != nil {
+			return nil, fmt.Errorf("jmsg: parent header: %w", err)
+		}
+	}
+	m.Metadata = append(json.RawMessage(nil), metadata...)
+	m.Content = append(json.RawMessage(nil), content...)
+	m.Buffers = rest[5:]
+	return &m, nil
+}
+
+// EncodeFrames writes the frame list with length-prefixed framing:
+// uint32 count, then per-frame uint32 length + payload, big-endian.
+func EncodeFrames(frames [][]byte) []byte {
+	n := 4
+	for _, f := range frames {
+		n += 4 + len(f)
+	}
+	out := make([]byte, 0, n)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frames)))
+	out = append(out, hdr[:]...)
+	for _, f := range frames {
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(f)))
+		out = append(out, hdr[:]...)
+		out = append(out, f...)
+	}
+	return out
+}
+
+// DecodeFrames parses length-prefixed framing produced by EncodeFrames.
+func DecodeFrames(data []byte) ([][]byte, error) {
+	if len(data) < 4 {
+		return nil, errors.New("jmsg: short frame header")
+	}
+	count := binary.BigEndian.Uint32(data)
+	data = data[4:]
+	if count > 1<<16 {
+		return nil, fmt.Errorf("jmsg: implausible frame count %d", count)
+	}
+	frames := make([][]byte, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(data) < 4 {
+			return nil, errors.New("jmsg: truncated frame length")
+		}
+		l := binary.BigEndian.Uint32(data)
+		data = data[4:]
+		if l > MaxFrameSize {
+			return nil, ErrFrameTooBig
+		}
+		if uint32(len(data)) < l {
+			return nil, errors.New("jmsg: truncated frame payload")
+		}
+		frames = append(frames, data[:l])
+		data = data[l:]
+	}
+	if len(data) != 0 {
+		return nil, errors.New("jmsg: trailing bytes after frames")
+	}
+	return frames, nil
+}
+
+// Marshal serializes and signs the message in one step.
+func (m *Message) Marshal(s *Signer) ([]byte, error) {
+	frames, err := m.Frames(s)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeFrames(frames), nil
+}
+
+// Unmarshal parses and verifies a message encoded by Marshal.
+func Unmarshal(data []byte, s *Signer) (*Message, error) {
+	frames, err := DecodeFrames(data)
+	if err != nil {
+		return nil, err
+	}
+	return FromFrames(frames, s)
+}
+
+// ---- WebSocket JSON representation ----
+//
+// Browsers talk to the Jupyter server over a single WebSocket carrying
+// all channels; messages are JSON objects with a "channel" field. The
+// HMAC does not cross this hop — the paper's observability argument:
+// on-path network monitors see WebSocket/JSON, not signed ZMQ frames.
+
+// wsEnvelope mirrors the browser-facing JSON message shape.
+type wsEnvelope struct {
+	Header       Header          `json:"header"`
+	ParentHeader json.RawMessage `json:"parent_header"`
+	Metadata     json.RawMessage `json:"metadata"`
+	Content      json.RawMessage `json:"content"`
+	Channel      Channel         `json:"channel"`
+	BufferPaths  []any           `json:"buffer_paths,omitempty"`
+}
+
+// MarshalWS encodes the message in the browser-facing JSON form.
+func (m *Message) MarshalWS() ([]byte, error) {
+	parent := json.RawMessage("{}")
+	if m.ParentHeader.MsgID != "" {
+		b, err := json.Marshal(m.ParentHeader)
+		if err != nil {
+			return nil, err
+		}
+		parent = b
+	}
+	metadata := m.Metadata
+	if len(metadata) == 0 {
+		metadata = json.RawMessage("{}")
+	}
+	content := m.Content
+	if len(content) == 0 {
+		content = json.RawMessage("{}")
+	}
+	return json.Marshal(wsEnvelope{
+		Header: m.Header, ParentHeader: parent,
+		Metadata: metadata, Content: content, Channel: m.Channel,
+	})
+}
+
+// UnmarshalWS decodes a browser-facing JSON message.
+func UnmarshalWS(data []byte) (*Message, error) {
+	var env wsEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("jmsg: ws decode: %w", err)
+	}
+	m := &Message{
+		Header:   env.Header,
+		Metadata: env.Metadata,
+		Content:  env.Content,
+		Channel:  env.Channel,
+	}
+	if len(env.ParentHeader) > 0 && !bytes.Equal(env.ParentHeader, []byte("{}")) &&
+		!bytes.Equal(env.ParentHeader, []byte("null")) {
+		if err := json.Unmarshal(env.ParentHeader, &m.ParentHeader); err != nil {
+			return nil, fmt.Errorf("jmsg: ws parent header: %w", err)
+		}
+	}
+	return m, nil
+}
+
+// ConnectionInfo mirrors a kernel connection file: the ports, key, and
+// transport a client needs to attach to a kernel. Leaking this file is
+// a direct kernel-takeover primitive.
+type ConnectionInfo struct {
+	Transport       string `json:"transport"`
+	IP              string `json:"ip"`
+	ShellPort       int    `json:"shell_port"`
+	IOPubPort       int    `json:"iopub_port"`
+	ControlPort     int    `json:"control_port"`
+	StdinPort       int    `json:"stdin_port"`
+	HBPort          int    `json:"hb_port"`
+	Key             string `json:"key"`
+	SignatureScheme string `json:"signature_scheme"`
+}
+
+// NewConnectionInfo returns connection info with sequential ports
+// starting at base and the given key.
+func NewConnectionInfo(ip string, base int, key string) ConnectionInfo {
+	return ConnectionInfo{
+		Transport:       "tcp",
+		IP:              ip,
+		ShellPort:       base,
+		IOPubPort:       base + 1,
+		ControlPort:     base + 2,
+		StdinPort:       base + 3,
+		HBPort:          base + 4,
+		Key:             key,
+		SignatureScheme: "hmac-sha256",
+	}
+}
+
+// Validate checks the connection info for structural sanity and
+// returns a list of security findings (weak/no key, wildcard bind).
+func (ci ConnectionInfo) Validate() []string {
+	var findings []string
+	if ci.Key == "" {
+		findings = append(findings, "empty connection key: message signing disabled")
+	} else if len(ci.Key) < 16 {
+		findings = append(findings, "short connection key: brute-forceable HMAC key")
+	}
+	if ci.IP == "0.0.0.0" || ci.IP == "::" {
+		findings = append(findings, "kernel ports bound to all interfaces")
+	}
+	if ci.SignatureScheme != "hmac-sha256" && ci.SignatureScheme != "" {
+		findings = append(findings, "non-standard signature scheme: "+ci.SignatureScheme)
+	}
+	return findings
+}

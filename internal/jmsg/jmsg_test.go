@@ -1,0 +1,290 @@
+package jmsg
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2026, 6, 1, 12, 0, 0, 0, time.UTC)
+
+func mustNew(t *testing.T, msgType string, content any) *Message {
+	t.Helper()
+	m, err := New(msgType, "msg-1", "sess-1", "alice", t0, content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestChannels(t *testing.T) {
+	if len(Channels()) != 5 {
+		t.Fatalf("channels = %v", Channels())
+	}
+	for _, c := range Channels() {
+		if !c.Valid() {
+			t.Errorf("channel %s invalid", c)
+		}
+	}
+	if Channel("bogus").Valid() {
+		t.Fatal("bogus channel valid")
+	}
+}
+
+func TestChannelFor(t *testing.T) {
+	cases := map[string]Channel{
+		TypeExecuteRequest:   ChannelShell,
+		TypeStream:           ChannelIOPub,
+		TypeStatus:           ChannelIOPub,
+		TypeShutdownRequest:  ChannelControl,
+		TypeInputRequest:     ChannelStdin,
+		TypeKernelInfoReply:  ChannelShell,
+		TypeInterruptRequest: ChannelControl,
+	}
+	for mt, want := range cases {
+		got, ok := ChannelFor(mt)
+		if !ok || got != want {
+			t.Errorf("ChannelFor(%s) = %s,%v want %s", mt, got, ok, want)
+		}
+	}
+	if _, ok := ChannelFor("martian"); ok {
+		t.Fatal("unknown type resolved")
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	signer := NewSigner([]byte("connection-key"))
+	m := mustNew(t, TypeExecuteRequest, ExecuteRequest{Code: "print(1)", StoreHistory: true})
+	m.Identities = [][]byte{[]byte("client-7")}
+	m.Buffers = [][]byte{{0xde, 0xad}}
+	data, err := m.Marshal(signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Header.MsgType != TypeExecuteRequest || back.Header.Session != "sess-1" {
+		t.Fatalf("header = %+v", back.Header)
+	}
+	var req ExecuteRequest
+	if err := back.DecodeContent(&req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Code != "print(1)" || !req.StoreHistory {
+		t.Fatalf("content = %+v", req)
+	}
+	if len(back.Identities) != 1 || string(back.Identities[0]) != "client-7" {
+		t.Fatalf("identities = %q", back.Identities)
+	}
+	if len(back.Buffers) != 1 || !bytes.Equal(back.Buffers[0], []byte{0xde, 0xad}) {
+		t.Fatalf("buffers = %v", back.Buffers)
+	}
+}
+
+func TestSignatureRejectsTamper(t *testing.T) {
+	signer := NewSigner([]byte("connection-key"))
+	m := mustNew(t, TypeExecuteRequest, ExecuteRequest{Code: "print(1)"})
+	frames, err := m.Frames(signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with content (last frame).
+	frames[len(frames)-1] = []byte(`{"code":"shell(\"rm -rf /\")"}`)
+	if _, err := FromFrames(frames, signer); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered message accepted: %v", err)
+	}
+}
+
+func TestSignatureRejectsWrongKey(t *testing.T) {
+	m := mustNew(t, TypeStatus, StatusContent{ExecutionState: "idle"})
+	data, err := m.Marshal(NewSigner([]byte("key-A")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(data, NewSigner([]byte("key-B"))); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("wrong key accepted: %v", err)
+	}
+}
+
+func TestKeylessSigner(t *testing.T) {
+	signer := NewSigner(nil)
+	if !signer.Keyless() {
+		t.Fatal("nil key not keyless")
+	}
+	m := mustNew(t, TypeStatus, StatusContent{ExecutionState: "busy"})
+	data, err := m.Marshal(signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Header.MsgType != TypeStatus {
+		t.Fatal("round trip failed")
+	}
+	// A keyless verifier must reject any non-empty signature (it
+	// cannot have produced one).
+	frames, _ := m.Frames(NewSigner([]byte("k")))
+	if _, err := FromFrames(frames, signer); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("keyless verifier accepted signed frames: %v", err)
+	}
+}
+
+func TestSignDeterministic(t *testing.T) {
+	s := NewSigner([]byte("k"))
+	h, p, md, c := []byte(`{"a":1}`), []byte(`{}`), []byte(`{}`), []byte(`{"code":"x"}`)
+	if s.Sign(h, p, md, c) != s.Sign(h, p, md, c) {
+		t.Fatal("sign not deterministic")
+	}
+	if s.Sign(h, p, md, c) == s.Sign(h, p, md, []byte(`{"code":"y"}`)) {
+		t.Fatal("different content same signature")
+	}
+}
+
+func TestSignVerifyProperty(t *testing.T) {
+	f := func(key, header, parent, metadata, content []byte) bool {
+		s := NewSigner(key)
+		sig := s.Sign(header, parent, metadata, content)
+		return s.Verify(sig, header, parent, metadata, content)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFramesMissingDelimiter(t *testing.T) {
+	s := NewSigner(nil)
+	if _, err := FromFrames([][]byte{[]byte("a"), []byte("b")}, s); !errors.Is(err, ErrNoDelimiter) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFramesTooShort(t *testing.T) {
+	s := NewSigner(nil)
+	frames := [][]byte{Delimiter, []byte(""), []byte("{}")}
+	if _, err := FromFrames(frames, s); !errors.Is(err, ErrShortMessage) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEncodeDecodeFramesProperty(t *testing.T) {
+	f := func(frames [][]byte) bool {
+		data := EncodeFrames(frames)
+		back, err := DecodeFrames(data)
+		if err != nil {
+			return false
+		}
+		if len(back) != len(frames) {
+			return false
+		}
+		for i := range frames {
+			if !bytes.Equal(back[i], frames[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeFramesTruncation(t *testing.T) {
+	data := EncodeFrames([][]byte{[]byte("hello"), []byte("world")})
+	for cut := 1; cut < len(data); cut++ {
+		if _, err := DecodeFrames(data[:cut]); err == nil {
+			t.Fatalf("truncated at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecodeFramesTrailingGarbage(t *testing.T) {
+	data := EncodeFrames([][]byte{[]byte("x")})
+	if _, err := DecodeFrames(append(data, 0x00)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestReplyThreading(t *testing.T) {
+	parent := mustNew(t, TypeExecuteRequest, ExecuteRequest{Code: "x"})
+	reply, err := Reply(parent, TypeExecuteReply, "msg-2", t0.Add(time.Second), ExecuteReply{Status: "ok", ExecutionCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.ParentHeader.MsgID != "msg-1" {
+		t.Fatalf("parent header = %+v", reply.ParentHeader)
+	}
+	if reply.Header.Session != parent.Header.Session {
+		t.Fatal("session not inherited")
+	}
+}
+
+func TestWSRoundTrip(t *testing.T) {
+	m := mustNew(t, TypeExecuteRequest, ExecuteRequest{Code: "print(42)"})
+	m.Channel = ChannelShell
+	parent := mustNew(t, TypeKernelInfoReq, map[string]any{})
+	reply, _ := Reply(parent, TypeStatus, "msg-3", t0, StatusContent{ExecutionState: "busy"})
+	reply.Channel = ChannelIOPub
+
+	for _, msg := range []*Message{m, reply} {
+		data, err := msg.MarshalWS()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalWS(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Header.MsgType != msg.Header.MsgType || back.Channel != msg.Channel {
+			t.Fatalf("ws round trip: %+v vs %+v", back.Header, msg.Header)
+		}
+		if back.ParentHeader.MsgID != msg.ParentHeader.MsgID {
+			t.Fatalf("parent = %+v want %+v", back.ParentHeader, msg.ParentHeader)
+		}
+	}
+}
+
+func TestUnmarshalWSRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalWS([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestConnectionInfo(t *testing.T) {
+	ci := NewConnectionInfo("127.0.0.1", 51000, "0123456789abcdef0123")
+	if ci.HBPort != 51004 || ci.SignatureScheme != "hmac-sha256" {
+		t.Fatalf("ci = %+v", ci)
+	}
+	if findings := ci.Validate(); len(findings) != 0 {
+		t.Fatalf("findings on good config: %v", findings)
+	}
+}
+
+func TestConnectionInfoFindings(t *testing.T) {
+	cases := []struct {
+		ci   ConnectionInfo
+		want int
+	}{
+		{NewConnectionInfo("0.0.0.0", 51000, ""), 2},        // empty key + wildcard bind
+		{NewConnectionInfo("127.0.0.1", 51000, "short"), 1}, // short key
+	}
+	for i, c := range cases {
+		if got := len(c.ci.Validate()); got != c.want {
+			t.Errorf("case %d: findings = %d want %d: %v", i, got, c.want, c.ci.Validate())
+		}
+	}
+}
+
+func TestDecodeFrameTooBig(t *testing.T) {
+	var buf []byte
+	buf = append(buf, 0, 0, 0, 1) // one frame
+	buf = append(buf, 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, err := DecodeFrames(buf); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("err = %v", err)
+	}
+}

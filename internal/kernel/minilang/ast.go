@@ -1,0 +1,485 @@
+package minilang
+
+import "fmt"
+
+// Node is an AST node.
+type node interface{ line() int }
+
+// ---- Expressions ----
+
+type exprNode interface{ node }
+
+type litExpr struct {
+	ln  int
+	val Value
+}
+
+func (e *litExpr) line() int { return e.ln }
+
+type varExpr struct {
+	ln   int
+	name string
+}
+
+func (e *varExpr) line() int { return e.ln }
+
+type listExpr struct {
+	ln    int
+	items []exprNode
+}
+
+func (e *listExpr) line() int { return e.ln }
+
+type callExpr struct {
+	ln   int
+	name string
+	args []exprNode
+}
+
+func (e *callExpr) line() int { return e.ln }
+
+type indexExpr struct {
+	ln    int
+	base  exprNode
+	index exprNode
+}
+
+func (e *indexExpr) line() int { return e.ln }
+
+type binExpr struct {
+	ln    int
+	op    tokKind
+	left  exprNode
+	right exprNode
+}
+
+func (e *binExpr) line() int { return e.ln }
+
+type notExpr struct {
+	ln    int
+	inner exprNode
+}
+
+func (e *notExpr) line() int { return e.ln }
+
+// ---- Statements ----
+
+type stmtNode interface{ node }
+
+type assignStmt struct {
+	ln   int
+	name string
+	expr exprNode
+}
+
+func (s *assignStmt) line() int { return s.ln }
+
+type exprStmt struct {
+	ln   int
+	expr exprNode
+}
+
+func (s *exprStmt) line() int { return s.ln }
+
+type forStmt struct {
+	ln   int
+	vari string
+	iter exprNode
+	body []stmtNode
+}
+
+func (s *forStmt) line() int { return s.ln }
+
+type whileStmt struct {
+	ln   int
+	cond exprNode
+	body []stmtNode
+}
+
+func (s *whileStmt) line() int { return s.ln }
+
+type ifStmt struct {
+	ln       int
+	cond     exprNode
+	then     []stmtNode
+	elseBody []stmtNode
+}
+
+func (s *ifStmt) line() int { return s.ln }
+
+type breakStmt struct{ ln int }
+
+func (s *breakStmt) line() int { return s.ln }
+
+// Program is a parsed minilang program.
+type Program struct {
+	stmts []stmtNode
+	// Calls lists every function name invoked anywhere in the program,
+	// in source order with duplicates — static signal for detectors
+	// that scan cell source before execution.
+	Calls []string
+}
+
+// parser consumes the token stream.
+type parser struct {
+	toks []token
+	pos  int
+	prog *Program
+}
+
+// Parse compiles source into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, prog: &Program{}}
+	stmts, err := p.block(tokEOF)
+	if err != nil {
+		return nil, err
+	}
+	p.prog.stmts = stmts
+	return p.prog, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) skipNewlines() {
+	for p.peek().kind == tokNewline {
+		p.pos++
+	}
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, &SyntaxError{Line: t.line, Msg: fmt.Sprintf("expected %s, got %s", what, t)}
+	}
+	return t, nil
+}
+
+// block parses statements until one of the terminator kinds (which is
+// not consumed, except tokEOF trivially).
+func (p *parser) block(terminators ...tokKind) ([]stmtNode, error) {
+	var stmts []stmtNode
+	for {
+		p.skipNewlines()
+		t := p.peek()
+		for _, term := range terminators {
+			if t.kind == term {
+				return stmts, nil
+			}
+		}
+		if t.kind == tokEOF {
+			return nil, &SyntaxError{Line: t.line, Msg: "unexpected end of input (missing 'end'?)"}
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+}
+
+func (p *parser) statement() (stmtNode, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokKwFor:
+		return p.forStatement()
+	case tokKwWhile:
+		return p.whileStatement()
+	case tokKwIf:
+		return p.ifStatement()
+	case tokKwBreak:
+		p.next()
+		return &breakStmt{ln: t.line}, nil
+	case tokIdent:
+		// Lookahead for assignment.
+		if p.toks[p.pos+1].kind == tokAssign {
+			name := p.next().text
+			p.next() // '='
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			return &assignStmt{ln: t.line, name: name, expr: e}, nil
+		}
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return &exprStmt{ln: t.line, expr: e}, nil
+	default:
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return &exprStmt{ln: t.line, expr: e}, nil
+	}
+}
+
+func (p *parser) forStatement() (stmtNode, error) {
+	t := p.next() // for
+	v, err := p.expect(tokIdent, "loop variable")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKwIn, "'in'"); err != nil {
+		return nil, err
+	}
+	iter, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block(tokKwEnd)
+	if err != nil {
+		return nil, err
+	}
+	p.next() // end
+	return &forStmt{ln: t.line, vari: v.text, iter: iter, body: body}, nil
+}
+
+func (p *parser) whileStatement() (stmtNode, error) {
+	t := p.next() // while
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block(tokKwEnd)
+	if err != nil {
+		return nil, err
+	}
+	p.next() // end
+	return &whileStmt{ln: t.line, cond: cond, body: body}, nil
+}
+
+func (p *parser) ifStatement() (stmtNode, error) {
+	t := p.next() // if
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.block(tokKwEnd, tokKwElse)
+	if err != nil {
+		return nil, err
+	}
+	var elseBody []stmtNode
+	if p.peek().kind == tokKwElse {
+		p.next()
+		elseBody, err = p.block(tokKwEnd)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p.next() // end
+	return &ifStmt{ln: t.line, cond: cond, then: then, elseBody: elseBody}, nil
+}
+
+// expression := orExpr
+func (p *parser) expression() (exprNode, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (exprNode, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokKwOr {
+		op := p.next()
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &binExpr{ln: op.line, op: tokKwOr, left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) andExpr() (exprNode, error) {
+	left, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokKwAnd {
+		op := p.next()
+		right, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &binExpr{ln: op.line, op: tokKwAnd, left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) cmpExpr() (exprNode, error) {
+	left, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch k := p.peek().kind; k {
+	case tokEq, tokNeq, tokLt, tokGt, tokLe, tokGe:
+		op := p.next()
+		right, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &binExpr{ln: op.line, op: k, left: left, right: right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) addExpr() (exprNode, error) {
+	left, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.peek().kind
+		if k != tokPlus && k != tokMinus {
+			return left, nil
+		}
+		op := p.next()
+		right, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &binExpr{ln: op.line, op: k, left: left, right: right}
+	}
+}
+
+func (p *parser) mulExpr() (exprNode, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.peek().kind
+		if k != tokStar && k != tokSlash && k != tokPercent {
+			return left, nil
+		}
+		op := p.next()
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		left = &binExpr{ln: op.line, op: k, left: left, right: right}
+	}
+}
+
+func (p *parser) unary() (exprNode, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokKwNot:
+		p.next()
+		inner, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &notExpr{ln: t.line, inner: inner}, nil
+	case tokMinus:
+		p.next()
+		inner, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &binExpr{ln: t.line, op: tokMinus,
+			left: &litExpr{ln: t.line, val: Number(0)}, right: inner}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (exprNode, error) {
+	base, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokLBracket {
+		lb := p.next()
+		idx, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBracket, "']'"); err != nil {
+			return nil, err
+		}
+		base = &indexExpr{ln: lb.line, base: base, index: idx}
+	}
+	return base, nil
+}
+
+func (p *parser) primary() (exprNode, error) {
+	t := p.next()
+	switch t.kind {
+	case tokString:
+		return &litExpr{ln: t.line, val: Str(t.text)}, nil
+	case tokNumber:
+		return &litExpr{ln: t.line, val: Number(t.num)}, nil
+	case tokLParen:
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokLBracket:
+		var items []exprNode
+		p.skipNewlines()
+		if p.peek().kind != tokRBracket {
+			for {
+				e, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				items = append(items, e)
+				p.skipNewlines()
+				if p.peek().kind != tokComma {
+					break
+				}
+				p.next()
+				p.skipNewlines()
+			}
+		}
+		if _, err := p.expect(tokRBracket, "']'"); err != nil {
+			return nil, err
+		}
+		return &listExpr{ln: t.line, items: items}, nil
+	case tokIdent:
+		if p.peek().kind == tokLParen {
+			p.next() // (
+			var args []exprNode
+			p.skipNewlines()
+			if p.peek().kind != tokRParen {
+				for {
+					e, err := p.expression()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, e)
+					p.skipNewlines()
+					if p.peek().kind != tokComma {
+						break
+					}
+					p.next()
+					p.skipNewlines()
+				}
+			}
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			p.prog.Calls = append(p.prog.Calls, t.text)
+			return &callExpr{ln: t.line, name: t.text, args: args}, nil
+		}
+		return &varExpr{ln: t.line, name: t.text}, nil
+	default:
+		return nil, &SyntaxError{Line: t.line, Msg: "unexpected " + t.String()}
+	}
+}

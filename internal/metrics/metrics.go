@@ -1,0 +1,192 @@
+// Package metrics provides the measurement helpers the benchmark
+// harness uses: counters, simple histograms with quantiles, throughput
+// meters, and the precision/recall scorer for detection-quality
+// experiments.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is an atomic event counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram collects observations and reports quantiles. It keeps all
+// samples (bounded by Cap) — fine for benchmark-scale data.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+	Cap     int
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cap := h.Cap
+	if cap == 0 {
+		cap = 1 << 20
+	}
+	if len(h.samples) < cap {
+		h.samples = append(h.samples, v)
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Quantile returns the q-quantile (0..1) of observed samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), h.samples...)
+	sort.Float64s(sorted)
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Mean returns the sample mean.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / float64(len(h.samples))
+}
+
+// Throughput measures events per wall second.
+type Throughput struct {
+	start time.Time
+	n     atomic.Int64
+}
+
+// NewThroughput starts a meter.
+func NewThroughput() *Throughput { return &Throughput{start: time.Now()} }
+
+// Tick counts one event.
+func (t *Throughput) Tick() { t.n.Add(1) }
+
+// Rate returns events/second since start.
+func (t *Throughput) Rate() float64 {
+	el := time.Since(t.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(t.n.Load()) / el
+}
+
+// ---- Detection quality ----
+
+// Confusion is a per-class confusion count for actor-level detection.
+type Confusion struct {
+	TP, FP, FN int
+}
+
+// Precision returns TP/(TP+FP), 1 when nothing was predicted.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), 1 when nothing was expected.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Score compares detected (actor -> set of classes flagged) against
+// ground truth (actor -> class), producing per-class confusion counts.
+// Benign actors flagged with any class count as FP for that class.
+func Score(truth map[string]string, detected map[string]map[string]bool) map[string]Confusion {
+	out := map[string]Confusion{}
+	for actor, class := range truth {
+		c := out[class]
+		if detected[actor][class] {
+			c.TP++
+		} else {
+			c.FN++
+		}
+		out[class] = c
+	}
+	for actor, classes := range detected {
+		truthClass, isMalicious := truth[actor]
+		for class := range classes {
+			if !isMalicious || truthClass != class {
+				c := out[class]
+				c.FP++
+				out[class] = c
+			}
+		}
+	}
+	return out
+}
+
+// RenderScores prints a per-class precision/recall table.
+func RenderScores(scores map[string]Confusion) string {
+	classes := make([]string, 0, len(scores))
+	for c := range scores {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %4s %4s %4s %9s %7s %6s\n", "CLASS", "TP", "FP", "FN", "PRECISION", "RECALL", "F1")
+	for _, c := range classes {
+		s := scores[c]
+		fmt.Fprintf(&b, "%-28s %4d %4d %4d %9.2f %7.2f %6.2f\n",
+			c, s.TP, s.FP, s.FN, s.Precision(), s.Recall(), s.F1())
+	}
+	return b.String()
+}
+
+// OverheadResult reports a with/without comparison.
+type OverheadResult struct {
+	BaselineNsPerOp float64
+	LoadedNsPerOp   float64
+}
+
+// OverheadPct returns the relative slowdown in percent.
+func (o OverheadResult) OverheadPct() float64 {
+	if o.BaselineNsPerOp <= 0 {
+		return 0
+	}
+	return 100 * (o.LoadedNsPerOp - o.BaselineNsPerOp) / o.BaselineNsPerOp
+}

@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	c.Add(5)
+	if c.Value() != 1005 {
+		t.Fatalf("value = %d", c.Value())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if q := h.Quantile(0.5); q < 49 || q > 52 {
+		t.Fatalf("p50 = %f", q)
+	}
+	if q := h.Quantile(0.99); q < 98 {
+		t.Fatalf("p99 = %f", q)
+	}
+	if m := h.Mean(); m < 50 || m > 51 {
+		t.Fatalf("mean = %f", m)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram nonzero")
+	}
+}
+
+func TestHistogramCap(t *testing.T) {
+	h := Histogram{Cap: 10}
+	for i := 0; i < 100; i++ {
+		h.Observe(1)
+	}
+	if h.Count() != 10 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	c := Confusion{TP: 8, FP: 2, FN: 2}
+	if p := c.Precision(); p != 0.8 {
+		t.Fatalf("precision = %f", p)
+	}
+	if r := c.Recall(); r != 0.8 {
+		t.Fatalf("recall = %f", r)
+	}
+	if f := c.F1(); f < 0.79 || f > 0.81 {
+		t.Fatalf("f1 = %f", f)
+	}
+	empty := Confusion{}
+	if empty.Precision() != 1 || empty.Recall() != 1 || empty.F1() != 1 {
+		t.Fatal("empty confusion should be perfect")
+	}
+}
+
+func TestScore(t *testing.T) {
+	truth := map[string]string{
+		"mallory": "ransomware",
+		"eve":     "data_exfiltration",
+		"trent":   "cryptomining",
+	}
+	detected := map[string]map[string]bool{
+		"mallory": {"ransomware": true},   // TP
+		"eve":     {"cryptomining": true}, // FP (wrong class) + FN for exfil
+		"alice":   {"ransomware": true},   // FP (benign flagged)
+	}
+	scores := Score(truth, detected)
+	rw := scores["ransomware"]
+	if rw.TP != 1 || rw.FP != 1 || rw.FN != 0 {
+		t.Fatalf("ransomware = %+v", rw)
+	}
+	ex := scores["data_exfiltration"]
+	if ex.FN != 1 || ex.TP != 0 {
+		t.Fatalf("exfil = %+v", ex)
+	}
+	cm := scores["cryptomining"]
+	if cm.FP != 1 || cm.FN != 1 {
+		t.Fatalf("mining = %+v", cm)
+	}
+}
+
+func TestRenderScores(t *testing.T) {
+	text := RenderScores(map[string]Confusion{"ransomware": {TP: 1}})
+	if !strings.Contains(text, "ransomware") || !strings.Contains(text, "PRECISION") {
+		t.Fatalf("render = %q", text)
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	o := OverheadResult{BaselineNsPerOp: 100, LoadedNsPerOp: 125}
+	if pct := o.OverheadPct(); pct != 25 {
+		t.Fatalf("overhead = %f", pct)
+	}
+	if (OverheadResult{}).OverheadPct() != 0 {
+		t.Fatal("zero baseline")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	th := NewThroughput()
+	for i := 0; i < 1000; i++ {
+		th.Tick()
+	}
+	if th.Rate() <= 0 {
+		t.Fatal("rate not positive")
+	}
+}

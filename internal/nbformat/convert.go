@@ -1,0 +1,119 @@
+package nbformat
+
+import (
+	"fmt"
+	"html"
+	"strings"
+)
+
+// This file implements the format conversions the paper's background
+// section describes ("converted to other formats such as Markdown,
+// HTML, LaTeX/PDF"): Markdown, standalone HTML, and a plain script
+// export. Conversions are also security-relevant — HTML export is an
+// XSS vector in real Jupyter (CVE-2021-32798 in the paper's
+// references), so the HTML converter here escapes all user content and
+// a test asserts script injection cannot survive it.
+
+// ToMarkdown renders the notebook as a Markdown document: markdown
+// cells verbatim, code cells fenced, outputs as indented blocks.
+func (nb *Notebook) ToMarkdown() string {
+	var b strings.Builder
+	for i := range nb.Cells {
+		c := &nb.Cells[i]
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		switch c.CellType {
+		case CellMarkdown:
+			b.WriteString(strings.TrimRight(string(c.Source), "\n"))
+			b.WriteString("\n")
+		case CellCode:
+			fmt.Fprintf(&b, "```%s\n%s\n```\n", "minilang", strings.TrimRight(string(c.Source), "\n"))
+			for _, o := range c.Outputs {
+				if text := outputText(&o); text != "" {
+					b.WriteString("\n")
+					for _, line := range SplitLines(strings.TrimRight(text, "\n") + "\n") {
+						b.WriteString("    " + line)
+					}
+				}
+			}
+		case CellRaw:
+			b.WriteString(strings.TrimRight(string(c.Source), "\n"))
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// ToScript renders only the code cells, separated by cell markers —
+// the `jupyter nbconvert --to script` equivalent. Useful for source
+// scanning: detection rules run over the same text a kernel would see.
+func (nb *Notebook) ToScript() string {
+	var b strings.Builder
+	for i := range nb.Cells {
+		c := &nb.Cells[i]
+		if c.CellType != CellCode {
+			continue
+		}
+		fmt.Fprintf(&b, "# %%%% cell %s\n%s\n", c.ID, strings.TrimRight(string(c.Source), "\n"))
+	}
+	return b.String()
+}
+
+// ToHTML renders a standalone HTML document. All user-controlled
+// content is escaped: a notebook must not be able to inject markup
+// into the page that displays it.
+func (nb *Notebook) ToHTML(title string) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(title))
+	b.WriteString("<style>body{font-family:sans-serif;max-width:60em;margin:auto}" +
+		"pre{background:#f4f4f4;padding:.6em;overflow-x:auto}" +
+		".out{border-left:3px solid #888;padding-left:.6em;color:#333}" +
+		".err{border-left:3px solid #c00;padding-left:.6em;color:#c00}</style>\n")
+	b.WriteString("</head>\n<body>\n")
+	for i := range nb.Cells {
+		c := &nb.Cells[i]
+		switch c.CellType {
+		case CellMarkdown:
+			// Markdown is rendered as escaped preformatted text: we do
+			// not implement a Markdown-to-HTML renderer, and escaping
+			// beats injecting.
+			fmt.Fprintf(&b, "<div class=\"md\"><pre>%s</pre></div>\n",
+				html.EscapeString(string(c.Source)))
+		case CellCode:
+			fmt.Fprintf(&b, "<div class=\"code\"><pre>%s</pre></div>\n",
+				html.EscapeString(string(c.Source)))
+			for _, o := range c.Outputs {
+				class := "out"
+				if o.OutputType == OutputError {
+					class = "err"
+				}
+				if text := outputText(&o); text != "" {
+					fmt.Fprintf(&b, "<div class=\"%s\"><pre>%s</pre></div>\n",
+						class, html.EscapeString(text))
+				}
+			}
+		}
+	}
+	b.WriteString("</body>\n</html>\n")
+	return b.String()
+}
+
+// outputText extracts the displayable text of an output.
+func outputText(o *Output) string {
+	switch o.OutputType {
+	case OutputStream:
+		return string(o.Text)
+	case OutputError:
+		return fmt.Sprintf("%s: %s", o.EName, o.EValue)
+	case OutputExecuteResult, OutputDisplayData:
+		if raw, ok := o.Data["text/plain"]; ok {
+			var m MultilineString
+			if err := m.UnmarshalJSON(raw); err == nil {
+				return string(m)
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,103 @@
+package nbformat
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func convertSample() *Notebook {
+	nb := New()
+	nb.AppendMarkdown("md-1", "# Results\nSummary of run 7.")
+	nb.AppendCode("code-1", `x = 6 * 7
+print(x)`)
+	nb.Cells[1].Outputs = []Output{
+		{OutputType: OutputStream, Name: "stdout", Text: "42\n"},
+	}
+	nb.AppendCode("code-2", `boom()`)
+	nb.Cells[2].Outputs = []Output{
+		{OutputType: OutputError, EName: "NameError", EValue: "boom is not defined"},
+	}
+	return nb
+}
+
+func TestToMarkdown(t *testing.T) {
+	md := convertSample().ToMarkdown()
+	for _, want := range []string{
+		"# Results", "```minilang", "x = 6 * 7", "    42",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestToScriptOnlyCode(t *testing.T) {
+	script := convertSample().ToScript()
+	if strings.Contains(script, "# Results") {
+		t.Fatal("markdown leaked into script")
+	}
+	for _, want := range []string{"cell code-1", "x = 6 * 7", "cell code-2", "boom()"} {
+		if !strings.Contains(script, want) {
+			t.Errorf("script missing %q", want)
+		}
+	}
+}
+
+func TestToHTMLStructure(t *testing.T) {
+	doc := convertSample().ToHTML("Run 7")
+	for _, want := range []string{
+		"<!DOCTYPE html>", "<title>Run 7</title>",
+		"x = 6 * 7", "NameError: boom is not defined", `class="err"`,
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("html missing %q", want)
+		}
+	}
+}
+
+// TestToHTMLEscapesInjection is the CVE-2021-32798-shaped property:
+// hostile notebook content must not become live markup in the export.
+func TestToHTMLEscapesInjection(t *testing.T) {
+	nb := New()
+	nb.AppendMarkdown("evil-md", `<script>steal(document.cookie)</script>`)
+	nb.AppendCode("evil-code", `x = "<img src=x onerror=alert(1)>"`)
+	nb.Cells[1].Outputs = []Output{{
+		OutputType: OutputStream, Name: "stdout",
+		Text: MultilineString(`</pre><script>exfil()</script>`),
+	}}
+	doc := nb.ToHTML(`"><script>title</script>`)
+	for _, forbidden := range []string{
+		"<script>steal", "<img src=x", "<script>exfil", "<script>title",
+	} {
+		if strings.Contains(doc, forbidden) {
+			t.Errorf("unescaped injection %q survived export", forbidden)
+		}
+	}
+	// The content is still present, escaped.
+	if !strings.Contains(doc, "&lt;script&gt;steal") {
+		t.Error("escaped content missing entirely")
+	}
+}
+
+func TestOutputTextExecuteResult(t *testing.T) {
+	n := 1
+	o := Output{
+		OutputType:     OutputExecuteResult,
+		ExecutionCount: &n,
+		Data:           map[string]json.RawMessage{"text/plain": json.RawMessage(`["42"]`)},
+	}
+	if got := outputText(&o); got != "42" {
+		t.Fatalf("outputText = %q", got)
+	}
+}
+
+func TestEmptyNotebookConversions(t *testing.T) {
+	nb := New()
+	if nb.ToMarkdown() != "" || nb.ToScript() != "" {
+		t.Fatal("empty notebook produced content")
+	}
+	if !strings.Contains(nb.ToHTML("t"), "</html>") {
+		t.Fatal("empty html malformed")
+	}
+}

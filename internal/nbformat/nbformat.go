@@ -1,0 +1,403 @@
+// Package nbformat implements the Jupyter Notebook document model
+// (nbformat v4): notebooks, cells, outputs, and metadata, together
+// with JSON (de)serialization, validation, normalization, and content
+// hashing.
+//
+// A notebook is a JSON document; each cell is a JSON object carrying
+// source text and, for code cells, a list of outputs. The model here
+// follows the public nbformat 4.5 schema closely enough that real
+// .ipynb files round-trip, while staying dependency-free.
+package nbformat
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Current nbformat version produced by New.
+const (
+	FormatMajor = 4
+	FormatMinor = 5
+)
+
+// Cell types defined by the nbformat schema.
+const (
+	CellCode     = "code"
+	CellMarkdown = "markdown"
+	CellRaw      = "raw"
+)
+
+// Output types defined by the nbformat schema.
+const (
+	OutputStream        = "stream"
+	OutputDisplayData   = "display_data"
+	OutputExecuteResult = "execute_result"
+	OutputError         = "error"
+)
+
+// Validation errors.
+var (
+	ErrBadFormat    = errors.New("nbformat: unsupported nbformat version")
+	ErrBadCellType  = errors.New("nbformat: unknown cell type")
+	ErrEmptyCellID  = errors.New("nbformat: empty cell id")
+	ErrDupCellID    = errors.New("nbformat: duplicate cell id")
+	ErrBadOutput    = errors.New("nbformat: invalid output")
+	ErrOutputOnText = errors.New("nbformat: outputs on non-code cell")
+)
+
+// MultilineString is the nbformat convention for source and text
+// fields: either a single JSON string or an array of line strings.
+// It always marshals as an array of lines (the canonical form) and
+// accepts either form when unmarshaling.
+type MultilineString string
+
+// MarshalJSON encodes the string as an array of lines, each retaining
+// its trailing newline, matching Jupyter's canonical output.
+func (m MultilineString) MarshalJSON() ([]byte, error) {
+	return json.Marshal(SplitLines(string(m)))
+}
+
+// UnmarshalJSON accepts either a plain string or an array of strings.
+func (m *MultilineString) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		*m = MultilineString(s)
+		return nil
+	}
+	var lines []string
+	if err := json.Unmarshal(data, &lines); err != nil {
+		return fmt.Errorf("nbformat: multiline string: %w", err)
+	}
+	*m = MultilineString(strings.Join(lines, ""))
+	return nil
+}
+
+// String returns the joined text.
+func (m MultilineString) String() string { return string(m) }
+
+// SplitLines splits s into lines, each keeping its trailing newline.
+// An empty string yields an empty slice, matching Jupyter behaviour.
+func SplitLines(s string) []string {
+	if s == "" {
+		return []string{}
+	}
+	var lines []string
+	for {
+		i := strings.IndexByte(s, '\n')
+		if i < 0 {
+			lines = append(lines, s)
+			return lines
+		}
+		lines = append(lines, s[:i+1])
+		s = s[i+1:]
+		if s == "" {
+			return lines
+		}
+	}
+}
+
+// Output is one entry in a code cell's outputs list.
+type Output struct {
+	OutputType string `json:"output_type"`
+
+	// Stream outputs.
+	Name string          `json:"name,omitempty"` // "stdout" | "stderr"
+	Text MultilineString `json:"text,omitempty"`
+
+	// display_data / execute_result.
+	Data     map[string]json.RawMessage `json:"data,omitempty"`
+	Metadata map[string]json.RawMessage `json:"metadata,omitempty"`
+
+	// execute_result only.
+	ExecutionCount *int `json:"execution_count,omitempty"`
+
+	// error outputs.
+	EName     string   `json:"ename,omitempty"`
+	EValue    string   `json:"evalue,omitempty"`
+	Traceback []string `json:"traceback,omitempty"`
+}
+
+// Validate checks structural invariants for the output.
+func (o *Output) Validate() error {
+	switch o.OutputType {
+	case OutputStream:
+		if o.Name != "stdout" && o.Name != "stderr" {
+			return fmt.Errorf("%w: stream name %q", ErrBadOutput, o.Name)
+		}
+	case OutputExecuteResult:
+		if o.ExecutionCount == nil {
+			return fmt.Errorf("%w: execute_result without execution_count", ErrBadOutput)
+		}
+	case OutputDisplayData, OutputError:
+		// No further structural requirements.
+	default:
+		return fmt.Errorf("%w: output_type %q", ErrBadOutput, o.OutputType)
+	}
+	return nil
+}
+
+// Cell is one notebook cell.
+type Cell struct {
+	ID             string                     `json:"id"`
+	CellType       string                     `json:"cell_type"`
+	Source         MultilineString            `json:"source"`
+	Metadata       map[string]json.RawMessage `json:"metadata"`
+	Outputs        []Output                   `json:"outputs,omitempty"`
+	ExecutionCount *int                       `json:"execution_count,omitempty"`
+	Attachments    map[string]json.RawMessage `json:"attachments,omitempty"`
+}
+
+// NewCodeCell returns a code cell with the given id and source.
+func NewCodeCell(id, source string) Cell {
+	return Cell{ID: id, CellType: CellCode, Source: MultilineString(source),
+		Metadata: map[string]json.RawMessage{}, Outputs: []Output{}}
+}
+
+// NewMarkdownCell returns a markdown cell with the given id and source.
+func NewMarkdownCell(id, source string) Cell {
+	return Cell{ID: id, CellType: CellMarkdown, Source: MultilineString(source),
+		Metadata: map[string]json.RawMessage{}}
+}
+
+// Validate checks the cell against schema invariants.
+func (c *Cell) Validate() error {
+	if c.ID == "" {
+		return ErrEmptyCellID
+	}
+	switch c.CellType {
+	case CellCode:
+		for i := range c.Outputs {
+			if err := c.Outputs[i].Validate(); err != nil {
+				return fmt.Errorf("cell %s output %d: %w", c.ID, i, err)
+			}
+		}
+	case CellMarkdown, CellRaw:
+		if len(c.Outputs) > 0 {
+			return fmt.Errorf("cell %s: %w", c.ID, ErrOutputOnText)
+		}
+		if c.ExecutionCount != nil {
+			return fmt.Errorf("cell %s: execution_count on %s cell", c.ID, c.CellType)
+		}
+	default:
+		return fmt.Errorf("%w: %q", ErrBadCellType, c.CellType)
+	}
+	return nil
+}
+
+// Notebook is a complete notebook document.
+type Notebook struct {
+	Cells         []Cell                     `json:"cells"`
+	Metadata      map[string]json.RawMessage `json:"metadata"`
+	NBFormat      int                        `json:"nbformat"`
+	NBFormatMinor int                        `json:"nbformat_minor"`
+}
+
+// New returns an empty notebook at the current format version.
+func New() *Notebook {
+	return &Notebook{
+		Cells:         []Cell{},
+		Metadata:      map[string]json.RawMessage{},
+		NBFormat:      FormatMajor,
+		NBFormatMinor: FormatMinor,
+	}
+}
+
+// Parse decodes and validates a notebook from JSON.
+func Parse(data []byte) (*Notebook, error) {
+	var nb Notebook
+	if err := json.Unmarshal(data, &nb); err != nil {
+		return nil, fmt.Errorf("nbformat: parse: %w", err)
+	}
+	if err := nb.Validate(); err != nil {
+		return nil, err
+	}
+	return &nb, nil
+}
+
+// Marshal encodes the notebook as canonical indented JSON.
+func (nb *Notebook) Marshal() ([]byte, error) {
+	return json.MarshalIndent(nb, "", " ")
+}
+
+// Validate checks the notebook and all cells against schema invariants.
+func (nb *Notebook) Validate() error {
+	if nb.NBFormat != FormatMajor {
+		return fmt.Errorf("%w: %d.%d", ErrBadFormat, nb.NBFormat, nb.NBFormatMinor)
+	}
+	seen := make(map[string]bool, len(nb.Cells))
+	for i := range nb.Cells {
+		c := &nb.Cells[i]
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		if seen[c.ID] {
+			return fmt.Errorf("%w: %q", ErrDupCellID, c.ID)
+		}
+		seen[c.ID] = true
+	}
+	return nil
+}
+
+// AppendCode appends a new code cell and returns its id.
+func (nb *Notebook) AppendCode(id, source string) {
+	nb.Cells = append(nb.Cells, NewCodeCell(id, source))
+}
+
+// AppendMarkdown appends a new markdown cell.
+func (nb *Notebook) AppendMarkdown(id, source string) {
+	nb.Cells = append(nb.Cells, NewMarkdownCell(id, source))
+}
+
+// CellByID returns the cell with the given id, or nil.
+func (nb *Notebook) CellByID(id string) *Cell {
+	for i := range nb.Cells {
+		if nb.Cells[i].ID == id {
+			return &nb.Cells[i]
+		}
+	}
+	return nil
+}
+
+// CodeCells returns pointers to all code cells in order.
+func (nb *Notebook) CodeCells() []*Cell {
+	var out []*Cell
+	for i := range nb.Cells {
+		if nb.Cells[i].CellType == CellCode {
+			out = append(out, &nb.Cells[i])
+		}
+	}
+	return out
+}
+
+// ClearOutputs removes all outputs and execution counts, as "Clear All
+// Outputs" does in the Jupyter UI.
+func (nb *Notebook) ClearOutputs() {
+	for i := range nb.Cells {
+		if nb.Cells[i].CellType == CellCode {
+			nb.Cells[i].Outputs = []Output{}
+			nb.Cells[i].ExecutionCount = nil
+		}
+	}
+}
+
+// SourceHash returns a hex SHA-256 over the ordered cell sources and
+// types. Outputs and metadata are excluded, so the hash identifies the
+// *code* content of a notebook — the property ransomware detection and
+// threat-intel payload matching key on.
+func (nb *Notebook) SourceHash() string {
+	h := sha256.New()
+	for i := range nb.Cells {
+		c := &nb.Cells[i]
+		fmt.Fprintf(h, "%s\x00%s\x00%s\x00", c.ID, c.CellType, c.Source)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Stats summarizes a notebook for audit logs.
+type Stats struct {
+	Cells       int
+	CodeCells   int
+	Markdown    int
+	Raw         int
+	SourceBytes int
+	OutputCount int
+}
+
+// Stat computes summary statistics.
+func (nb *Notebook) Stat() Stats {
+	var s Stats
+	s.Cells = len(nb.Cells)
+	for i := range nb.Cells {
+		c := &nb.Cells[i]
+		s.SourceBytes += len(c.Source)
+		switch c.CellType {
+		case CellCode:
+			s.CodeCells++
+			s.OutputCount += len(c.Outputs)
+		case CellMarkdown:
+			s.Markdown++
+		case CellRaw:
+			s.Raw++
+		}
+	}
+	return s
+}
+
+// Normalize brings a parsed notebook to canonical form: ensures
+// metadata maps are non-nil, code cells have non-nil output slices,
+// and cell ids are unique (missing ids are assigned deterministically
+// from content position). It returns the ids that were assigned.
+func (nb *Notebook) Normalize() []string {
+	var assigned []string
+	if nb.Metadata == nil {
+		nb.Metadata = map[string]json.RawMessage{}
+	}
+	seen := map[string]bool{}
+	for i := range nb.Cells {
+		c := &nb.Cells[i]
+		if c.Metadata == nil {
+			c.Metadata = map[string]json.RawMessage{}
+		}
+		if c.CellType == CellCode && c.Outputs == nil {
+			c.Outputs = []Output{}
+		}
+		if c.ID == "" || seen[c.ID] {
+			c.ID = deriveCellID(i, string(c.Source))
+			assigned = append(assigned, c.ID)
+		}
+		seen[c.ID] = true
+	}
+	return assigned
+}
+
+func deriveCellID(index int, source string) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%d:%s", index, source)))
+	return "cell-" + hex.EncodeToString(h[:6])
+}
+
+// Diff reports cell-level differences between two notebooks, keyed by
+// cell id: added, removed, and modified (source changed). The vfs
+// change journal uses this to characterize suspicious bulk rewrites.
+type Diff struct {
+	Added    []string
+	Removed  []string
+	Modified []string
+}
+
+// Empty reports whether the diff contains no changes.
+func (d Diff) Empty() bool {
+	return len(d.Added) == 0 && len(d.Removed) == 0 && len(d.Modified) == 0
+}
+
+// Compare computes a Diff from old to new.
+func Compare(oldNB, newNB *Notebook) Diff {
+	var d Diff
+	oldByID := map[string]*Cell{}
+	for i := range oldNB.Cells {
+		oldByID[oldNB.Cells[i].ID] = &oldNB.Cells[i]
+	}
+	newByID := map[string]*Cell{}
+	for i := range newNB.Cells {
+		c := &newNB.Cells[i]
+		newByID[c.ID] = c
+		if prev, ok := oldByID[c.ID]; !ok {
+			d.Added = append(d.Added, c.ID)
+		} else if prev.Source != c.Source || prev.CellType != c.CellType {
+			d.Modified = append(d.Modified, c.ID)
+		}
+	}
+	for id := range oldByID {
+		if _, ok := newByID[id]; !ok {
+			d.Removed = append(d.Removed, id)
+		}
+	}
+	sort.Strings(d.Added)
+	sort.Strings(d.Removed)
+	sort.Strings(d.Modified)
+	return d
+}

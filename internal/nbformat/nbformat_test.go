@@ -1,0 +1,355 @@
+package nbformat
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitLines(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", []string{}},
+		{"a", []string{"a"}},
+		{"a\n", []string{"a\n"}},
+		{"a\nb", []string{"a\n", "b"}},
+		{"a\nb\n", []string{"a\n", "b\n"}},
+		{"\n\n", []string{"\n", "\n"}},
+	}
+	for _, c := range cases {
+		got := SplitLines(c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitLines(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSplitLinesJoinRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		return strings.Join(SplitLines(s), "") == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultilineStringJSONRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		b, err := json.Marshal(MultilineString(s))
+		if err != nil {
+			return false
+		}
+		var out MultilineString
+		if err := json.Unmarshal(b, &out); err != nil {
+			return false
+		}
+		return string(out) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultilineStringAcceptsPlainString(t *testing.T) {
+	var m MultilineString
+	if err := json.Unmarshal([]byte(`"print(1)\nprint(2)"`), &m); err != nil {
+		t.Fatal(err)
+	}
+	if string(m) != "print(1)\nprint(2)" {
+		t.Fatalf("m = %q", m)
+	}
+}
+
+func TestMultilineStringAcceptsArray(t *testing.T) {
+	var m MultilineString
+	if err := json.Unmarshal([]byte(`["line1\n","line2"]`), &m); err != nil {
+		t.Fatal(err)
+	}
+	if string(m) != "line1\nline2" {
+		t.Fatalf("m = %q", m)
+	}
+}
+
+func sample() *Notebook {
+	nb := New()
+	nb.AppendMarkdown("md-1", "# Title\nIntro text.")
+	nb.AppendCode("code-1", "x = 1\nprint(x)")
+	nb.AppendCode("code-2", "y = 2")
+	return nb
+}
+
+func TestNotebookRoundTrip(t *testing.T) {
+	nb := sample()
+	data, err := nb.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cells) != 3 {
+		t.Fatalf("cells = %d", len(back.Cells))
+	}
+	if back.SourceHash() != nb.SourceHash() {
+		t.Fatal("source hash changed across round trip")
+	}
+}
+
+func TestParseRejectsBadVersion(t *testing.T) {
+	nb := sample()
+	nb.NBFormat = 3
+	data, _ := json.Marshal(nb)
+	if _, err := Parse(data); err == nil {
+		t.Fatal("nbformat 3 accepted")
+	}
+}
+
+func TestValidateDuplicateIDs(t *testing.T) {
+	nb := New()
+	nb.AppendCode("same", "a = 1")
+	nb.AppendCode("same", "b = 2")
+	if err := nb.Validate(); err == nil {
+		t.Fatal("duplicate cell ids accepted")
+	}
+}
+
+func TestValidateEmptyID(t *testing.T) {
+	nb := New()
+	nb.Cells = append(nb.Cells, Cell{CellType: CellCode})
+	if err := nb.Validate(); err == nil {
+		t.Fatal("empty cell id accepted")
+	}
+}
+
+func TestValidateOutputsOnMarkdown(t *testing.T) {
+	nb := New()
+	c := NewMarkdownCell("md", "text")
+	c.Outputs = []Output{{OutputType: OutputStream, Name: "stdout", Text: "x"}}
+	nb.Cells = append(nb.Cells, c)
+	if err := nb.Validate(); err == nil {
+		t.Fatal("outputs on markdown cell accepted")
+	}
+}
+
+func TestValidateBadOutputType(t *testing.T) {
+	nb := New()
+	c := NewCodeCell("c", "x")
+	c.Outputs = []Output{{OutputType: "bogus"}}
+	nb.Cells = append(nb.Cells, c)
+	if err := nb.Validate(); err == nil {
+		t.Fatal("bogus output type accepted")
+	}
+}
+
+func TestValidateStreamName(t *testing.T) {
+	o := Output{OutputType: OutputStream, Name: "stdwhat"}
+	if err := o.Validate(); err == nil {
+		t.Fatal("bad stream name accepted")
+	}
+}
+
+func TestValidateExecuteResultNeedsCount(t *testing.T) {
+	o := Output{OutputType: OutputExecuteResult}
+	if err := o.Validate(); err == nil {
+		t.Fatal("execute_result without execution_count accepted")
+	}
+	n := 3
+	o.ExecutionCount = &n
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeAssignsIDs(t *testing.T) {
+	nb := New()
+	nb.Cells = append(nb.Cells,
+		Cell{CellType: CellCode, Source: "a"},
+		Cell{CellType: CellCode, Source: "b"},
+		Cell{ID: "dup", CellType: CellCode, Source: "c"},
+		Cell{ID: "dup", CellType: CellCode, Source: "d"},
+	)
+	assigned := nb.Normalize()
+	if len(assigned) != 3 {
+		t.Fatalf("assigned = %v", assigned)
+	}
+	if err := nb.Validate(); err != nil {
+		t.Fatalf("normalized notebook invalid: %v", err)
+	}
+}
+
+func TestNormalizeIsIdempotent(t *testing.T) {
+	nb := sample()
+	nb.Normalize()
+	first, _ := nb.Marshal()
+	nb.Normalize()
+	second, _ := nb.Marshal()
+	if string(first) != string(second) {
+		t.Fatal("normalize not idempotent")
+	}
+}
+
+func TestClearOutputs(t *testing.T) {
+	nb := sample()
+	n := 1
+	nb.Cells[1].Outputs = []Output{{OutputType: OutputStream, Name: "stdout", Text: "hi"}}
+	nb.Cells[1].ExecutionCount = &n
+	nb.ClearOutputs()
+	if len(nb.Cells[1].Outputs) != 0 || nb.Cells[1].ExecutionCount != nil {
+		t.Fatal("outputs not cleared")
+	}
+}
+
+func TestSourceHashIgnoresOutputs(t *testing.T) {
+	nb := sample()
+	h1 := nb.SourceHash()
+	nb.Cells[1].Outputs = []Output{{OutputType: OutputStream, Name: "stdout", Text: "noise"}}
+	if nb.SourceHash() != h1 {
+		t.Fatal("hash changed with outputs")
+	}
+	nb.Cells[1].Source = "changed"
+	if nb.SourceHash() == h1 {
+		t.Fatal("hash did not change with source")
+	}
+}
+
+func TestCellByID(t *testing.T) {
+	nb := sample()
+	if c := nb.CellByID("code-2"); c == nil || c.Source != "y = 2" {
+		t.Fatalf("CellByID = %+v", c)
+	}
+	if nb.CellByID("nope") != nil {
+		t.Fatal("found nonexistent cell")
+	}
+}
+
+func TestCodeCells(t *testing.T) {
+	nb := sample()
+	if got := len(nb.CodeCells()); got != 2 {
+		t.Fatalf("code cells = %d", got)
+	}
+}
+
+func TestStat(t *testing.T) {
+	nb := sample()
+	s := nb.Stat()
+	if s.Cells != 3 || s.CodeCells != 2 || s.Markdown != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.SourceBytes == 0 {
+		t.Fatal("zero source bytes")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	oldNB := sample()
+	newNB := sample()
+	newNB.Cells[1].Source = "x = 99"
+	newNB.AppendCode("code-3", "z = 3")
+	newNB.Cells = append(newNB.Cells[:0], newNB.Cells[1:]...) // drop md-1
+	d := Compare(oldNB, newNB)
+	if !reflect.DeepEqual(d.Added, []string{"code-3"}) {
+		t.Fatalf("added = %v", d.Added)
+	}
+	if !reflect.DeepEqual(d.Removed, []string{"md-1"}) {
+		t.Fatalf("removed = %v", d.Removed)
+	}
+	if !reflect.DeepEqual(d.Modified, []string{"code-1"}) {
+		t.Fatalf("modified = %v", d.Modified)
+	}
+}
+
+func TestCompareEmptyDiff(t *testing.T) {
+	a, b := sample(), sample()
+	if d := Compare(a, b); !d.Empty() {
+		t.Fatalf("diff of identical notebooks = %+v", d)
+	}
+}
+
+// TestParseRealWorldShape exercises a notebook JSON as Jupyter emits
+// it, with string-array sources and kernel metadata.
+func TestParseRealWorldShape(t *testing.T) {
+	raw := `{
+	 "cells": [
+	  {"id": "intro", "cell_type": "markdown", "metadata": {},
+	   "source": ["# Analysis\n", "of results"]},
+	  {"id": "c1", "cell_type": "code", "execution_count": 2,
+	   "metadata": {"collapsed": false},
+	   "outputs": [
+	    {"output_type": "stream", "name": "stdout", "text": ["42\n"]},
+	    {"output_type": "execute_result", "execution_count": 2,
+	     "data": {"text/plain": ["42"]}, "metadata": {}}
+	   ],
+	   "source": "print(6*7)"}
+	 ],
+	 "metadata": {"kernelspec": {"name": "python3"}},
+	 "nbformat": 4, "nbformat_minor": 5
+	}`
+	nb, err := Parse([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.Cells[0].Source != "# Analysis\nof results" {
+		t.Fatalf("markdown source = %q", nb.Cells[0].Source)
+	}
+	if nb.Cells[1].Outputs[0].Text != "42\n" {
+		t.Fatalf("stream text = %q", nb.Cells[1].Outputs[0].Text)
+	}
+	// Round-trip must preserve cell content.
+	data, err := nb.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SourceHash() != nb.SourceHash() {
+		t.Fatal("round trip changed sources")
+	}
+}
+
+// TestRandomNotebookRoundTrip is a property test: arbitrary generated
+// notebooks survive marshal/parse with hashes intact.
+func TestRandomNotebookRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		nb := New()
+		n := rng.Intn(20)
+		for i := 0; i < n; i++ {
+			id := string(rune('a'+i)) + "-cell"
+			src := randText(rng)
+			if rng.Intn(2) == 0 {
+				nb.AppendCode(id, src)
+			} else {
+				nb.AppendMarkdown(id, src)
+			}
+		}
+		data, err := nb.Marshal()
+		if err != nil {
+			t.Fatalf("trial %d: marshal: %v", trial, err)
+		}
+		back, err := Parse(data)
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v", trial, err)
+		}
+		if back.SourceHash() != nb.SourceHash() {
+			t.Fatalf("trial %d: hash mismatch", trial)
+		}
+	}
+}
+
+func randText(rng *rand.Rand) string {
+	alphabet := []rune("abc\n \t=()\"'日本λ")
+	n := rng.Intn(80)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteRune(alphabet[rng.Intn(len(alphabet))])
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package netmon
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Zeek-style tab-separated log export: one writer per typed log
+// stream, with the #fields/#types header lines Zeek consumers expect.
+// This makes the monitor's output drop-in consumable by the log
+// tooling HPC security teams already run — the integration path the
+// paper's related-work section points at (Zeek PR #3555).
+
+// writeZeekHeader emits the Zeek TSV preamble.
+func writeZeekHeader(w io.Writer, path string, fields, types []string) error {
+	if _, err := fmt.Fprintf(w, "#separator \\x09\n#path\t%s\n", path); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "#fields\t%s\n", strings.Join(fields, "\t")); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "#types\t%s\n", strings.Join(types, "\t"))
+	return err
+}
+
+func tsv(w io.Writer, cols ...string) error {
+	for i, c := range cols {
+		if c == "" {
+			cols[i] = "-"
+		} else {
+			cols[i] = strings.NewReplacer("\t", " ", "\n", " ").Replace(c)
+		}
+	}
+	_, err := io.WriteString(w, strings.Join(cols, "\t")+"\n")
+	return err
+}
+
+// WriteConnLog exports conn.log.
+func (m *Monitor) WriteConnLog(w io.Writer) error {
+	if err := writeZeekHeader(w, "conn",
+		[]string{"uid", "id.orig_h", "id.orig_p", "orig_bytes", "resp_bytes", "ws_upgraded", "closed"},
+		[]string{"count", "addr", "port", "count", "count", "bool", "bool"}); err != nil {
+		return err
+	}
+	for _, c := range m.ConnLog() {
+		if err := tsv(w,
+			strconv.FormatUint(c.ID, 10), c.SrcIP, strconv.Itoa(c.SrcPort),
+			strconv.FormatInt(c.BytesIn, 10), strconv.FormatInt(c.BytesOut, 10),
+			strconv.FormatBool(c.Upgraded), strconv.FormatBool(c.Closed)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteHTTPLog exports http.log.
+func (m *Monitor) WriteHTTPLog(w io.Writer) error {
+	if err := writeZeekHeader(w, "http",
+		[]string{"uid", "method", "uri", "host", "user_agent", "has_auth", "token_in_url", "upgrade", "status_code"},
+		[]string{"count", "string", "string", "string", "string", "bool", "bool", "bool", "count"}); err != nil {
+		return err
+	}
+	for _, h := range m.HTTPLog() {
+		if err := tsv(w,
+			strconv.FormatUint(h.ConnID, 10), h.Method, h.Path, h.Host, h.UserAgent,
+			strconv.FormatBool(h.HasAuth), strconv.FormatBool(h.TokenInURL),
+			strconv.FormatBool(h.Upgrade), strconv.Itoa(h.Status)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteWSLog exports websocket.log.
+func (m *Monitor) WriteWSLog(w io.Writer) error {
+	if err := writeZeekHeader(w, "websocket",
+		[]string{"uid", "from_client", "opcode", "length", "fin"},
+		[]string{"count", "bool", "string", "count", "bool"}); err != nil {
+		return err
+	}
+	for _, f := range m.WSLog() {
+		if err := tsv(w,
+			strconv.FormatUint(f.ConnID, 10), strconv.FormatBool(f.FromClient),
+			f.Opcode, strconv.Itoa(f.Length), strconv.FormatBool(f.Fin)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJupyterLog exports jupyter.log — the stream the paper says no
+// existing tool produces.
+func (m *Monitor) WriteJupyterLog(w io.Writer) error {
+	if err := writeZeekHeader(w, "jupyter",
+		[]string{"uid", "from_client", "msg_type", "channel", "session", "code_size"},
+		[]string{"count", "bool", "string", "string", "string", "count"}); err != nil {
+		return err
+	}
+	for _, j := range m.JupyterLog() {
+		if err := tsv(w,
+			strconv.FormatUint(j.ConnID, 10), strconv.FormatBool(j.FromClient),
+			j.MsgType, j.Channel, j.Session, strconv.Itoa(j.CodeSize)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteAllLogs exports every stream separated by blank lines.
+func (m *Monitor) WriteAllLogs(w io.Writer) error {
+	for _, fn := range []func(io.Writer) error{
+		m.WriteConnLog, m.WriteHTTPLog, m.WriteWSLog, m.WriteJupyterLog,
+	} {
+		if err := fn(w); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package netmon
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestZeekLogExport(t *testing.T) {
+	c, mon, done := tappedServer(t, FullVisibility())
+	defer done()
+	drive(t, c)
+	settle()
+
+	var buf bytes.Buffer
+	if err := mon.WriteAllLogs(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"#path\tconn", "#path\thttp", "#path\twebsocket", "#path\tjupyter",
+		"#separator", "#fields", "#types",
+		"execute_request", "/api/status",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q", want)
+		}
+	}
+}
+
+func TestZeekLogColumnsAligned(t *testing.T) {
+	c, mon, done := tappedServer(t, FullVisibility())
+	defer done()
+	drive(t, c)
+	settle()
+
+	var buf bytes.Buffer
+	if err := mon.WriteHTTPLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var fieldCount int
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#fields") {
+			fieldCount = len(strings.Split(line, "\t")) - 1
+			continue
+		}
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		if got := len(strings.Split(line, "\t")); got != fieldCount {
+			t.Fatalf("row has %d columns, want %d: %q", got, fieldCount, line)
+		}
+	}
+	if fieldCount == 0 {
+		t.Fatal("no #fields header")
+	}
+}
+
+func TestZeekLogEscapesTabs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := tsv(&buf, "a\tb", "c\nd", ""); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	if strings.Count(line, "\t") != 2 {
+		t.Fatalf("embedded separator not escaped: %q", line)
+	}
+	if !strings.HasSuffix(line, "\t-\n") {
+		t.Fatalf("empty column not dashed: %q", line)
+	}
+}

@@ -1,0 +1,262 @@
+// Package oscrp models TrustedCI's Open Science Cyber Risk Profile as
+// applied to Jupyter in the paper's Fig. 3: avenues of attack map to
+// concerns about science assets, which map to consequences for
+// facilities and people. The package regenerates the figure's mapping
+// table and scores incident risk for the core engine.
+package oscrp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Avenue is an avenue of attack (top row of Fig. 3).
+type Avenue string
+
+// Avenues of attack from Fig. 3.
+const (
+	AvenueRansomware      Avenue = "ransomware"
+	AvenueCryptomining    Avenue = "cryptomining"
+	AvenueExfiltration    Avenue = "data_exfiltration"
+	AvenueAccountTakeover Avenue = "account_takeover"
+	AvenueZeroDay         Avenue = "zero_day"
+	AvenueMisconfig       Avenue = "security_misconfiguration"
+	AvenueDoS             Avenue = "denial_of_service"
+)
+
+// Concern is a concern about science assets (middle row of Fig. 3).
+type Concern string
+
+// Concerns from Fig. 3.
+const (
+	ConcernInaccessibleData    Concern = "inaccessible_or_incorrect_data"
+	ConcernExposedData         Concern = "exposed_data"
+	ConcernComputingDisruption Concern = "disruption_of_computing"
+)
+
+// Consequence is an outcome for science, facilities, and people
+// (bottom row of Fig. 3).
+type Consequence string
+
+// Consequences from Fig. 3.
+const (
+	ConsIrreproducibleResults Consequence = "irreproducible_results"
+	ConsMisguidedScience      Consequence = "misguided_scientific_interpretation"
+	ConsLegalActions          Consequence = "legal_actions"
+	ConsFundingLoss           Consequence = "funding_loss"
+	ConsReducedReputation     Consequence = "reduced_reputation"
+)
+
+// Asset is a science asset class at risk.
+type Asset string
+
+// Assets the paper's introduction enumerates.
+const (
+	AssetAIModels     Asset = "trained_ai_models"
+	AssetTrainingData Asset = "training_data"
+	AssetHPCResources Asset = "hpc_compute_resources"
+	AssetCredentials  Asset = "credentials_and_tokens"
+	AssetNotebooks    Asset = "research_notebooks"
+)
+
+// Mapping ties one avenue to its concerns, consequences, and the
+// assets at stake, with a base severity weight used in risk scoring.
+type Mapping struct {
+	Avenue       Avenue
+	Concerns     []Concern
+	Consequences []Consequence
+	Assets       []Asset
+	// Weight is the base risk weight in [0,1] assigned from the
+	// paper's qualitative ordering (disruption + data loss highest).
+	Weight float64
+}
+
+// Profile is the complete Fig. 3 model.
+type Profile struct {
+	Mappings []Mapping
+}
+
+// Default returns the OSCRP mapping exactly as drawn in Fig. 3 of the
+// paper, with avenue->concern edges read off the figure.
+func Default() *Profile {
+	return &Profile{Mappings: []Mapping{
+		{
+			Avenue:       AvenueRansomware,
+			Concerns:     []Concern{ConcernInaccessibleData},
+			Consequences: []Consequence{ConsIrreproducibleResults, ConsLegalActions, ConsFundingLoss},
+			Assets:       []Asset{AssetNotebooks, AssetTrainingData, AssetAIModels},
+			Weight:       0.95,
+		},
+		{
+			Avenue:       AvenueCryptomining,
+			Concerns:     []Concern{ConcernComputingDisruption},
+			Consequences: []Consequence{ConsFundingLoss, ConsReducedReputation},
+			Assets:       []Asset{AssetHPCResources},
+			Weight:       0.70,
+		},
+		{
+			Avenue:       AvenueExfiltration,
+			Concerns:     []Concern{ConcernExposedData},
+			Consequences: []Consequence{ConsLegalActions, ConsReducedReputation, ConsMisguidedScience},
+			Assets:       []Asset{AssetTrainingData, AssetAIModels, AssetCredentials},
+			Weight:       0.90,
+		},
+		{
+			Avenue:       AvenueAccountTakeover,
+			Concerns:     []Concern{ConcernExposedData, ConcernComputingDisruption},
+			Consequences: []Consequence{ConsLegalActions, ConsReducedReputation},
+			Assets:       []Asset{AssetCredentials, AssetHPCResources},
+			Weight:       0.85,
+		},
+		{
+			Avenue:       AvenueZeroDay,
+			Concerns:     []Concern{ConcernInaccessibleData, ConcernExposedData, ConcernComputingDisruption},
+			Consequences: []Consequence{ConsIrreproducibleResults, ConsMisguidedScience, ConsLegalActions, ConsFundingLoss, ConsReducedReputation},
+			Assets:       []Asset{AssetNotebooks, AssetTrainingData, AssetAIModels, AssetHPCResources, AssetCredentials},
+			Weight:       0.80,
+		},
+		{
+			Avenue:       AvenueMisconfig,
+			Concerns:     []Concern{ConcernExposedData, ConcernComputingDisruption},
+			Consequences: []Consequence{ConsReducedReputation, ConsLegalActions},
+			Assets:       []Asset{AssetNotebooks, AssetCredentials},
+			Weight:       0.60,
+		},
+		{
+			Avenue:       AvenueDoS,
+			Concerns:     []Concern{ConcernComputingDisruption},
+			Consequences: []Consequence{ConsIrreproducibleResults, ConsReducedReputation},
+			Assets:       []Asset{AssetHPCResources},
+			Weight:       0.55,
+		},
+	}}
+}
+
+// ByAvenue returns the mapping for an avenue, or nil.
+func (p *Profile) ByAvenue(a Avenue) *Mapping {
+	for i := range p.Mappings {
+		if p.Mappings[i].Avenue == a {
+			return &p.Mappings[i]
+		}
+	}
+	return nil
+}
+
+// AvenueForClass resolves a rules-package taxonomy class string to an
+// OSCRP avenue (they share the same identifiers).
+func AvenueForClass(class string) (Avenue, bool) {
+	switch Avenue(class) {
+	case AvenueRansomware, AvenueCryptomining, AvenueExfiltration,
+		AvenueAccountTakeover, AvenueZeroDay, AvenueMisconfig, AvenueDoS:
+		return Avenue(class), true
+	}
+	return "", false
+}
+
+// RiskScore combines an avenue's base weight with observed alert
+// volume and top severity rank (0..4) into a [0,100] score.
+func (p *Profile) RiskScore(a Avenue, alertCount, topSeverityRank int) float64 {
+	m := p.ByAvenue(a)
+	if m == nil || alertCount == 0 {
+		return 0
+	}
+	volume := 1.0
+	switch {
+	case alertCount >= 20:
+		volume = 1.0
+	case alertCount >= 5:
+		volume = 0.8
+	default:
+		volume = 0.6
+	}
+	sev := 0.4 + 0.15*float64(topSeverityRank)
+	score := 100 * m.Weight * volume * sev
+	if score > 100 {
+		score = 100
+	}
+	return score
+}
+
+// TableRow is one row of the regenerated Table 1 / Fig. 3 mapping.
+type TableRow struct {
+	Avenue       string
+	Concerns     string
+	Consequences string
+	Assets       string
+}
+
+// Table renders the avenue->concern->consequence mapping as rows,
+// sorted by avenue — the reproduction of the paper's Table 1.
+func (p *Profile) Table() []TableRow {
+	rows := make([]TableRow, 0, len(p.Mappings))
+	for _, m := range p.Mappings {
+		rows = append(rows, TableRow{
+			Avenue:       string(m.Avenue),
+			Concerns:     joinConcerns(m.Concerns),
+			Consequences: joinConsequences(m.Consequences),
+			Assets:       joinAssets(m.Assets),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Avenue < rows[j].Avenue })
+	return rows
+}
+
+// Render prints the table in aligned text form.
+func (p *Profile) Render() string {
+	var b strings.Builder
+	b.WriteString("OSCRP mapping (Fig. 3 / Table 1)\n")
+	b.WriteString(fmt.Sprintf("%-28s | %-50s | %s\n", "AVENUE OF ATTACK", "CONCERNS", "CONSEQUENCES"))
+	b.WriteString(strings.Repeat("-", 140) + "\n")
+	for _, r := range p.Table() {
+		b.WriteString(fmt.Sprintf("%-28s | %-50s | %s\n", r.Avenue, r.Concerns, r.Consequences))
+	}
+	return b.String()
+}
+
+func joinConcerns(cs []Concern) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = string(c)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func joinConsequences(cs []Consequence) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = string(c)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func joinAssets(as []Asset) string {
+	parts := make([]string, len(as))
+	for i, a := range as {
+		parts[i] = string(a)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Validate checks the profile for structural completeness: every
+// avenue has at least one concern, consequence, and asset, and weights
+// are in (0,1].
+func (p *Profile) Validate() error {
+	if len(p.Mappings) == 0 {
+		return fmt.Errorf("oscrp: empty profile")
+	}
+	seen := map[Avenue]bool{}
+	for _, m := range p.Mappings {
+		if seen[m.Avenue] {
+			return fmt.Errorf("oscrp: duplicate avenue %s", m.Avenue)
+		}
+		seen[m.Avenue] = true
+		if len(m.Concerns) == 0 || len(m.Consequences) == 0 || len(m.Assets) == 0 {
+			return fmt.Errorf("oscrp: avenue %s has an empty mapping", m.Avenue)
+		}
+		if m.Weight <= 0 || m.Weight > 1 {
+			return fmt.Errorf("oscrp: avenue %s weight %.2f out of (0,1]", m.Avenue, m.Weight)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package oscrp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultProfileValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig3Edges(t *testing.T) {
+	p := Default()
+	// The figure's avenue -> concern edges, read off Fig. 3.
+	edges := map[Avenue][]Concern{
+		AvenueRansomware:   {ConcernInaccessibleData},
+		AvenueCryptomining: {ConcernComputingDisruption},
+		AvenueExfiltration: {ConcernExposedData},
+	}
+	for av, wantConcerns := range edges {
+		m := p.ByAvenue(av)
+		if m == nil {
+			t.Fatalf("avenue %s missing", av)
+		}
+		for _, c := range wantConcerns {
+			found := false
+			for _, got := range m.Concerns {
+				if got == c {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("avenue %s missing concern %s", av, c)
+			}
+		}
+	}
+}
+
+func TestAllSevenAvenuesPresent(t *testing.T) {
+	p := Default()
+	for _, av := range []Avenue{
+		AvenueRansomware, AvenueCryptomining, AvenueExfiltration,
+		AvenueAccountTakeover, AvenueZeroDay, AvenueMisconfig, AvenueDoS,
+	} {
+		if p.ByAvenue(av) == nil {
+			t.Errorf("avenue %s missing from profile", av)
+		}
+	}
+}
+
+func TestConsequencesCoverFig3(t *testing.T) {
+	p := Default()
+	seen := map[Consequence]bool{}
+	for _, m := range p.Mappings {
+		for _, c := range m.Consequences {
+			seen[c] = true
+		}
+	}
+	for _, c := range []Consequence{
+		ConsIrreproducibleResults, ConsMisguidedScience,
+		ConsLegalActions, ConsFundingLoss, ConsReducedReputation,
+	} {
+		if !seen[c] {
+			t.Errorf("consequence %s unreachable", c)
+		}
+	}
+}
+
+func TestAvenueForClass(t *testing.T) {
+	if av, ok := AvenueForClass("ransomware"); !ok || av != AvenueRansomware {
+		t.Fatalf("AvenueForClass = %v %v", av, ok)
+	}
+	if _, ok := AvenueForClass("martian"); ok {
+		t.Fatal("unknown class resolved")
+	}
+}
+
+func TestRiskScoreMonotone(t *testing.T) {
+	p := Default()
+	low := p.RiskScore(AvenueRansomware, 1, 1)
+	mid := p.RiskScore(AvenueRansomware, 10, 3)
+	high := p.RiskScore(AvenueRansomware, 50, 4)
+	if !(low < mid && mid < high) {
+		t.Fatalf("scores not monotone: %f %f %f", low, mid, high)
+	}
+	if high > 100 {
+		t.Fatalf("score above 100: %f", high)
+	}
+	if p.RiskScore(AvenueRansomware, 0, 4) != 0 {
+		t.Fatal("score without alerts")
+	}
+}
+
+func TestRansomwareOutranksDoS(t *testing.T) {
+	p := Default()
+	if p.RiskScore(AvenueRansomware, 10, 3) <= p.RiskScore(AvenueDoS, 10, 3) {
+		t.Fatal("ransomware should outrank DoS at equal evidence")
+	}
+}
+
+func TestTableAndRender(t *testing.T) {
+	p := Default()
+	rows := p.Table()
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Avenue < rows[i-1].Avenue {
+			t.Fatal("rows not sorted")
+		}
+	}
+	text := p.Render()
+	for _, want := range []string{"ransomware", "inaccessible_or_incorrect_data", "funding_loss", "AVENUE"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestValidateCatchesDuplicates(t *testing.T) {
+	p := Default()
+	p.Mappings = append(p.Mappings, p.Mappings[0])
+	if err := p.Validate(); err == nil {
+		t.Fatal("duplicate avenue accepted")
+	}
+}
+
+func TestValidateCatchesEmptyMapping(t *testing.T) {
+	p := &Profile{Mappings: []Mapping{{Avenue: AvenueDoS, Weight: 0.5}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("empty mapping accepted")
+	}
+	if err := (&Profile{}).Validate(); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+}
+
+func TestValidateWeightBounds(t *testing.T) {
+	p := &Profile{Mappings: []Mapping{{
+		Avenue: AvenueDoS, Weight: 1.5,
+		Concerns:     []Concern{ConcernComputingDisruption},
+		Consequences: []Consequence{ConsFundingLoss},
+		Assets:       []Asset{AssetHPCResources},
+	}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("weight > 1 accepted")
+	}
+}

@@ -1,0 +1,286 @@
+package rules
+
+import "time"
+
+// Taxonomy class names shared with the taxonomy and oscrp packages.
+// (Kept as plain strings here to avoid an import cycle; the taxonomy
+// package asserts they stay in sync.)
+const (
+	ClassRansomware      = "ransomware"
+	ClassExfiltration    = "data_exfiltration"
+	ClassCryptomining    = "cryptomining"
+	ClassMisconfig       = "security_misconfiguration"
+	ClassAccountTakeover = "account_takeover"
+	ClassDoS             = "denial_of_service"
+	ClassZeroDay         = "zero_day"
+)
+
+// BuiltinRules returns the stock signature set covering the paper's
+// taxonomy (Fig. 1): one or more signatures per attack class, derived
+// from the public incident patterns the paper cites.
+func BuiltinRules() []*Rule {
+	return []*Rule{
+		// ---- Ransomware ----
+		{
+			ID:          "RW-001-encrypt-call",
+			Description: "cell source invokes encryption primitive over files",
+			Class:       ClassRansomware,
+			Severity:    SevHigh,
+			Conditions: []Condition{
+				{Field: "kind", Equals: "exec"},
+				{Field: "code", Regex: `encrypt\s*\(`},
+			},
+		},
+		{
+			ID:          "RW-002-ransom-note",
+			Description: "file write of a ransom note artifact",
+			Class:       ClassRansomware,
+			Severity:    SevCritical,
+			Conditions: []Condition{
+				{Field: "kind", Equals: "file_op"},
+				{Field: "op", Regex: `^(create|write)$`},
+				{Field: "target", Regex: `(?i)(readme.*(ransom|decrypt|restore)|ransom|how_to_recover)`},
+			},
+		},
+		{
+			ID:          "RW-003-bulk-highentropy-writes",
+			Description: "burst of high-entropy file overwrites (encryption sweep)",
+			Class:       ClassRansomware,
+			Severity:    SevCritical,
+			Conditions: []Condition{
+				{Field: "kind", Equals: "file_op"},
+				{Field: "op", Equals: "write"},
+				GTCond("entropy", 7.2),
+			},
+			Threshold: &Threshold{Count: 5, Window: 2 * time.Minute, GroupBy: "user"},
+		},
+		{
+			ID:          "RW-004-extension-churn",
+			Description: "burst of renames to a foreign extension (.locked/.enc)",
+			Class:       ClassRansomware,
+			Severity:    SevHigh,
+			Conditions: []Condition{
+				{Field: "kind", Equals: "file_op"},
+				{Field: "op", Equals: "rename"},
+				{Field: "detail", Regex: `\.(locked|enc|crypt|encrypted)$`},
+			},
+			Threshold: &Threshold{Count: 3, Window: 2 * time.Minute, GroupBy: "user"},
+		},
+
+		// ---- Data exfiltration ----
+		{
+			ID:          "EX-001-outbound-post",
+			Description: "kernel performs outbound POST to non-allowlisted host",
+			Class:       ClassExfiltration,
+			Severity:    SevHigh,
+			Conditions: []Condition{
+				{Field: "kind", Equals: "net_op"},
+				{Field: "op", Equals: "POST"},
+			},
+		},
+		{
+			ID:          "EX-002-bulk-read-then-post",
+			Description: "large content read followed by outbound network transfer",
+			Class:       ClassExfiltration,
+			Severity:    SevCritical,
+			Sequence: []Stage{
+				{Conditions: []Condition{
+					{Field: "kind", Equals: "file_op"},
+					{Field: "op", Equals: "read"},
+					GTCond("bytes", 4096),
+				}},
+				{Conditions: []Condition{
+					{Field: "kind", Equals: "net_op"},
+					GTCond("bytes", 1024),
+				}, Within: 5 * time.Minute},
+			},
+		},
+		{
+			ID:          "EX-003-encoded-upload",
+			Description: "cell source base64-encodes data before network send",
+			Class:       ClassExfiltration,
+			Severity:    SevMedium,
+			Conditions: []Condition{
+				{Field: "kind", Equals: "exec"},
+				{Field: "code", Regex: `b64encode\s*\(`},
+			},
+		},
+		{
+			ID:          "EX-004-highentropy-upload",
+			Description: "outbound payload with near-random entropy (packed or encrypted data)",
+			Class:       ClassExfiltration,
+			Severity:    SevHigh,
+			Conditions: []Condition{
+				{Field: "kind", Equals: "net_op"},
+				GTCond("entropy", 7.0),
+				GTCond("bytes", 512),
+			},
+		},
+
+		// ---- Cryptomining / resource abuse ----
+		{
+			ID:          "CM-001-miner-strings",
+			Description: "cell source references mining pools or miner binaries",
+			Class:       ClassCryptomining,
+			Severity:    SevCritical,
+			Conditions: []Condition{
+				{Field: "kind", Equals: "exec"},
+				{Field: "code", Regex: `(?i)(stratum\+tcp|xmrig|minerd|cryptonight|coinhive|pool\.min)`},
+			},
+			References: []string{"https://nvd.nist.gov/vuln/detail/CVE-2024-22415"},
+		},
+		{
+			ID:          "CM-002-sustained-cpu",
+			Description: "execution consumed a large CPU budget in one cell",
+			Class:       ClassCryptomining,
+			Severity:    SevMedium,
+			Conditions: []Condition{
+				{Field: "kind", Equals: "exec"},
+				GTCond("cpu_millis", 30000),
+			},
+		},
+		{
+			ID:          "CM-003-cpu-burst-series",
+			Description: "repeated heavy-CPU executions from one kernel (duty-cycled miner)",
+			Class:       ClassCryptomining,
+			Severity:    SevHigh,
+			Conditions: []Condition{
+				{Field: "kind", Equals: "sys_res"},
+				GTCond("cpu_millis", 5000),
+			},
+			Threshold: &Threshold{Count: 4, Window: 10 * time.Minute, GroupBy: "kernel_id"},
+		},
+
+		// ---- Security misconfiguration probing/exploitation ----
+		{
+			ID:          "MC-001-unauth-api-sweep",
+			Description: "unauthenticated client enumerated API endpoints",
+			Class:       ClassMisconfig,
+			Severity:    SevMedium,
+			Conditions: []Condition{
+				{Field: "kind", Equals: "http"},
+				{Field: "status", Equals: "403"},
+				{Field: "path", Regex: `^/api/`},
+			},
+			Threshold: &Threshold{Count: 5, Window: time.Minute, GroupBy: "src_ip"},
+		},
+		{
+			ID:          "MC-002-open-server-access",
+			Description: "request served by an auth-disabled server",
+			Class:       ClassMisconfig,
+			Severity:    SevHigh,
+			Conditions: []Condition{
+				{Field: "kind", Equals: "auth"},
+				{Field: "op", Equals: "open"},
+			},
+			Threshold: &Threshold{Count: 1, Window: time.Hour, GroupBy: "src_ip"},
+		},
+		{
+			ID:          "MC-003-token-in-url",
+			Description: "credential presented in URL query string",
+			Class:       ClassMisconfig,
+			Severity:    SevMedium,
+			Conditions: []Condition{
+				{Field: "kind", Equals: "http"},
+				{Field: "path", Contains: "token="},
+			},
+		},
+
+		// ---- Account takeover ----
+		{
+			ID:          "AT-001-bruteforce",
+			Description: "rapid authentication failures from one source",
+			Class:       ClassAccountTakeover,
+			Severity:    SevHigh,
+			Conditions: []Condition{
+				{Field: "kind", Equals: "auth"},
+				{Field: "success", Equals: "false"},
+			},
+			Threshold: &Threshold{Count: 8, Window: 2 * time.Minute, GroupBy: "src_ip"},
+			References: []string{
+				"Cao et al., Personalized password guessing (HotSoS'14)",
+			},
+		},
+		{
+			ID:          "AT-002-success-after-failures",
+			Description: "successful login immediately after a failure train (credential stuffing hit)",
+			Class:       ClassAccountTakeover,
+			Severity:    SevCritical,
+			Sequence: []Stage{
+				{Conditions: []Condition{
+					{Field: "kind", Equals: "auth"},
+					{Field: "success", Equals: "false"},
+				}},
+				{Conditions: []Condition{
+					{Field: "kind", Equals: "auth"},
+					{Field: "success", Equals: "false"},
+				}, Within: 5 * time.Minute},
+				{Conditions: []Condition{
+					{Field: "kind", Equals: "auth"},
+					{Field: "success", Equals: "false"},
+				}, Within: 5 * time.Minute},
+				{Conditions: []Condition{
+					{Field: "kind", Equals: "auth"},
+					{Field: "success", Equals: "true"},
+				}, Within: 5 * time.Minute},
+			},
+		},
+
+		// ---- Terminal / shell escape (vast attack interface) ----
+		{
+			ID:          "TS-001-recon-commands",
+			Description: "reconnaissance command in terminal or kernel shell",
+			Class:       ClassZeroDay,
+			Severity:    SevMedium,
+			Conditions: []Condition{
+				{Field: "kind", Equals: "term_cmd"},
+				{Field: "code", Regex: `^(whoami|id|uname|nproc|cat /etc/passwd)`},
+			},
+		},
+		{
+			ID:          "TS-002-downloader",
+			Description: "terminal command fetches and pipes remote content",
+			Class:       ClassZeroDay,
+			Severity:    SevCritical,
+			Conditions: []Condition{
+				{Field: "kind", Equals: "term_cmd"},
+				{Field: "code", Regex: `(curl|wget).*(\||;|&&).*(sh|bash|python)`},
+			},
+		},
+
+		// ---- Trojan notebooks (static scan findings) ----
+		{
+			ID:          "NB-001-malicious-notebook",
+			Description: "static notebook scan flagged attack-shaped code cells on write",
+			Class:       ClassZeroDay,
+			Severity:    SevHigh,
+			Conditions: []Condition{
+				{Field: "kind", Equals: "file_op"},
+				{Field: "op", Equals: "nb_scan"},
+				GTCond("bytes", 0),
+			},
+		},
+
+		// ---- Denial of service ----
+		{
+			ID:          "DS-001-request-flood",
+			Description: "HTTP request flood from one source",
+			Class:       ClassDoS,
+			Severity:    SevHigh,
+			Conditions: []Condition{
+				{Field: "kind", Equals: "http"},
+			},
+			Threshold: &Threshold{Count: 200, Window: 10 * time.Second, GroupBy: "src_ip"},
+		},
+	}
+}
+
+// BuiltinRuleIDs returns the ids of the stock ruleset.
+func BuiltinRuleIDs() []string {
+	rs := BuiltinRules()
+	ids := make([]string, len(rs))
+	for i, r := range rs {
+		ids[i] = r.ID
+	}
+	return ids
+}

@@ -1,0 +1,506 @@
+// Package rules implements the declarative signature engine of the
+// monitoring tool: rules match trace events by field predicates,
+// regular expressions, windowed thresholds, and ordered sequences, and
+// produce alerts tagged with the taxonomy class they indicate.
+//
+// Rules are the mechanism the paper's honeypot pipeline distributes:
+// a signature extracted at the network edge is serialized as JSON and
+// loaded into production monitors.
+package rules
+
+import (
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Severity grades an alert.
+type Severity string
+
+// Severities in ascending order.
+const (
+	SevInfo     Severity = "info"
+	SevLow      Severity = "low"
+	SevMedium   Severity = "medium"
+	SevHigh     Severity = "high"
+	SevCritical Severity = "critical"
+)
+
+// Rank orders severities (higher is worse).
+func (s Severity) Rank() int {
+	switch s {
+	case SevInfo:
+		return 0
+	case SevLow:
+		return 1
+	case SevMedium:
+		return 2
+	case SevHigh:
+		return 3
+	case SevCritical:
+		return 4
+	}
+	return -1
+}
+
+// Condition is one field predicate. Exactly one operator group is
+// used: Equals, Regex, Contains, or the numeric comparisons.
+type Condition struct {
+	Field    string  `json:"field"` // event field name (see FieldValue)
+	Equals   string  `json:"equals,omitempty"`
+	Contains string  `json:"contains,omitempty"`
+	Regex    string  `json:"regex,omitempty"`
+	GT       float64 `json:"gt,omitempty"`
+	LT       float64 `json:"lt,omitempty"`
+	HasGT    bool    `json:"has_gt,omitempty"`
+	HasLT    bool    `json:"has_lt,omitempty"`
+
+	re *regexp.Regexp
+}
+
+// compile prepares the regex.
+func (c *Condition) compile() error {
+	if c.Regex != "" {
+		re, err := regexp.Compile(c.Regex)
+		if err != nil {
+			return fmt.Errorf("rules: condition on %q: %w", c.Field, err)
+		}
+		c.re = re
+	}
+	return nil
+}
+
+// FieldValue extracts a named field from an event as a string. Names
+// mirror the trace.Event JSON tags; unknown names read from Fields.
+func FieldValue(e trace.Event, field string) string {
+	switch field {
+	case "kind":
+		return string(e.Kind)
+	case "src_ip":
+		return e.SrcIP
+	case "dst_ip":
+		return e.DstIP
+	case "user":
+		return e.User
+	case "session":
+		return e.Session
+	case "method":
+		return e.Method
+	case "path":
+		return e.Path
+	case "status":
+		return strconv.Itoa(e.Status)
+	case "ws_opcode":
+		return e.WSOpcode
+	case "msg_type":
+		return e.MsgType
+	case "channel":
+		return e.Channel
+	case "kernel_id":
+		return e.KernelID
+	case "code":
+		return e.Code
+	case "op":
+		return e.Op
+	case "target":
+		return e.Target
+	case "bytes":
+		return strconv.FormatInt(e.Bytes, 10)
+	case "entropy":
+		return strconv.FormatFloat(e.Entropy, 'f', -1, 64)
+	case "cpu_millis":
+		return strconv.FormatInt(e.CPUMillis, 10)
+	case "success":
+		return strconv.FormatBool(e.Success)
+	case "detail":
+		return e.Detail
+	default:
+		return e.Field(field)
+	}
+}
+
+// numericValue extracts a field as float64 for gt/lt comparisons.
+func numericValue(e trace.Event, field string) (float64, bool) {
+	switch field {
+	case "bytes":
+		return float64(e.Bytes), true
+	case "entropy":
+		return e.Entropy, true
+	case "cpu_millis":
+		return float64(e.CPUMillis), true
+	case "status":
+		return float64(e.Status), true
+	}
+	if v := FieldValue(e, field); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// Match evaluates the condition against an event.
+func (c *Condition) Match(e trace.Event) bool {
+	if c.HasGT || c.HasLT {
+		v, ok := numericValue(e, c.Field)
+		if !ok {
+			return false
+		}
+		if c.HasGT && !(v > c.GT) {
+			return false
+		}
+		if c.HasLT && !(v < c.LT) {
+			return false
+		}
+		return true
+	}
+	v := FieldValue(e, c.Field)
+	switch {
+	case c.Equals != "":
+		return v == c.Equals
+	case c.Contains != "":
+		return strings.Contains(v, c.Contains)
+	case c.re != nil:
+		return c.re.MatchString(v)
+	case c.Regex != "":
+		// Uncompiled rule used directly; compile lazily.
+		re, err := regexp.Compile(c.Regex)
+		if err != nil {
+			return false
+		}
+		c.re = re
+		return re.MatchString(v)
+	}
+	return v != ""
+}
+
+// GTCond builds a numeric greater-than condition.
+func GTCond(field string, v float64) Condition {
+	return Condition{Field: field, GT: v, HasGT: true}
+}
+
+// LTCond builds a numeric less-than condition.
+func LTCond(field string, v float64) Condition {
+	return Condition{Field: field, LT: v, HasLT: true}
+}
+
+// Rule is one signature. A rule fires when all Conditions match a
+// single event; if Threshold is set, it fires only after Count
+// matching events from the same group (keyed by GroupBy) inside
+// Window; if Sequence is set, the stages must match in order for the
+// same group.
+type Rule struct {
+	ID          string      `json:"id"`
+	Description string      `json:"description"`
+	Class       string      `json:"class"` // taxonomy class this indicates
+	Severity    Severity    `json:"severity"`
+	Conditions  []Condition `json:"conditions,omitempty"`
+	Threshold   *Threshold  `json:"threshold,omitempty"`
+	Sequence    []Stage     `json:"sequence,omitempty"`
+	References  []string    `json:"references,omitempty"` // CVEs, write-ups
+}
+
+// Threshold fires after Count matches within Window per group.
+type Threshold struct {
+	Count   int           `json:"count"`
+	Window  time.Duration `json:"window"`
+	GroupBy string        `json:"group_by"` // field name; "" = global
+}
+
+// Stage is one step of a sequence rule.
+type Stage struct {
+	Conditions []Condition   `json:"conditions"`
+	Within     time.Duration `json:"within"` // max gap from previous stage (0 = unlimited)
+}
+
+// Compile validates the rule and prepares regexes.
+func (r *Rule) Compile() error {
+	if r.ID == "" {
+		return fmt.Errorf("rules: rule without id")
+	}
+	if r.Severity == "" {
+		r.Severity = SevMedium
+	}
+	for i := range r.Conditions {
+		if err := r.Conditions[i].compile(); err != nil {
+			return fmt.Errorf("rule %s: %w", r.ID, err)
+		}
+	}
+	for si := range r.Sequence {
+		for i := range r.Sequence[si].Conditions {
+			if err := r.Sequence[si].Conditions[i].compile(); err != nil {
+				return fmt.Errorf("rule %s stage %d: %w", r.ID, si, err)
+			}
+		}
+	}
+	if len(r.Conditions) == 0 && len(r.Sequence) == 0 {
+		return fmt.Errorf("rule %s: no conditions or sequence", r.ID)
+	}
+	if r.Threshold != nil && r.Threshold.Count <= 0 {
+		return fmt.Errorf("rule %s: threshold count must be positive", r.ID)
+	}
+	return nil
+}
+
+func matchAll(conds []Condition, e trace.Event) bool {
+	for i := range conds {
+		if !conds[i].Match(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// Alert is a fired rule.
+type Alert struct {
+	RuleID      string      `json:"rule_id"`
+	Class       string      `json:"class"`
+	Severity    Severity    `json:"severity"`
+	Description string      `json:"description"`
+	Time        time.Time   `json:"time"`
+	Group       string      `json:"group,omitempty"`
+	Trigger     trace.Event `json:"trigger"`
+	Count       int         `json:"count,omitempty"`
+}
+
+// Engine evaluates a ruleset over an event stream.
+type Engine struct {
+	mu    sync.Mutex
+	rules []*Rule
+	// threshold state: ruleID -> group -> recent match times
+	thresholds map[string]map[string][]time.Time
+	// sequence state: ruleID -> group -> next stage index + deadline
+	sequences map[string]map[string]*seqState
+	alerts    []Alert
+	onAlert   func(Alert)
+	evaluated uint64
+}
+
+type seqState struct {
+	stage    int
+	lastTime time.Time
+}
+
+// NewEngine returns an engine with the given compiled rules.
+func NewEngine(ruleset []*Rule) (*Engine, error) {
+	for _, r := range ruleset {
+		if err := r.Compile(); err != nil {
+			return nil, err
+		}
+	}
+	return &Engine{
+		rules:      ruleset,
+		thresholds: map[string]map[string][]time.Time{},
+		sequences:  map[string]map[string]*seqState{},
+	}, nil
+}
+
+// OnAlert registers a callback invoked synchronously for each alert.
+func (en *Engine) OnAlert(fn func(Alert)) {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	en.onAlert = fn
+}
+
+// AddRule appends a rule at runtime (threat-intel distribution path).
+func (en *Engine) AddRule(r *Rule) error {
+	if err := r.Compile(); err != nil {
+		return err
+	}
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	en.rules = append(en.rules, r)
+	return nil
+}
+
+// RuleCount returns the number of loaded rules.
+func (en *Engine) RuleCount() int {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	return len(en.rules)
+}
+
+// Evaluated returns the number of events processed.
+func (en *Engine) Evaluated() uint64 {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	return en.evaluated
+}
+
+// Emit implements trace.Sink: every event is evaluated against all
+// rules.
+func (en *Engine) Emit(e trace.Event) {
+	en.Process(e)
+}
+
+// Process evaluates one event and returns any alerts fired.
+func (en *Engine) Process(e trace.Event) []Alert {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	en.evaluated++
+	var fired []Alert
+	for _, r := range en.rules {
+		if a, ok := en.evalRule(r, e); ok {
+			fired = append(fired, a)
+		}
+	}
+	en.alerts = append(en.alerts, fired...)
+	if en.onAlert != nil {
+		for _, a := range fired {
+			en.onAlert(a)
+		}
+	}
+	return fired
+}
+
+func (en *Engine) evalRule(r *Rule, e trace.Event) (Alert, bool) {
+	if len(r.Sequence) > 0 {
+		return en.evalSequence(r, e)
+	}
+	if !matchAll(r.Conditions, e) {
+		return Alert{}, false
+	}
+	if r.Threshold == nil {
+		return en.mkAlert(r, e, "", 1), true
+	}
+	group := ""
+	if r.Threshold.GroupBy != "" {
+		group = FieldValue(e, r.Threshold.GroupBy)
+	}
+	tm := en.thresholds[r.ID]
+	if tm == nil {
+		tm = map[string][]time.Time{}
+		en.thresholds[r.ID] = tm
+	}
+	now := e.Time
+	times := tm[group]
+	fresh := times[:0]
+	for _, t := range times {
+		if r.Threshold.Window == 0 || now.Sub(t) <= r.Threshold.Window {
+			fresh = append(fresh, t)
+		}
+	}
+	fresh = append(fresh, now)
+	tm[group] = fresh
+	if len(fresh) >= r.Threshold.Count {
+		tm[group] = nil // reset after firing
+		return en.mkAlert(r, e, group, len(fresh)), true
+	}
+	return Alert{}, false
+}
+
+func (en *Engine) evalSequence(r *Rule, e trace.Event) (Alert, bool) {
+	group := ""
+	switch {
+	case r.Threshold != nil && r.Threshold.GroupBy != "":
+		group = FieldValue(e, r.Threshold.GroupBy)
+	case (e.Kind == trace.KindAuth || e.Kind == trace.KindHTTP || e.Kind == trace.KindConn) && e.SrcIP != "":
+		// Auth/transport events key on the *source*: a guessing
+		// campaign targets many accounts from one address.
+		group = e.SrcIP
+	case e.User != "":
+		group = e.User
+	default:
+		group = e.SrcIP
+	}
+	sm := en.sequences[r.ID]
+	if sm == nil {
+		sm = map[string]*seqState{}
+		en.sequences[r.ID] = sm
+	}
+	st := sm[group]
+	if st == nil {
+		st = &seqState{}
+		sm[group] = st
+	}
+	stage := &r.Sequence[st.stage]
+	if stage.Within > 0 && st.stage > 0 && e.Time.Sub(st.lastTime) > stage.Within {
+		// Too slow: restart the sequence at stage 0.
+		st.stage = 0
+		stage = &r.Sequence[0]
+	}
+	if !matchAll(stage.Conditions, e) {
+		// A non-matching event does not reset progress (attackers
+		// interleave benign traffic), it is simply ignored.
+		return Alert{}, false
+	}
+	st.stage++
+	st.lastTime = e.Time
+	if st.stage >= len(r.Sequence) {
+		st.stage = 0
+		return en.mkAlert(r, e, group, len(r.Sequence)), true
+	}
+	return Alert{}, false
+}
+
+func (en *Engine) mkAlert(r *Rule, e trace.Event, group string, count int) Alert {
+	return Alert{
+		RuleID: r.ID, Class: r.Class, Severity: r.Severity,
+		Description: r.Description, Time: e.Time, Group: group,
+		Trigger: e.Clone(), Count: count,
+	}
+}
+
+// Alerts returns all alerts fired so far.
+func (en *Engine) Alerts() []Alert {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	out := make([]Alert, len(en.alerts))
+	copy(out, en.alerts)
+	return out
+}
+
+// AlertsByClass groups fired alerts by taxonomy class.
+func (en *Engine) AlertsByClass() map[string][]Alert {
+	m := map[string][]Alert{}
+	for _, a := range en.Alerts() {
+		m[a.Class] = append(m[a.Class], a)
+	}
+	return m
+}
+
+// Reset clears alert and correlation state, keeping rules.
+func (en *Engine) Reset() {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	en.alerts = nil
+	en.thresholds = map[string]map[string][]time.Time{}
+	en.sequences = map[string]map[string]*seqState{}
+	en.evaluated = 0
+}
+
+// MarshalRules serializes rules to the JSON exchange format.
+func MarshalRules(rs []*Rule) ([]byte, error) {
+	return json.MarshalIndent(rs, "", "  ")
+}
+
+// UnmarshalRules parses the JSON exchange format and compiles rules.
+func UnmarshalRules(data []byte) ([]*Rule, error) {
+	var rs []*Rule
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("rules: parse: %w", err)
+	}
+	for _, r := range rs {
+		if err := r.Compile(); err != nil {
+			return nil, err
+		}
+	}
+	return rs, nil
+}
+
+// SortAlerts orders alerts by time then rule id, for stable reports.
+func SortAlerts(alerts []Alert) {
+	sort.Slice(alerts, func(i, j int) bool {
+		if !alerts[i].Time.Equal(alerts[j].Time) {
+			return alerts[i].Time.Before(alerts[j].Time)
+		}
+		return alerts[i].RuleID < alerts[j].RuleID
+	})
+}

@@ -1,0 +1,270 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/auth"
+	"repro/internal/client"
+	"repro/internal/trace"
+)
+
+// startTestServer boots a server on an ephemeral port and returns a
+// wired client plus the event ring.
+func startTestServer(t *testing.T, cfg Config) (*Server, *client.Client, *trace.Ring) {
+	t.Helper()
+	cfg.BindAddress = "127.0.0.1"
+	srv := NewServer(cfg)
+	ring := trace.NewRing(10000)
+	srv.Bus().Subscribe(ring)
+	addr, err := srv.Start()
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, client.New(addr, cfg.Auth.Token), ring
+}
+
+func TestStatusRequiresAuth(t *testing.T) {
+	_, c, _ := startTestServer(t, HardenedConfig("sekrit-token"))
+	c.Token = ""
+	if _, err := c.Status(); !client.IsForbidden(err) {
+		t.Fatalf("expected 403 without token, got %v", err)
+	}
+	c.Token = "sekrit-token"
+	st, err := c.Status()
+	if err != nil {
+		t.Fatalf("status with token: %v", err)
+	}
+	if st["version"] != Version {
+		t.Fatalf("version = %v", st["version"])
+	}
+}
+
+func TestTokenInURLRejectedWhenHardened(t *testing.T) {
+	_, c, _ := startTestServer(t, HardenedConfig("sekrit-token"))
+	c.TokenInURL = true
+	if _, err := c.Status(); !client.IsForbidden(err) {
+		t.Fatalf("hardened server must reject ?token=, got %v", err)
+	}
+}
+
+func TestContentsRoundTrip(t *testing.T) {
+	_, c, _ := startTestServer(t, HardenedConfig("tok"))
+	if err := c.PutFile("data/readme.txt", "hello jupyter"); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	got, err := c.ReadFile("data/readme.txt")
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got != "hello jupyter" {
+		t.Fatalf("read = %q", got)
+	}
+	entries, err := c.ListDir("data")
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if len(entries) != 1 || entries[0].Path != "data/readme.txt" {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if err := c.Delete("data/readme.txt"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, err := c.ReadFile("data/readme.txt"); err == nil {
+		t.Fatal("read after delete should fail")
+	}
+}
+
+func TestKernelExecuteOverWebSocket(t *testing.T) {
+	_, c, ring := startTestServer(t, HardenedConfig("tok"))
+	k, err := c.StartKernel("minilang")
+	if err != nil {
+		t.Fatalf("start kernel: %v", err)
+	}
+	kc, err := c.ConnectKernel(k.ID, "alice")
+	if err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	defer kc.Close()
+
+	res, err := kc.Execute(`x = 6 * 7
+print("answer", x)`)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if res.Status != "ok" {
+		t.Fatalf("status = %s (%s: %s)", res.Status, res.EName, res.EValue)
+	}
+	if !strings.Contains(res.Stdout, "answer 42") {
+		t.Fatalf("stdout = %q", res.Stdout)
+	}
+	// Fig. 2 message flow: status busy, execute_input, stream, status
+	// idle, execute_reply.
+	var types []string
+	for _, m := range res.Messages {
+		types = append(types, m.Header.MsgType)
+	}
+	want := []string{"status", "execute_input", "stream", "status", "execute_reply"}
+	if strings.Join(types, ",") != strings.Join(want, ",") {
+		t.Fatalf("message flow = %v, want %v", types, want)
+	}
+	// The bus must have seen exec + kernel message events.
+	execs := ring.Filter(func(e trace.Event) bool { return e.Kind == trace.KindExec })
+	if len(execs) != 1 {
+		t.Fatalf("exec events = %d", len(execs))
+	}
+	kms := ring.Filter(func(e trace.Event) bool { return e.Kind == trace.KindKernMsg })
+	if len(kms) < 6 { // 1 in + 5 out
+		t.Fatalf("kern_msg events = %d", len(kms))
+	}
+}
+
+func TestKernelErrorPath(t *testing.T) {
+	_, c, _ := startTestServer(t, HardenedConfig("tok"))
+	k, _ := c.StartKernel("")
+	kc, err := c.ConnectKernel(k.ID, "alice")
+	if err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	defer kc.Close()
+	res, err := kc.Execute(`print(undefined_name)`)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if res.Status != "error" || res.EName != "NameError" {
+		t.Fatalf("status=%s ename=%s", res.Status, res.EName)
+	}
+}
+
+func TestTerminalDisabledWhenHardened(t *testing.T) {
+	_, c, _ := startTestServer(t, HardenedConfig("tok"))
+	if _, err := c.NewTerminal(); !client.IsForbidden(err) {
+		t.Fatalf("terminals must be disabled on hardened config, got %v", err)
+	}
+}
+
+func TestTerminalCommandLogging(t *testing.T) {
+	cfg := HardenedConfig("tok")
+	cfg.EnableTerminals = true
+	srv, c, ring := startTestServer(t, cfg)
+	name, err := c.NewTerminal()
+	if err != nil {
+		t.Fatalf("new terminal: %v", err)
+	}
+	tc, err := c.ConnectTerminal(name)
+	if err != nil {
+		t.Fatalf("connect terminal: %v", err)
+	}
+	defer tc.Close()
+	out, err := tc.Run("whoami")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "jovyan") {
+		t.Fatalf("out = %q", out)
+	}
+	cmds := ring.Filter(func(e trace.Event) bool { return e.Kind == trace.KindTermCmd })
+	if len(cmds) != 1 || cmds[0].Code != "whoami" {
+		t.Fatalf("term_cmd events = %+v", cmds)
+	}
+	srv.mu.Lock()
+	term := srv.terminals[name]
+	srv.mu.Unlock()
+	if h := term.History(); len(h) != 1 || h[0] != "whoami" {
+		t.Fatalf("history = %v", h)
+	}
+}
+
+func TestTrojanNotebookFlaggedOnWrite(t *testing.T) {
+	_, c, ring := startTestServer(t, HardenedConfig("tok"))
+	trojan := `{
+	 "cells": [{"id": "c1", "cell_type": "code", "metadata": {}, "outputs": [],
+	   "source": "for f in list_files(\"notebooks\")\n    write_file(f, encrypt(read_file(f), \"k\"))\nend"}],
+	 "metadata": {}, "nbformat": 4, "nbformat_minor": 5}`
+	if err := c.PutNotebook("shared/totally_benign.ipynb", []byte(trojan)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	scans := ring.Filter(func(e trace.Event) bool { return e.Op == "nb_scan" })
+	if len(scans) != 1 {
+		t.Fatalf("nb_scan events = %d", len(scans))
+	}
+	if scans[0].Field("nb_top_severity") != "critical" {
+		t.Fatalf("scan event = %+v", scans[0])
+	}
+	// A clean notebook produces no scan event.
+	clean := `{"cells": [{"id": "c1", "cell_type": "code", "metadata": {}, "outputs": [],
+	   "source": "print(1+1)"}], "metadata": {}, "nbformat": 4, "nbformat_minor": 5}`
+	if err := c.PutNotebook("shared/clean.ipynb", []byte(clean)); err != nil {
+		t.Fatal(err)
+	}
+	scans = ring.Filter(func(e trace.Event) bool { return e.Op == "nb_scan" })
+	if len(scans) != 1 {
+		t.Fatalf("clean notebook triggered scan event: %d", len(scans))
+	}
+}
+
+func TestLoginFlow(t *testing.T) {
+	cfg := HardenedConfig("tok")
+	cfg.Auth.Passwords = map[string]auth.PasswordHash{
+		"alice": auth.HashPassword("correct horse"),
+	}
+	_, c, _ := startTestServer(t, cfg)
+	c.Token = ""
+	if err := c.Login("alice", "wrong"); err == nil {
+		t.Fatal("bad password accepted")
+	}
+	if err := c.Login("alice", "correct horse"); err != nil {
+		t.Fatalf("login: %v", err)
+	}
+	if _, err := c.Status(); err != nil {
+		t.Fatalf("status with cookie: %v", err)
+	}
+}
+
+func TestSloppyConfigIsOpen(t *testing.T) {
+	_, c, _ := startTestServer(t, SloppyConfig())
+	c.Token = ""
+	if _, err := c.Status(); err != nil {
+		t.Fatalf("open server should not require auth: %v", err)
+	}
+	if _, err := c.NewTerminal(); err != nil {
+		t.Fatalf("open server should allow terminals: %v", err)
+	}
+}
+
+func TestSessionsAPI(t *testing.T) {
+	_, c, _ := startTestServer(t, HardenedConfig("tok"))
+	// Create a session via raw JSON through the contents of the API.
+	var out struct {
+		ID       string `json:"id"`
+		KernelID string `json:"kernel_id"`
+	}
+	err := cDo(c, "POST", "/api/sessions", map[string]any{
+		"path": "nb/analysis.ipynb", "name": "analysis", "type": "notebook",
+		"kernel": map[string]string{"name": "minilang"},
+	}, &out)
+	if err != nil {
+		t.Fatalf("create session: %v", err)
+	}
+	if out.KernelID == "" {
+		t.Fatal("no kernel id")
+	}
+	kernels, err := c.ListKernels()
+	if err != nil || len(kernels) != 1 {
+		t.Fatalf("kernels = %v err=%v", kernels, err)
+	}
+	if err := cDo(c, "DELETE", "/api/sessions/"+out.ID, nil, nil); err != nil {
+		t.Fatalf("delete session: %v", err)
+	}
+	kernels, _ = c.ListKernels()
+	if len(kernels) != 0 {
+		t.Fatalf("kernel should be shut down with session, got %v", kernels)
+	}
+}
+
+// cDo exposes the client's private do for session tests via a tiny
+// local mirror (keeps client API surface focused).
+func cDo(c *client.Client, method, path string, body, out any) error {
+	return client.Do(c, method, path, body, out)
+}

@@ -1,0 +1,268 @@
+// Package taxonomy is the registry of Jupyter attack classes from the
+// paper's Fig. 1: each class carries its entry interfaces (terminal,
+// file browser, untrusted cells, network API), kill-chain stages,
+// public references (CVEs, incident write-ups), and the detection
+// coverage this repository provides. The package regenerates Fig. 1
+// as a machine-readable report.
+package taxonomy
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Class identifies an attack class. Values are shared with
+// rules.Class* and oscrp.Avenue* constants.
+type Class string
+
+// Attack classes from Fig. 1.
+const (
+	Ransomware      Class = "ransomware"
+	Exfiltration    Class = "data_exfiltration"
+	Cryptomining    Class = "cryptomining"
+	Misconfig       Class = "security_misconfiguration"
+	AccountTakeover Class = "account_takeover"
+	DoS             Class = "denial_of_service"
+	ZeroDay         Class = "zero_day"
+)
+
+// EntryInterface is a Jupyter attack-surface component.
+type EntryInterface string
+
+// The paper's "vast attack interface".
+const (
+	EntryTerminal      EntryInterface = "terminal"
+	EntryFileBrowser   EntryInterface = "file_browser"
+	EntryUntrustedCell EntryInterface = "untrusted_cell"
+	EntryRESTAPI       EntryInterface = "rest_api"
+	EntryWebSocket     EntryInterface = "websocket_channel"
+	EntryAuthSurface   EntryInterface = "auth_surface"
+)
+
+// Stage is a kill-chain stage.
+type Stage string
+
+// Kill-chain stages used in entries.
+const (
+	StageRecon          Stage = "reconnaissance"
+	StageInitialAccess  Stage = "initial_access"
+	StageExecution      Stage = "execution"
+	StagePersistence    Stage = "persistence"
+	StageImpact         Stage = "impact"
+	StageExfiltration   Stage = "exfiltration"
+	StageResourceAbuse  Stage = "resource_abuse"
+	StageDefenseEvasion Stage = "defense_evasion"
+)
+
+// Entry is one taxonomy node (one box of Fig. 1).
+type Entry struct {
+	Class       Class            `json:"class"`
+	Title       string           `json:"title"`
+	Description string           `json:"description"`
+	Entries     []EntryInterface `json:"entry_interfaces"`
+	Stages      []Stage          `json:"kill_chain"`
+	References  []string         `json:"references"`
+	// ObservedInWild reflects Fig. 1's "attacks in the wild" branch
+	// versus internally identified issues.
+	ObservedInWild bool `json:"observed_in_wild"`
+	// DetectedBy lists rule ids and detector names covering the class.
+	DetectedBy []string `json:"detected_by"`
+	// SimulatedBy names the attack driver reproducing the class.
+	SimulatedBy string `json:"simulated_by"`
+}
+
+// Registry is the full taxonomy.
+type Registry struct {
+	Entries []Entry `json:"entries"`
+}
+
+// Default returns the taxonomy exactly as enumerated in the paper:
+// the Fig. 1 / abstract classes with their public references.
+func Default() *Registry {
+	return &Registry{Entries: []Entry{
+		{
+			Class: Ransomware,
+			Title: "Notebook and dataset ransomware",
+			Description: "Arbitrary code execution in a kernel encrypts notebooks, " +
+				"training data, and model checkpoints reachable from the contents " +
+				"API, then plants a ransom note.",
+			Entries:        []EntryInterface{EntryUntrustedCell, EntryRESTAPI, EntryFileBrowser},
+			Stages:         []Stage{StageInitialAccess, StageExecution, StageImpact},
+			References:     []string{"arXiv:2409.19456 §III", "Trusted CI OSCRP"},
+			ObservedInWild: true,
+			DetectedBy: []string{"RW-001-encrypt-call", "RW-002-ransom-note",
+				"RW-003-bulk-highentropy-writes", "RW-004-extension-churn",
+				"anomaly.ransomware"},
+			SimulatedBy: "attacks.Ransomware",
+		},
+		{
+			Class: Exfiltration,
+			Title: "Research artifact exfiltration",
+			Description: "Kernel code reads state-of-the-art models and data and " +
+				"ships them to attacker infrastructure, frequently base64-packed " +
+				"or encrypted to evade content inspection.",
+			Entries:        []EntryInterface{EntryUntrustedCell, EntryWebSocket, EntryRESTAPI},
+			Stages:         []Stage{StageExecution, StageExfiltration, StageDefenseEvasion},
+			References:     []string{"arXiv:2409.19456 §III", "stealthML (IEEE CSR'23)"},
+			ObservedInWild: true,
+			DetectedBy: []string{"EX-001-outbound-post", "EX-002-bulk-read-then-post",
+				"EX-003-encoded-upload", "EX-004-highentropy-upload", "anomaly.exfil"},
+			SimulatedBy: "attacks.Exfiltration",
+		},
+		{
+			Class: Cryptomining,
+			Title: "Resource abuse for cryptocurrency mining",
+			Description: "Supercomputer allocations are burned by miners launched " +
+				"from notebook cells or terminals, often duty-cycled to evade " +
+				"utilization dashboards.",
+			Entries:        []EntryInterface{EntryUntrustedCell, EntryTerminal},
+			Stages:         []Stage{StageExecution, StageResourceAbuse, StageDefenseEvasion},
+			References:     []string{"arXiv:2409.19456 §I", "CVE-2024-22415"},
+			ObservedInWild: true,
+			DetectedBy: []string{"CM-001-miner-strings", "CM-002-sustained-cpu",
+				"CM-003-cpu-burst-series", "anomaly.miner"},
+			SimulatedBy: "attacks.Cryptominer",
+		},
+		{
+			Class: Misconfig,
+			Title: "Security misconfiguration",
+			Description: "Servers exposed with authentication disabled, tokens in " +
+				"URLs, wildcard CORS, terminals enabled, or missing TLS — the " +
+				"configuration archetype of internet-scanned Jupyter incidents.",
+			Entries:        []EntryInterface{EntryRESTAPI, EntryAuthSurface},
+			Stages:         []Stage{StageRecon, StageInitialAccess},
+			References:     []string{"arXiv:2409.19456 §III", "NASA HECC secure-Jupyter KB"},
+			ObservedInWild: true,
+			DetectedBy: []string{"MC-001-unauth-api-sweep", "MC-002-open-server-access",
+				"MC-003-token-in-url", "misconfig.Scanner"},
+			SimulatedBy: "attacks.MisconfigProbe",
+		},
+		{
+			Class: AccountTakeover,
+			Title: "Account takeover",
+			Description: "Password guessing and credential stuffing against the " +
+				"login and token surface, leveraging SSO integration weaknesses.",
+			Entries:        []EntryInterface{EntryAuthSurface},
+			Stages:         []Stage{StageRecon, StageInitialAccess, StagePersistence},
+			References:     []string{"arXiv:2409.19456 Fig. 3", "Basney et al. DependSys'20", "CVE-2020-16977", "CVE-2021-32798"},
+			ObservedInWild: true,
+			DetectedBy:     []string{"AT-001-bruteforce", "AT-002-success-after-failures"},
+			SimulatedBy:    "attacks.BruteForce",
+		},
+		{
+			Class: DoS,
+			Title: "Denial of service and monitor evasion",
+			Description: "Request floods and low-and-slow trains that both disrupt " +
+				"the gateway and probe the integrity of security monitors.",
+			Entries:        []EntryInterface{EntryRESTAPI, EntryWebSocket},
+			Stages:         []Stage{StageDefenseEvasion, StageImpact},
+			References:     []string{"arXiv:2409.19456 §IV.A"},
+			ObservedInWild: false,
+			DetectedBy:     []string{"DS-001-request-flood", "anomaly.lowslow"},
+			SimulatedBy:    "attacks.LowSlowDoS",
+		},
+		{
+			Class: ZeroDay,
+			Title: "Unknown-unknown zero-day exploits",
+			Description: "Novel exploitation of the kernel protocol, extensions, or " +
+				"supply chain; approximated by anomaly detection and terminal " +
+				"behavior signatures rather than signatures of known payloads.",
+			Entries:        []EntryInterface{EntryUntrustedCell, EntryTerminal, EntryWebSocket},
+			Stages:         []Stage{StageInitialAccess, StageExecution, StageDefenseEvasion},
+			References:     []string{"arXiv:2409.19456 Fig. 3"},
+			ObservedInWild: false,
+			DetectedBy:     []string{"TS-001-recon-commands", "TS-002-downloader", "NB-001-malicious-notebook"},
+			SimulatedBy:    "attacks.TerminalRecon",
+		},
+	}}
+}
+
+// ByClass returns the entry for a class, or nil.
+func (r *Registry) ByClass(c Class) *Entry {
+	for i := range r.Entries {
+		if r.Entries[i].Class == c {
+			return &r.Entries[i]
+		}
+	}
+	return nil
+}
+
+// Classes returns all class identifiers, sorted.
+func (r *Registry) Classes() []Class {
+	out := make([]Class, len(r.Entries))
+	for i, e := range r.Entries {
+		out[i] = e.Class
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// JSON serializes the registry.
+func (r *Registry) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Render prints Fig. 1 as a text tree: the two branches (in the wild
+// vs internally identified) with class boxes underneath.
+func (r *Registry) Render() string {
+	var b strings.Builder
+	b.WriteString("Taxonomy of Jupyter Notebook attacks (Fig. 1)\n")
+	b.WriteString("=============================================\n")
+	branch := func(title string, inWild bool) {
+		b.WriteString(title + "\n")
+		for _, e := range r.Entries {
+			if e.ObservedInWild != inWild {
+				continue
+			}
+			b.WriteString(fmt.Sprintf("├── [%s] %s\n", e.Class, e.Title))
+			b.WriteString(fmt.Sprintf("│     entry: %s\n", joinEntries(e.Entries)))
+			b.WriteString(fmt.Sprintf("│     kill chain: %s\n", joinStages(e.Stages)))
+			b.WriteString(fmt.Sprintf("│     detected by: %s\n", strings.Join(e.DetectedBy, ", ")))
+		}
+	}
+	branch("Attacks in the wild:", true)
+	branch("Internally identified / anticipated:", false)
+	return b.String()
+}
+
+func joinEntries(es []EntryInterface) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = string(e)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func joinStages(ss []Stage) string {
+	parts := make([]string, len(ss))
+	for i, s := range ss {
+		parts[i] = string(s)
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// Validate checks structural completeness of the registry.
+func (r *Registry) Validate() error {
+	if len(r.Entries) == 0 {
+		return fmt.Errorf("taxonomy: empty registry")
+	}
+	seen := map[Class]bool{}
+	for _, e := range r.Entries {
+		if seen[e.Class] {
+			return fmt.Errorf("taxonomy: duplicate class %s", e.Class)
+		}
+		seen[e.Class] = true
+		if e.Title == "" || e.Description == "" {
+			return fmt.Errorf("taxonomy: class %s missing title/description", e.Class)
+		}
+		if len(e.Entries) == 0 {
+			return fmt.Errorf("taxonomy: class %s has no entry interfaces", e.Class)
+		}
+		if len(e.DetectedBy) == 0 {
+			return fmt.Errorf("taxonomy: class %s has no detection coverage", e.Class)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package taxonomy
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/oscrp"
+	"repro/internal/rules"
+)
+
+func TestDefaultRegistryValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig1ClassesComplete(t *testing.T) {
+	r := Default()
+	// The paper's abstract + Fig. 1 enumerate these classes.
+	for _, c := range []Class{
+		Ransomware, Exfiltration, Cryptomining, Misconfig,
+		AccountTakeover, DoS, ZeroDay,
+	} {
+		e := r.ByClass(c)
+		if e == nil {
+			t.Errorf("class %s missing", c)
+			continue
+		}
+		if e.SimulatedBy == "" {
+			t.Errorf("class %s has no attack simulator", c)
+		}
+	}
+	if len(r.Classes()) != 7 {
+		t.Fatalf("classes = %v", r.Classes())
+	}
+}
+
+func TestClassIdentifiersMatchRulesPackage(t *testing.T) {
+	pairs := map[Class]string{
+		Ransomware:      rules.ClassRansomware,
+		Exfiltration:    rules.ClassExfiltration,
+		Cryptomining:    rules.ClassCryptomining,
+		Misconfig:       rules.ClassMisconfig,
+		AccountTakeover: rules.ClassAccountTakeover,
+		DoS:             rules.ClassDoS,
+		ZeroDay:         rules.ClassZeroDay,
+	}
+	for tc, rc := range pairs {
+		if string(tc) != rc {
+			t.Errorf("taxonomy %q != rules %q", tc, rc)
+		}
+	}
+}
+
+func TestClassIdentifiersMatchOSCRP(t *testing.T) {
+	r := Default()
+	for _, e := range r.Entries {
+		if _, ok := oscrp.AvenueForClass(string(e.Class)); !ok {
+			t.Errorf("class %s has no OSCRP avenue", e.Class)
+		}
+	}
+}
+
+func TestDetectionCoverageReferencesRealRules(t *testing.T) {
+	known := map[string]bool{}
+	for _, id := range rules.BuiltinRuleIDs() {
+		known[id] = true
+	}
+	// Anomaly detectors and scanner names count as coverage too.
+	for _, extra := range []string{
+		"anomaly.ransomware", "anomaly.exfil", "anomaly.miner",
+		"anomaly.lowslow", "misconfig.Scanner",
+	} {
+		known[extra] = true
+	}
+	for _, e := range Default().Entries {
+		for _, d := range e.DetectedBy {
+			if !known[d] {
+				t.Errorf("class %s references unknown detector %q", e.Class, d)
+			}
+		}
+	}
+}
+
+func TestEntryInterfacesCoverPaperSurface(t *testing.T) {
+	seen := map[EntryInterface]bool{}
+	for _, e := range Default().Entries {
+		for _, ei := range e.Entries {
+			seen[ei] = true
+		}
+	}
+	// "its vast attack interface (terminal, file browser, untrusted cells)"
+	for _, want := range []EntryInterface{EntryTerminal, EntryFileBrowser, EntryUntrustedCell} {
+		if !seen[want] {
+			t.Errorf("entry interface %s unused", want)
+		}
+	}
+}
+
+func TestWildVsInternalBranches(t *testing.T) {
+	r := Default()
+	wild, internal := 0, 0
+	for _, e := range r.Entries {
+		if e.ObservedInWild {
+			wild++
+		} else {
+			internal++
+		}
+	}
+	if wild == 0 || internal == 0 {
+		t.Fatalf("branches: wild=%d internal=%d (Fig. 1 has both)", wild, internal)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	data, err := Default().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Registry
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != len(Default().Entries) {
+		t.Fatal("entries lost in round trip")
+	}
+}
+
+func TestRenderFig1(t *testing.T) {
+	text := Default().Render()
+	for _, want := range []string{
+		"Attacks in the wild:", "Internally identified",
+		"ransomware", "cryptomining", "kill chain",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	r := &Registry{}
+	if err := r.Validate(); err == nil {
+		t.Fatal("empty registry accepted")
+	}
+	r = Default()
+	r.Entries = append(r.Entries, r.Entries[0])
+	if err := r.Validate(); err == nil {
+		t.Fatal("duplicate class accepted")
+	}
+	r2 := Default()
+	r2.Entries[0].DetectedBy = nil
+	if err := r2.Validate(); err == nil {
+		t.Fatal("uncovered class accepted")
+	}
+}
+
+func TestCVEReferences(t *testing.T) {
+	// The paper cites these CVEs; the taxonomy must carry them.
+	all := Default()
+	var refs []string
+	for _, e := range all.Entries {
+		refs = append(refs, e.References...)
+	}
+	joined := strings.Join(refs, " ")
+	for _, cve := range []string{"CVE-2024-22415", "CVE-2020-16977", "CVE-2021-32798"} {
+		if !strings.Contains(joined, cve) {
+			t.Errorf("reference %s missing", cve)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package threatintel implements the sharing pipeline between edge
+// honeypots and production monitors: an indicator store (source IPs,
+// payload hashes, extracted signatures) with confidence and expiry, a
+// STIX-flavoured JSON exchange format, and merge semantics so multiple
+// honeypots can feed one production deployment.
+//
+// This is the paper's "threat intelligence sharing infrastructure
+// learned from the edge".
+package threatintel
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/rules"
+)
+
+// IndicatorType classifies an indicator.
+type IndicatorType string
+
+// Indicator types.
+const (
+	TypeSourceIP    IndicatorType = "source_ip"
+	TypePayloadHash IndicatorType = "payload_hash"
+	TypeUserAgent   IndicatorType = "user_agent"
+	TypeCodePattern IndicatorType = "code_pattern"
+)
+
+// Indicator is one shareable observable.
+type Indicator struct {
+	Type       IndicatorType `json:"type"`
+	Value      string        `json:"value"`
+	Class      string        `json:"class"` // taxonomy class
+	Confidence float64       `json:"confidence"`
+	FirstSeen  time.Time     `json:"first_seen"`
+	LastSeen   time.Time     `json:"last_seen"`
+	Sightings  int           `json:"sightings"`
+	Source     string        `json:"source"` // honeypot id
+	TTL        time.Duration `json:"ttl"`
+}
+
+// Key uniquely identifies an indicator.
+func (i Indicator) Key() string { return string(i.Type) + "|" + i.Value }
+
+// Expired reports whether the indicator has aged out at time now.
+func (i Indicator) Expired(now time.Time) bool {
+	return i.TTL > 0 && now.Sub(i.LastSeen) > i.TTL
+}
+
+// HashPayload returns the canonical hex SHA-256 payload hash indicator
+// value.
+func HashPayload(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// Bundle is the exchange document: indicators plus extracted rules.
+type Bundle struct {
+	Producer   string        `json:"producer"`
+	Created    time.Time     `json:"created"`
+	Indicators []Indicator   `json:"indicators"`
+	Rules      []*rules.Rule `json:"rules,omitempty"`
+}
+
+// Marshal serializes a bundle.
+func (b *Bundle) Marshal() ([]byte, error) {
+	return json.MarshalIndent(b, "", "  ")
+}
+
+// ParseBundle parses and validates a bundle (rules are compiled).
+func ParseBundle(data []byte) (*Bundle, error) {
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("threatintel: parse bundle: %w", err)
+	}
+	for _, r := range b.Rules {
+		if err := r.Compile(); err != nil {
+			return nil, fmt.Errorf("threatintel: bundle rule: %w", err)
+		}
+	}
+	return &b, nil
+}
+
+// Store is the indicator database.
+type Store struct {
+	mu         sync.Mutex
+	indicators map[string]*Indicator
+	rules      map[string]*rules.Rule
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{indicators: map[string]*Indicator{}, rules: map[string]*rules.Rule{}}
+}
+
+// Observe inserts or refreshes an indicator sighting.
+func (s *Store) Observe(ind Indicator) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := ind.Key()
+	cur, ok := s.indicators[key]
+	if !ok {
+		ind.Sightings = max(ind.Sightings, 1)
+		copyInd := ind
+		s.indicators[key] = &copyInd
+		return
+	}
+	cur.Sightings++
+	if ind.LastSeen.After(cur.LastSeen) {
+		cur.LastSeen = ind.LastSeen
+	}
+	if ind.Confidence > cur.Confidence {
+		cur.Confidence = ind.Confidence
+	}
+}
+
+// AddRule stores an extracted signature.
+func (s *Store) AddRule(r *rules.Rule) error {
+	if err := r.Compile(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules[r.ID] = r
+	return nil
+}
+
+// Lookup returns the indicator if known and unexpired.
+func (s *Store) Lookup(t IndicatorType, value string, now time.Time) (*Indicator, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ind, ok := s.indicators[string(t)+"|"+value]
+	if !ok || ind.Expired(now) {
+		return nil, false
+	}
+	cp := *ind
+	return &cp, true
+}
+
+// IsBlocked reports whether a source IP indicator meets the blocking
+// confidence bar.
+func (s *Store) IsBlocked(ip string, now time.Time) bool {
+	ind, ok := s.Lookup(TypeSourceIP, ip, now)
+	return ok && ind.Confidence >= 0.7
+}
+
+// Indicators returns unexpired indicators sorted by key.
+func (s *Store) Indicators(now time.Time) []Indicator {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Indicator, 0, len(s.indicators))
+	for _, ind := range s.indicators {
+		if !ind.Expired(now) {
+			out = append(out, *ind)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Rules returns stored rules sorted by id.
+func (s *Store) Rules() []*rules.Rule {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*rules.Rule, 0, len(s.rules))
+	for _, r := range s.rules {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Export builds a bundle of the store's current content.
+func (s *Store) Export(producer string, now time.Time) *Bundle {
+	return &Bundle{
+		Producer:   producer,
+		Created:    now,
+		Indicators: s.Indicators(now),
+		Rules:      s.Rules(),
+	}
+}
+
+// Merge folds a bundle into the store, returning counts of new
+// indicators and rules.
+func (s *Store) Merge(b *Bundle) (newIndicators, newRules int) {
+	for _, ind := range b.Indicators {
+		s.mu.Lock()
+		_, existed := s.indicators[ind.Key()]
+		s.mu.Unlock()
+		s.Observe(ind)
+		if !existed {
+			newIndicators++
+		}
+	}
+	for _, r := range b.Rules {
+		s.mu.Lock()
+		_, existed := s.rules[r.ID]
+		s.mu.Unlock()
+		if !existed {
+			if err := s.AddRule(r); err == nil {
+				newRules++
+			}
+		}
+	}
+	return newIndicators, newRules
+}
+
+// Expire removes aged indicators, returning how many were dropped.
+func (s *Store) Expire(now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for k, ind := range s.indicators {
+		if ind.Expired(now) {
+			delete(s.indicators, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Count returns the number of stored (possibly expired) indicators.
+func (s *Store) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.indicators)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

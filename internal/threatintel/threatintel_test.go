@@ -1,0 +1,170 @@
+package threatintel
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rules"
+)
+
+var t0 = time.Date(2026, 6, 1, 9, 0, 0, 0, time.UTC)
+
+func ipInd(ip string, conf float64) Indicator {
+	return Indicator{
+		Type: TypeSourceIP, Value: ip, Class: "ransomware",
+		Confidence: conf, FirstSeen: t0, LastSeen: t0,
+		Sightings: 1, Source: "hp-1", TTL: time.Hour,
+	}
+}
+
+func TestObserveAndLookup(t *testing.T) {
+	s := NewStore()
+	s.Observe(ipInd("203.0.113.5", 0.9))
+	ind, ok := s.Lookup(TypeSourceIP, "203.0.113.5", t0.Add(time.Minute))
+	if !ok || ind.Confidence != 0.9 {
+		t.Fatalf("lookup = %+v %v", ind, ok)
+	}
+	if _, ok := s.Lookup(TypeSourceIP, "1.1.1.1", t0); ok {
+		t.Fatal("unknown indicator found")
+	}
+}
+
+func TestSightingsAccumulate(t *testing.T) {
+	s := NewStore()
+	s.Observe(ipInd("a", 0.5))
+	later := ipInd("a", 0.8)
+	later.LastSeen = t0.Add(time.Minute)
+	s.Observe(later)
+	ind, _ := s.Lookup(TypeSourceIP, "a", t0.Add(2*time.Minute))
+	if ind.Sightings != 2 || ind.Confidence != 0.8 || !ind.LastSeen.Equal(t0.Add(time.Minute)) {
+		t.Fatalf("merged = %+v", ind)
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	s := NewStore()
+	s.Observe(ipInd("a", 0.9))
+	if _, ok := s.Lookup(TypeSourceIP, "a", t0.Add(2*time.Hour)); ok {
+		t.Fatal("expired indicator returned")
+	}
+	if n := s.Expire(t0.Add(2 * time.Hour)); n != 1 {
+		t.Fatalf("expired = %d", n)
+	}
+	if s.Count() != 0 {
+		t.Fatal("store not empty after expire")
+	}
+}
+
+func TestIsBlocked(t *testing.T) {
+	s := NewStore()
+	s.Observe(ipInd("bad", 0.9))
+	s.Observe(ipInd("meh", 0.5))
+	if !s.IsBlocked("bad", t0.Add(time.Minute)) {
+		t.Fatal("high-confidence IP not blocked")
+	}
+	if s.IsBlocked("meh", t0.Add(time.Minute)) {
+		t.Fatal("low-confidence IP blocked")
+	}
+	if s.IsBlocked("unknown", t0) {
+		t.Fatal("unknown IP blocked")
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	s := NewStore()
+	s.Observe(ipInd("203.0.113.5", 0.9))
+	s.Observe(Indicator{
+		Type: TypePayloadHash, Value: HashPayload([]byte("payload")),
+		Confidence: 0.8, FirstSeen: t0, LastSeen: t0, TTL: time.Hour, Source: "hp-1",
+	})
+	_ = s.AddRule(&rules.Rule{
+		ID: "hp-1-sig-1", Class: "cryptomining", Severity: rules.SevHigh,
+		Conditions: []rules.Condition{{Field: "code", Contains: "xmrig"}},
+	})
+	bundle := s.Export("hp-1", t0.Add(time.Minute))
+	data, err := bundle.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Indicators) != 2 || len(back.Rules) != 1 {
+		t.Fatalf("bundle = %d indicators %d rules", len(back.Indicators), len(back.Rules))
+	}
+	// Parsed rules are compiled and usable.
+	en, err := rules.NewEngine(back.Rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if en.RuleCount() != 1 {
+		t.Fatal("rule not loaded")
+	}
+}
+
+func TestParseBundleRejectsBadRules(t *testing.T) {
+	if _, err := ParseBundle([]byte(`{"rules":[{"id":"x","conditions":[{"field":"code","regex":"("}]}]}`)); err == nil {
+		t.Fatal("bad regex in bundle accepted")
+	}
+	if _, err := ParseBundle([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestMergeCountsNew(t *testing.T) {
+	producer := NewStore()
+	producer.Observe(ipInd("a", 0.9))
+	producer.Observe(ipInd("b", 0.9))
+	_ = producer.AddRule(&rules.Rule{
+		ID: "sig-1", Conditions: []rules.Condition{{Field: "code", Contains: "x"}},
+	})
+	consumer := NewStore()
+	consumer.Observe(ipInd("a", 0.5)) // already known
+	ni, nr := consumer.Merge(producer.Export("hp", t0.Add(time.Minute)))
+	if ni != 1 || nr != 1 {
+		t.Fatalf("merge = %d indicators %d rules", ni, nr)
+	}
+	// Re-merge is idempotent.
+	ni, nr = consumer.Merge(producer.Export("hp", t0.Add(time.Minute)))
+	if ni != 0 || nr != 0 {
+		t.Fatalf("re-merge = %d %d", ni, nr)
+	}
+	// Known indicator's confidence upgraded by merge.
+	ind, _ := consumer.Lookup(TypeSourceIP, "a", t0.Add(2*time.Minute))
+	if ind.Confidence != 0.9 {
+		t.Fatalf("confidence = %f", ind.Confidence)
+	}
+}
+
+func TestIndicatorsSorted(t *testing.T) {
+	s := NewStore()
+	s.Observe(ipInd("b", 0.9))
+	s.Observe(ipInd("a", 0.9))
+	inds := s.Indicators(t0.Add(time.Minute))
+	if len(inds) != 2 || inds[0].Value != "a" {
+		t.Fatalf("indicators = %+v", inds)
+	}
+}
+
+func TestHashPayloadStable(t *testing.T) {
+	if HashPayload([]byte("x")) != HashPayload([]byte("x")) {
+		t.Fatal("hash unstable")
+	}
+	if HashPayload([]byte("x")) == HashPayload([]byte("y")) {
+		t.Fatal("hash collision")
+	}
+	if len(HashPayload(nil)) != 64 {
+		t.Fatal("hash length wrong")
+	}
+}
+
+func TestZeroTTLNeverExpires(t *testing.T) {
+	s := NewStore()
+	ind := ipInd("forever", 0.9)
+	ind.TTL = 0
+	s.Observe(ind)
+	if _, ok := s.Lookup(TypeSourceIP, "forever", t0.Add(1000*time.Hour)); !ok {
+		t.Fatal("zero-TTL indicator expired")
+	}
+}

@@ -1,0 +1,369 @@
+// Package trace defines the unified security-event model shared by the
+// server, the network monitor, the kernel auditor, and the detection
+// engine: one Event type with a kind tag and kind-specific fields,
+// JSONL codecs, a fan-out Bus, and bounded ring buffers.
+//
+// Everything the paper's tooling observes — HTTP requests, WebSocket
+// frames, Jupyter protocol messages, kernel executions, file and
+// network operations, auth decisions — is normalized into this model
+// so detectors compose across layers.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Kind tags an event with its layer of origin.
+type Kind string
+
+// Event kinds, ordered roughly by protocol depth.
+const (
+	KindConn    Kind = "conn"     // TCP connection open/close
+	KindHTTP    Kind = "http"     // one HTTP request/response
+	KindWSFrame Kind = "ws_frame" // one WebSocket frame
+	KindKernMsg Kind = "kern_msg" // one Jupyter protocol message
+	KindExec    Kind = "exec"     // kernel executed a code unit
+	KindFileOp  Kind = "file_op"  // content filesystem operation
+	KindNetOp   Kind = "net_op"   // outbound network operation from kernel
+	KindAuth    Kind = "auth"     // authentication decision
+	KindTermCmd Kind = "term_cmd" // terminal command
+	KindAlert   Kind = "alert"    // detector-produced alert
+	KindSysRes  Kind = "sys_res"  // resource usage sample
+)
+
+// Event is one observed occurrence. Only fields relevant to the Kind
+// are populated; Fields carries free-form extras.
+type Event struct {
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	Kind Kind      `json:"kind"`
+
+	// Endpoint identity.
+	SrcIP   string `json:"src_ip,omitempty"`
+	SrcPort int    `json:"src_port,omitempty"`
+	DstIP   string `json:"dst_ip,omitempty"`
+	DstPort int    `json:"dst_port,omitempty"`
+	User    string `json:"user,omitempty"`
+	Session string `json:"session,omitempty"`
+
+	// HTTP layer.
+	Method string `json:"method,omitempty"`
+	Path   string `json:"path,omitempty"`
+	Status int    `json:"status,omitempty"`
+
+	// WS / kernel message layer.
+	WSOpcode string `json:"ws_opcode,omitempty"`
+	MsgType  string `json:"msg_type,omitempty"`
+	Channel  string `json:"channel,omitempty"`
+	KernelID string `json:"kernel_id,omitempty"`
+
+	// Exec / file / net layer.
+	Code      string  `json:"code,omitempty"`
+	Op        string  `json:"op,omitempty"`
+	Target    string  `json:"target,omitempty"`
+	Bytes     int64   `json:"bytes,omitempty"`
+	Entropy   float64 `json:"entropy,omitempty"`
+	Success   bool    `json:"success"`
+	Detail    string  `json:"detail,omitempty"`
+	CPUMillis int64   `json:"cpu_millis,omitempty"`
+
+	Fields map[string]string `json:"fields,omitempty"`
+}
+
+// Clone returns a deep copy of the event.
+func (e Event) Clone() Event {
+	out := e
+	if e.Fields != nil {
+		out.Fields = make(map[string]string, len(e.Fields))
+		for k, v := range e.Fields {
+			out.Fields[k] = v
+		}
+	}
+	return out
+}
+
+// Field returns a free-form field value or "".
+func (e Event) Field(key string) string {
+	if e.Fields == nil {
+		return ""
+	}
+	return e.Fields[key]
+}
+
+// WithField returns a copy with the field set.
+func (e Event) WithField(key, value string) Event {
+	out := e.Clone()
+	if out.Fields == nil {
+		out.Fields = map[string]string{}
+	}
+	out.Fields[key] = value
+	return out
+}
+
+// String renders a short human-readable form, used by CLI tools.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindHTTP:
+		return fmt.Sprintf("[%s] http %s %s -> %d (%s)", e.Time.Format(time.TimeOnly), e.Method, e.Path, e.Status, e.SrcIP)
+	case KindExec:
+		code := e.Code
+		if len(code) > 48 {
+			code = code[:48] + "…"
+		}
+		return fmt.Sprintf("[%s] exec kernel=%s user=%s %q", e.Time.Format(time.TimeOnly), e.KernelID, e.User, code)
+	case KindAlert:
+		return fmt.Sprintf("[%s] ALERT %s: %s", e.Time.Format(time.TimeOnly), e.Field("rule"), e.Detail)
+	default:
+		return fmt.Sprintf("[%s] %s op=%s target=%s bytes=%d src=%s", e.Time.Format(time.TimeOnly), e.Kind, e.Op, e.Target, e.Bytes, e.SrcIP)
+	}
+}
+
+// Clock abstracts time for deterministic tests.
+type Clock interface {
+	Now() time.Time
+}
+
+// RealClock uses the wall clock.
+type RealClock struct{}
+
+// Now returns time.Now().
+func (RealClock) Now() time.Time { return time.Now() }
+
+// FakeClock is a manually advanced clock for tests and simulations.
+type FakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewFakeClock starts a fake clock at t.
+func NewFakeClock(t time.Time) *FakeClock { return &FakeClock{t: t} }
+
+// Now returns the current fake time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d and returns the new time.
+func (c *FakeClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+	return c.t
+}
+
+// Set jumps the clock to t.
+func (c *FakeClock) Set(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = t
+}
+
+// Sink consumes events.
+type Sink interface {
+	Emit(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// Emit calls f(e).
+func (f SinkFunc) Emit(e Event) { f(e) }
+
+// Discard drops all events.
+var Discard Sink = SinkFunc(func(Event) {})
+
+// Bus is a thread-safe fan-out of events to subscriber sinks, with a
+// monotonically increasing sequence stamp.
+type Bus struct {
+	mu    sync.RWMutex
+	seq   uint64
+	sinks []Sink
+	clock Clock
+}
+
+// NewBus returns a Bus stamping events with the given clock (RealClock
+// if nil).
+func NewBus(clock Clock) *Bus {
+	if clock == nil {
+		clock = RealClock{}
+	}
+	return &Bus{clock: clock}
+}
+
+// Subscribe attaches a sink. Sinks are invoked synchronously in
+// subscription order on the emitting goroutine.
+func (b *Bus) Subscribe(s Sink) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sinks = append(b.sinks, s)
+}
+
+// Emit stamps and delivers the event to all sinks.
+func (b *Bus) Emit(e Event) {
+	b.mu.Lock()
+	b.seq++
+	e.Seq = b.seq
+	if e.Time.IsZero() {
+		e.Time = b.clock.Now()
+	}
+	sinks := make([]Sink, len(b.sinks))
+	copy(sinks, b.sinks)
+	b.mu.Unlock()
+	for _, s := range sinks {
+		s.Emit(e)
+	}
+}
+
+// Seq returns the last assigned sequence number.
+func (b *Bus) Seq() uint64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.seq
+}
+
+// Ring is a bounded ring buffer of events; the oldest events are
+// evicted when full. It implements Sink.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	full  bool
+	total uint64
+}
+
+// NewRing returns a ring holding up to n events.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = 1024
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Emit appends the event, evicting the oldest when full.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	if r.next == 0 {
+		r.full = true
+	}
+	r.total++
+}
+
+// Len returns the number of buffered events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Total returns the count of all events ever emitted.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot returns the buffered events oldest-first.
+func (r *Ring) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Filter returns buffered events matching the predicate, oldest-first.
+func (r *Ring) Filter(pred func(Event) bool) []Event {
+	var out []Event
+	for _, e := range r.Snapshot() {
+		if pred(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// JSONLWriter serializes events as JSON lines. It implements Sink.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error
+}
+
+// NewJSONLWriter wraps w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{w: bufio.NewWriter(w)}
+}
+
+// Emit writes one JSON line; the first write error is sticky.
+func (jw *JSONLWriter) Emit(e Event) {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	if jw.err != nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		jw.err = err
+		return
+	}
+	if _, err := jw.w.Write(append(b, '\n')); err != nil {
+		jw.err = err
+	}
+}
+
+// Flush flushes buffered output and returns any sticky error.
+func (jw *JSONLWriter) Flush() error {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	if err := jw.w.Flush(); err != nil && jw.err == nil {
+		jw.err = err
+	}
+	return jw.err
+}
+
+// ReadJSONL parses a JSONL stream of events.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return out, fmt.Errorf("trace: line %d: %w", len(out)+1, err)
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+// CountByKind tallies events by kind.
+func CountByKind(events []Event) map[Kind]int {
+	m := map[Kind]int{}
+	for _, e := range events {
+		m[e.Kind]++
+	}
+	return m
+}

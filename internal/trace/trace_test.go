@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 6, 1, 9, 0, 0, 0, time.UTC)
+
+func TestBusStampsSequenceAndTime(t *testing.T) {
+	clock := NewFakeClock(t0)
+	bus := NewBus(clock)
+	var got []Event
+	bus.Subscribe(SinkFunc(func(e Event) { got = append(got, e) }))
+	bus.Emit(Event{Kind: KindHTTP})
+	clock.Advance(time.Second)
+	bus.Emit(Event{Kind: KindExec})
+	if len(got) != 2 {
+		t.Fatalf("events = %d", len(got))
+	}
+	if got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("seqs = %d %d", got[0].Seq, got[1].Seq)
+	}
+	if !got[1].Time.Equal(t0.Add(time.Second)) {
+		t.Fatalf("time = %v", got[1].Time)
+	}
+	if bus.Seq() != 2 {
+		t.Fatalf("bus seq = %d", bus.Seq())
+	}
+}
+
+func TestBusPreservesExplicitTime(t *testing.T) {
+	bus := NewBus(NewFakeClock(t0))
+	var got Event
+	bus.Subscribe(SinkFunc(func(e Event) { got = e }))
+	custom := t0.Add(42 * time.Minute)
+	bus.Emit(Event{Kind: KindAuth, Time: custom})
+	if !got.Time.Equal(custom) {
+		t.Fatalf("time overwritten: %v", got.Time)
+	}
+}
+
+func TestBusFanOut(t *testing.T) {
+	bus := NewBus(nil)
+	var a, b int
+	bus.Subscribe(SinkFunc(func(Event) { a++ }))
+	bus.Subscribe(SinkFunc(func(Event) { b++ }))
+	bus.Emit(Event{})
+	bus.Emit(Event{})
+	if a != 2 || b != 2 {
+		t.Fatalf("fanout = %d %d", a, b)
+	}
+}
+
+func TestBusConcurrentEmit(t *testing.T) {
+	bus := NewBus(nil)
+	var mu sync.Mutex
+	seen := map[uint64]bool{}
+	bus.Subscribe(SinkFunc(func(e Event) {
+		mu.Lock()
+		seen[e.Seq] = true
+		mu.Unlock()
+	}))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				bus.Emit(Event{Kind: KindHTTP})
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 800 {
+		t.Fatalf("unique seqs = %d, want 800", len(seen))
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 6; i++ {
+		r.Emit(Event{Seq: uint64(i)})
+	}
+	if r.Len() != 4 || r.Total() != 6 {
+		t.Fatalf("len=%d total=%d", r.Len(), r.Total())
+	}
+	snap := r.Snapshot()
+	if snap[0].Seq != 3 || snap[3].Seq != 6 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestRingPartial(t *testing.T) {
+	r := NewRing(10)
+	r.Emit(Event{Seq: 1})
+	r.Emit(Event{Seq: 2})
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Seq != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestRingFilter(t *testing.T) {
+	r := NewRing(10)
+	r.Emit(Event{Kind: KindHTTP})
+	r.Emit(Event{Kind: KindExec})
+	r.Emit(Event{Kind: KindHTTP})
+	got := r.Filter(func(e Event) bool { return e.Kind == KindHTTP })
+	if len(got) != 2 {
+		t.Fatalf("filtered = %d", len(got))
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	events := []Event{
+		{Seq: 1, Time: t0, Kind: KindHTTP, Method: "GET", Path: "/api/status", Status: 200, Success: true},
+		{Seq: 2, Time: t0.Add(time.Second), Kind: KindExec, Code: "print(1)", User: "alice",
+			Fields: map[string]string{"k": "v"}},
+	}
+	for _, e := range events {
+		w.Emit(e)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[1].Field("k") != "v" || back[0].Path != "/api/status" {
+		t.Fatalf("back = %+v", back)
+	}
+}
+
+func TestReadJSONLBadLine(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{\"seq\":1}\nnot json\n")); err == nil {
+		t.Fatal("bad line accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	e := Event{Fields: map[string]string{"a": "1"}}
+	c := e.Clone()
+	c.Fields["a"] = "2"
+	if e.Fields["a"] != "1" {
+		t.Fatal("clone shares fields map")
+	}
+}
+
+func TestWithField(t *testing.T) {
+	e := Event{}
+	e2 := e.WithField("rule", "RW-001")
+	if e2.Field("rule") != "RW-001" || e.Field("rule") != "" {
+		t.Fatal("WithField mutated original or failed")
+	}
+}
+
+func TestFakeClock(t *testing.T) {
+	c := NewFakeClock(t0)
+	if !c.Now().Equal(t0) {
+		t.Fatal("initial time wrong")
+	}
+	c.Advance(time.Hour)
+	if !c.Now().Equal(t0.Add(time.Hour)) {
+		t.Fatal("advance failed")
+	}
+	c.Set(t0)
+	if !c.Now().Equal(t0) {
+		t.Fatal("set failed")
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	events := []Event{{Kind: KindHTTP}, {Kind: KindHTTP}, {Kind: KindExec}}
+	m := CountByKind(events)
+	if m[KindHTTP] != 2 || m[KindExec] != 1 {
+		t.Fatalf("counts = %v", m)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Time: t0, Kind: KindHTTP, Method: "GET", Path: "/x", Status: 200, SrcIP: "10.0.0.1"}
+	if !strings.Contains(e.String(), "GET /x") {
+		t.Fatalf("string = %q", e.String())
+	}
+	alert := Event{Time: t0, Kind: KindAlert, Detail: "boom", Fields: map[string]string{"rule": "R1"}}
+	if !strings.Contains(alert.String(), "ALERT R1") {
+		t.Fatalf("alert string = %q", alert.String())
+	}
+}

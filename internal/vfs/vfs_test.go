@@ -1,0 +1,309 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/trace"
+)
+
+var t0 = time.Date(2026, 6, 1, 9, 0, 0, 0, time.UTC)
+
+func newFS(t *testing.T) (*FS, *trace.Ring) {
+	t.Helper()
+	ring := trace.NewRing(10000)
+	bus := trace.NewBus(trace.NewFakeClock(t0))
+	bus.Subscribe(ring)
+	return New(WithClock(trace.NewFakeClock(t0)), WithSink(bus)), ring
+}
+
+func TestCleanPaths(t *testing.T) {
+	cases := map[string]string{
+		"a/b.txt":  "a/b.txt",
+		"/a/b.txt": "a/b.txt",
+		"a//b":     "a/b",
+		"a/./b":    "a/b",
+		"a/x/../b": "a/b",
+		"":         "",
+		"/":        "",
+		"a\\b":     "a/b",
+	}
+	for in, want := range cases {
+		got, err := Clean(in)
+		if err != nil || got != want {
+			t.Errorf("Clean(%q) = %q,%v want %q", in, got, err, want)
+		}
+	}
+}
+
+func TestCleanRejectsEscape(t *testing.T) {
+	for _, p := range []string{"..", "../etc/passwd", "a/../../etc"} {
+		if _, err := Clean(p); !errors.Is(err, ErrBadPath) {
+			t.Errorf("Clean(%q) err = %v", p, err)
+		}
+	}
+}
+
+func TestWriteReadDelete(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.Write("data/a.txt", "alice", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read("data/a.txt", "alice")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read = %q %v", got, err)
+	}
+	if fs.Used() != 5 || fs.Count() != 1 {
+		t.Fatalf("used=%d count=%d", fs.Used(), fs.Count())
+	}
+	if err := fs.Delete("data/a.txt", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Used() != 0 {
+		t.Fatalf("used after delete = %d", fs.Used())
+	}
+	if _, err := fs.Read("data/a.txt", "alice"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWriteCreatesParents(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.Write("a/b/c/d.txt", "u", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := fs.Stat("a/b")
+	if err != nil || n.Type != TypeDirectory {
+		t.Fatalf("parent = %+v %v", n, err)
+	}
+}
+
+func TestNotebookTypeDetection(t *testing.T) {
+	fs, _ := newFS(t)
+	_ = fs.Write("nb/x.ipynb", "u", []byte("{}"))
+	n, _ := fs.Stat("nb/x.ipynb")
+	if n.Type != TypeNotebook {
+		t.Fatalf("type = %s", n.Type)
+	}
+}
+
+func TestListAndWalk(t *testing.T) {
+	fs, _ := newFS(t)
+	_ = fs.Write("d/a.txt", "u", []byte("1"))
+	_ = fs.Write("d/b.txt", "u", []byte("2"))
+	_ = fs.Write("d/sub/c.txt", "u", []byte("3"))
+	kids, err := fs.List("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a.txt, b.txt, sub
+	if len(kids) != 3 || kids[0].Path != "d/a.txt" {
+		t.Fatalf("list = %+v", kids)
+	}
+	all, err := fs.Walk("d")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("walk = %d %v", len(all), err)
+	}
+	rootAll, _ := fs.Walk("")
+	if len(rootAll) != 3 {
+		t.Fatalf("root walk = %d", len(rootAll))
+	}
+}
+
+func TestListNonDirectory(t *testing.T) {
+	fs, _ := newFS(t)
+	_ = fs.Write("f.txt", "u", []byte("x"))
+	if _, err := fs.List("f.txt"); !errors.Is(err, ErrNotDirectory) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeleteNonEmptyDir(t *testing.T) {
+	fs, _ := newFS(t)
+	_ = fs.Write("d/a.txt", "u", []byte("x"))
+	if err := fs.Delete("d", "u"); !errors.Is(err, ErrDirNotEmpty) {
+		t.Fatalf("err = %v", err)
+	}
+	_ = fs.Delete("d/a.txt", "u")
+	if err := fs.Delete("d", "u"); err != nil {
+		t.Fatalf("empty dir delete: %v", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs, _ := newFS(t)
+	_ = fs.Write("a.txt", "u", []byte("data"))
+	if err := fs.Rename("a.txt", "b.locked", "u"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("a.txt") || !fs.Exists("b.locked") {
+		t.Fatal("rename did not move")
+	}
+	got, _ := fs.Read("b.locked", "u")
+	if string(got) != "data" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+func TestRenameOntoExisting(t *testing.T) {
+	fs, _ := newFS(t)
+	_ = fs.Write("a", "u", []byte("1"))
+	_ = fs.Write("b", "u", []byte("2"))
+	if err := fs.Rename("a", "b", "u"); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQuota(t *testing.T) {
+	fs := New(WithQuota(10))
+	if err := fs.Write("a", "u", []byte("12345")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("b", "u", []byte("1234567")); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	// Overwrite within quota must be allowed (delta accounting).
+	if err := fs.Write("a", "u", []byte("1234567890")); err != nil {
+		t.Fatalf("overwrite within quota: %v", err)
+	}
+}
+
+func TestCheckpointRestore(t *testing.T) {
+	fs, _ := newFS(t)
+	_ = fs.Write("nb.ipynb", "u", []byte("original"))
+	ck, err := fs.CreateCheckpoint("nb.ipynb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = fs.Write("nb.ipynb", "u", []byte("ENCRYPTED-GARBAGE"))
+	if err := fs.RestoreCheckpoint("nb.ipynb", ck.ID, "admin"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.Read("nb.ipynb", "u")
+	if string(got) != "original" {
+		t.Fatalf("restored = %q", got)
+	}
+	cks, _ := fs.Checkpoints("nb.ipynb")
+	if len(cks) != 1 {
+		t.Fatalf("checkpoints = %d", len(cks))
+	}
+}
+
+func TestRestoreUnknownCheckpoint(t *testing.T) {
+	fs, _ := newFS(t)
+	_ = fs.Write("f", "u", []byte("x"))
+	if err := fs.RestoreCheckpoint("f", "ckpt-99", "u"); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckpointSurvivesRename(t *testing.T) {
+	fs, _ := newFS(t)
+	_ = fs.Write("a.txt", "u", []byte("v1"))
+	ck, _ := fs.CreateCheckpoint("a.txt")
+	_ = fs.Rename("a.txt", "a.locked", "u")
+	if err := fs.RestoreCheckpoint("a.locked", ck.ID, "u"); err != nil {
+		t.Fatalf("restore after rename: %v", err)
+	}
+	got, _ := fs.Read("a.locked", "u")
+	if string(got) != "v1" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+func TestJournalRecordsMutations(t *testing.T) {
+	fs, _ := newFS(t)
+	_ = fs.Write("a", "alice", []byte("1"))
+	_ = fs.Write("a", "alice", []byte("2"))
+	_ = fs.Rename("a", "b", "alice")
+	_ = fs.Delete("b", "alice")
+	j := fs.Journal()
+	ops := make([]string, len(j))
+	for i, c := range j {
+		ops[i] = c.Op
+	}
+	want := "create,write,rename,delete"
+	if strings.Join(ops, ",") != want {
+		t.Fatalf("ops = %v", ops)
+	}
+	since := fs.JournalSince(2)
+	if len(since) != 2 || since[0].Op != "rename" {
+		t.Fatalf("since = %+v", since)
+	}
+}
+
+func TestTraceEventsEmitted(t *testing.T) {
+	fs, ring := newFS(t)
+	_ = fs.Write("a", "alice", []byte("hello"))
+	_, _ = fs.Read("a", "bob")
+	_, _ = fs.Read("missing", "bob")
+	evs := ring.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Op != "create" || !evs[0].Success || evs[0].User != "alice" {
+		t.Fatalf("ev0 = %+v", evs[0])
+	}
+	if evs[2].Success {
+		t.Fatal("failed read reported success")
+	}
+}
+
+func TestEntropyBounds(t *testing.T) {
+	if e := Entropy(nil); e != 0 {
+		t.Fatalf("entropy(nil) = %f", e)
+	}
+	if e := Entropy(bytes.Repeat([]byte{'a'}, 1000)); e != 0 {
+		t.Fatalf("entropy(aaa) = %f", e)
+	}
+	text := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog ", 50))
+	if e := Entropy(text); e < 3.0 || e > 5.0 {
+		t.Fatalf("entropy(text) = %f", e)
+	}
+	rng := rand.New(rand.NewSource(1))
+	random := make([]byte, 64*1024)
+	rng.Read(random)
+	if e := Entropy(random); e < 7.9 {
+		t.Fatalf("entropy(random) = %f", e)
+	}
+}
+
+func TestEntropyRange(t *testing.T) {
+	f := func(data []byte) bool {
+		e := Entropy(data)
+		return e >= 0 && e <= 8.0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteReadRoundTripProperty(t *testing.T) {
+	fs := New()
+	f := func(content []byte) bool {
+		if err := fs.Write("prop/file.bin", "u", content); err != nil {
+			return false
+		}
+		got, err := fs.Read("prop/file.bin", "u")
+		return err == nil && bytes.Equal(got, content)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteToDirectoryFails(t *testing.T) {
+	fs, _ := newFS(t)
+	_ = fs.Mkdir("d")
+	if err := fs.Write("d", "u", []byte("x")); !errors.Is(err, ErrIsDirectory) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := fs.Write("", "u", []byte("x")); err == nil {
+		t.Fatal("write to root accepted")
+	}
+}

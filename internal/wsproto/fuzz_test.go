@@ -1,0 +1,73 @@
+package wsproto
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The frame reader consumes attacker-controlled bytes directly off the
+// network; it must never panic and never allocate unboundedly for any
+// input.
+
+func TestFrameReaderNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("ReadFrame panicked on %x: %v", data, r)
+			}
+		}()
+		fr := NewFrameReader(bytes.NewReader(data), 1<<20)
+		for i := 0; i < 16; i++ {
+			if _, err := fr.ReadFrame(); err != nil {
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameReaderBoundedAllocationOnLyingLength(t *testing.T) {
+	// A header claiming a huge payload with no bytes behind it must
+	// fail at the size check, not attempt the allocation.
+	hdr := []byte{0x82, 127, 0x7F, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+	fr := NewFrameReader(bytes.NewReader(hdr), 1<<20)
+	if _, err := fr.ReadFrame(); err != ErrMessageTooBig {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFrameReaderTruncatedEverywhere(t *testing.T) {
+	full := EncodeFrame(true, OpBinary, bytes.Repeat([]byte{0xAA}, 300), []byte{1, 2, 3, 4})
+	for cut := 0; cut < len(full); cut++ {
+		fr := NewFrameReader(bytes.NewReader(full[:cut]), 0)
+		if _, err := fr.ReadFrame(); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestConnReadMessageGarbageStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		data := make([]byte, rng.Intn(512))
+		rng.Read(data)
+		fr := NewFrameReader(bytes.NewReader(data), 1<<16)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on garbage stream: %v", r)
+				}
+			}()
+			for i := 0; i < 8; i++ {
+				if _, err := fr.ReadFrame(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}

@@ -1,0 +1,330 @@
+package wsproto
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAcceptKeyRFCVector(t *testing.T) {
+	// The example from RFC 6455 §1.3.
+	got := AcceptKey("dGhlIHNhbXBsZSBub25jZQ==")
+	want := "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+	if got != want {
+		t.Fatalf("AcceptKey = %q, want %q", got, want)
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(payload []byte, masked bool, fin bool) bool {
+		var key []byte
+		if masked {
+			key = []byte{1, 2, 3, 4}
+		}
+		raw := EncodeFrame(fin, OpBinary, payload, key)
+		fr := NewFrameReader(bytes.NewReader(raw), 0)
+		frame, err := fr.ReadFrame()
+		if err != nil {
+			return false
+		}
+		return frame.Fin == fin && frame.Opcode == OpBinary &&
+			frame.Masked == masked && bytes.Equal(frame.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameLengthEncodings(t *testing.T) {
+	for _, n := range []int{0, 1, 125, 126, 127, 65535, 65536, 70000} {
+		payload := bytes.Repeat([]byte{0xAB}, n)
+		raw := EncodeFrame(true, OpBinary, payload, nil)
+		fr := NewFrameReader(bytes.NewReader(raw), 0)
+		frame, err := fr.ReadFrame()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(frame.Payload) != n {
+			t.Fatalf("n=%d: got %d", n, len(frame.Payload))
+		}
+	}
+}
+
+func TestMaskingActuallyMasks(t *testing.T) {
+	payload := []byte("secret token data")
+	raw := EncodeFrame(true, OpText, payload, []byte{9, 9, 9, 9})
+	if bytes.Contains(raw, payload) {
+		t.Fatal("masked frame contains plaintext payload")
+	}
+}
+
+func TestControlFrameRules(t *testing.T) {
+	// Fragmented control frame.
+	raw := EncodeFrame(false, OpPing, []byte("x"), nil)
+	fr := NewFrameReader(bytes.NewReader(raw), 0)
+	if _, err := fr.ReadFrame(); !errors.Is(err, ErrFragmentedCtl) {
+		t.Fatalf("err = %v", err)
+	}
+	// Oversized control payload: hand-craft header claiming 126 bytes.
+	bad := []byte{0x89, 126, 0x00, 0x80}
+	bad = append(bad, make([]byte, 128)...)
+	fr = NewFrameReader(bytes.NewReader(bad), 0)
+	if _, err := fr.ReadFrame(); !errors.Is(err, ErrControlTooLong) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReservedBitsRejected(t *testing.T) {
+	raw := EncodeFrame(true, OpText, []byte("a"), nil)
+	raw[0] |= 0x40 // set RSV1
+	fr := NewFrameReader(bytes.NewReader(raw), 0)
+	if _, err := fr.ReadFrame(); !errors.Is(err, ErrReservedBits) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	raw := EncodeFrame(true, OpBinary, make([]byte, 4096), nil)
+	fr := NewFrameReader(bytes.NewReader(raw), 1024)
+	if _, err := fr.ReadFrame(); !errors.Is(err, ErrMessageTooBig) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClosePayloadRoundTrip(t *testing.T) {
+	p := ClosePayload(CloseGoingAway, "maintenance")
+	code, reason := ParseClosePayload(p)
+	if code != CloseGoingAway || reason != "maintenance" {
+		t.Fatalf("close = %d %q", code, reason)
+	}
+	if code, _ := ParseClosePayload(nil); code != CloseNormal {
+		t.Fatalf("empty close payload code = %d", code)
+	}
+}
+
+// pipePair builds a connected client/server conn pair over net.Pipe.
+func pipePair() (*Conn, *Conn) {
+	c1, c2 := net.Pipe()
+	client := newConn(c1, true, 0)
+	server := newConn(c2, false, 0)
+	return client, server
+}
+
+func TestConnEcho(t *testing.T) {
+	client, server := pipePair()
+	defer client.Close(CloseNormal, "")
+	go func() {
+		op, payload, err := server.ReadMessage()
+		if err != nil {
+			return
+		}
+		_ = server.WriteMessage(op, payload)
+	}()
+	if err := client.WriteMessage(OpText, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	op, payload, err := client.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpText || string(payload) != "hello" {
+		t.Fatalf("echo = %s %q", op, payload)
+	}
+}
+
+func TestConnFragmentedMessage(t *testing.T) {
+	client, server := pipePair()
+	defer client.Close(CloseNormal, "")
+	payload := bytes.Repeat([]byte("0123456789"), 100)
+	go func() {
+		_ = client.WriteFragmented(OpBinary, payload, 64)
+	}()
+	op, got, err := server.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpBinary || !bytes.Equal(got, payload) {
+		t.Fatalf("fragmented reassembly failed: %d bytes", len(got))
+	}
+}
+
+func TestConnPingTransparency(t *testing.T) {
+	client, server := pipePair()
+	defer client.Close(CloseNormal, "")
+	go func() {
+		// Server sends ping; client must answer it internally. The
+		// server consumes the pong (net.Pipe writes are synchronous)
+		// before sending the data message the client should deliver.
+		_ = server.WriteMessage(OpPing, []byte("beat"))
+		if f, err := server.fr.ReadFrame(); err != nil || f.Opcode != OpPong {
+			return
+		}
+		_ = server.WriteMessage(OpText, []byte("data"))
+	}()
+	op, payload, err := client.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpText || string(payload) != "data" {
+		t.Fatalf("got %s %q", op, payload)
+	}
+}
+
+func TestServerRejectsUnmaskedClientFrames(t *testing.T) {
+	c1, c2 := net.Pipe()
+	server := newConn(c2, false, 0)
+	go func() {
+		// Raw unmasked text frame, as a non-compliant client would send.
+		_, _ = c1.Write(EncodeFrame(true, OpText, []byte("x"), nil))
+	}()
+	if _, _, err := server.ReadMessage(); !errors.Is(err, ErrUnmaskedClient) {
+		t.Fatalf("err = %v", err)
+	}
+	c1.Close()
+}
+
+func TestClientRejectsMaskedServerFrames(t *testing.T) {
+	c1, c2 := net.Pipe()
+	client := newConn(c1, true, 0)
+	go func() {
+		_, _ = c2.Write(EncodeFrame(true, OpText, []byte("x"), []byte{1, 2, 3, 4}))
+	}()
+	if _, _, err := client.ReadMessage(); !errors.Is(err, ErrMaskedServer) {
+		t.Fatalf("err = %v", err)
+	}
+	c1.Close()
+}
+
+func TestCloseHandshake(t *testing.T) {
+	client, server := pipePair()
+	go func() {
+		_ = server.Close(CloseGoingAway, "shutting down")
+	}()
+	_, _, err := client.ReadMessage()
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+	if client.CloseCode != CloseGoingAway || client.CloseReason != "shutting down" {
+		t.Fatalf("close = %d %q", client.CloseCode, client.CloseReason)
+	}
+}
+
+func TestUnexpectedContinuation(t *testing.T) {
+	c1, c2 := net.Pipe()
+	client := newConn(c1, true, 0)
+	go func() {
+		_, _ = c2.Write(EncodeFrame(true, OpContinuation, []byte("x"), nil))
+	}()
+	if _, _, err := client.ReadMessage(); !errors.Is(err, ErrUnexpectedOpcode) {
+		t.Fatalf("err = %v", err)
+	}
+	c1.Close()
+}
+
+// TestHTTPUpgradeEndToEnd exercises the real handshake path through
+// net/http: Upgrade on the server, Dial on the client.
+func TestHTTPUpgradeEndToEnd(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, err := Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		defer conn.Close(CloseNormal, "")
+		for {
+			op, payload, err := conn.ReadMessage()
+			if err != nil {
+				return
+			}
+			if err := conn.WriteMessage(op, append([]byte("echo:"), payload...)); err != nil {
+				return
+			}
+		}
+	}))
+	defer srv.Close()
+
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := Dial(raw, addr, "/ws", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close(CloseNormal, "")
+
+	for i := 0; i < 3; i++ {
+		msg := []byte(strings.Repeat("z", 100*(i+1)))
+		if err := conn.WriteMessage(OpText, msg); err != nil {
+			t.Fatal(err)
+		}
+		_, payload, err := conn.ReadMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(payload) != "echo:"+string(msg) {
+			t.Fatalf("round %d: %q", i, payload[:10])
+		}
+	}
+}
+
+func TestUpgradeRejectsPlainRequest(t *testing.T) {
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/ws", nil)
+	if _, err := Upgrade(rec, req); !errors.Is(err, ErrBadHandshake) {
+		t.Fatalf("err = %v", err)
+	}
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}
+
+func TestDialRejectsNon101(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no ws here", http.StatusNotFound)
+	}))
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := Dial(raw, addr, "/ws", nil); !errors.Is(err, ErrBadHandshake) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIsUpgradeRequest(t *testing.T) {
+	req := httptest.NewRequest("GET", "/x", nil)
+	if IsUpgradeRequest(req) {
+		t.Fatal("plain request detected as upgrade")
+	}
+	req.Header.Set("Upgrade", "websocket")
+	req.Header.Set("Connection", "keep-alive, Upgrade")
+	if !IsUpgradeRequest(req) {
+		t.Fatal("upgrade request not detected")
+	}
+}
+
+func TestFrameReaderEOF(t *testing.T) {
+	fr := NewFrameReader(bytes.NewReader(nil), 0)
+	if _, err := fr.ReadFrame(); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOpcodeString(t *testing.T) {
+	if OpText.String() != "text" || OpClose.String() != "close" {
+		t.Fatal("opcode names wrong")
+	}
+	if !OpPing.Control() || OpBinary.Control() {
+		t.Fatal("control classification wrong")
+	}
+}
