@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"testing"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/cryptoaudit"
 	"repro/internal/jmsg"
 	"repro/internal/kernel/minilang"
@@ -203,6 +205,37 @@ func BenchmarkMisconfigScan(b *testing.B) {
 		if len(findings) < 10 {
 			b.Fatal("findings missing")
 		}
+	}
+}
+
+// ---- E7b: fleet census throughput ----
+//
+// The paper's methodology is a wide scan over many servers; this
+// measures how fast the concurrent sweep covers a fleet at several
+// worker-pool sizes — the scaling knob for internet-scale coverage.
+
+func BenchmarkFleetScan(b *testing.B) {
+	const fleetSize = 32
+	fl, err := fleet.Spawn(fleet.Generate(1, fleetSize))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fl.Close()
+	targets := fl.Targets()
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := fleet.Scan(context.Background(), targets, fleet.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Scanned != fleetSize {
+					b.Fatalf("scanned %d/%d", rep.Scanned, fleetSize)
+				}
+			}
+			b.ReportMetric(float64(fleetSize)*float64(b.N)/b.Elapsed().Seconds(), "targets/sec")
+		})
 	}
 }
 

@@ -73,6 +73,61 @@ func TestCLITools(t *testing.T) {
 		}
 	})
 
+	t.Run("jscan-fleet", func(t *testing.T) {
+		// Same seed must yield a byte-identical census regardless of
+		// worker count, and a checkpointed sweep must resume.
+		out1, err := runTool(t, filepath.Join(bin, "jscan"), "--fleet", "64", "--workers", "8", "--seed", "3")
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out1)
+		}
+		out2, err := runTool(t, filepath.Join(bin, "jscan"), "--fleet", "64", "--workers", "2", "--seed", "3")
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out2)
+		}
+		census := func(out string) string {
+			// The sweep perf line (stderr) is wall-clock dependent;
+			// the census itself must match exactly.
+			var keep []string
+			for _, line := range strings.Split(out, "\n") {
+				if !strings.HasPrefix(line, "sweep:") {
+					keep = append(keep, line)
+				}
+			}
+			return strings.Join(keep, "\n")
+		}
+		if census(out1) != census(out2) {
+			t.Fatalf("fleet census not deterministic:\n%s\nvs\n%s", out1, out2)
+		}
+		for _, want := range []string{"Fleet census: 64 targets, 64 scanned", "findings by check", "worst targets"} {
+			if !strings.Contains(out1, want) {
+				t.Errorf("census missing %q:\n%s", want, out1)
+			}
+		}
+
+		ckpt := filepath.Join(work, "sweep.ckpt")
+		jsonl := filepath.Join(work, "sweep.jsonl")
+		out3, err := runTool(t, filepath.Join(bin, "jscan"),
+			"--fleet", "16", "--workers", "4", "--seed", "3", "--resume", ckpt, "--jsonl", jsonl)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out3)
+		}
+		out4, err := runTool(t, filepath.Join(bin, "jscan"),
+			"--fleet", "16", "--workers", "4", "--seed", "3", "--resume", ckpt)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out4)
+		}
+		if !strings.Contains(out4, "(16 resumed)") {
+			t.Errorf("second sweep did not resume from checkpoint:\n%s", out4)
+		}
+		data, err := os.ReadFile(jsonl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lines := strings.Count(string(data), "\n"); lines != 16 {
+			t.Errorf("jsonl stream has %d lines, want 16", lines)
+		}
+	})
+
 	t.Run("jupyterd-scan", func(t *testing.T) {
 		out, err := runTool(t, filepath.Join(bin, "jupyterd"), "--sloppy", "--addr", "127.0.0.1:0", "--scan")
 		if err != nil {

@@ -1,19 +1,29 @@
 // Command jscan is the misconfiguration scanner: it audits a named
-// configuration preset or probes a live server the way an internet
-// scanner would.
+// configuration preset, probes a live server the way an internet
+// scanner would, or runs a fleet census — spawning N simulated
+// servers with misconfiguration presets sampled from the paper's
+// taxonomy and sweeping them through a bounded, rate-limited worker
+// pool into a deterministic aggregate report.
 //
 //	jscan --preset sloppy
 //	jscan --preset hardened
 //	jscan --probe 127.0.0.1:8888
+//	jscan --fleet 64 --workers 8 --seed 1
+//	jscan --fleet 64 --rate 100 --resume sweep.ckpt --jsonl results.jsonl
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/cryptoaudit"
+	"repro/internal/fleet"
 	"repro/internal/misconfig"
 	"repro/internal/nbformat"
 	"repro/internal/nbscan"
@@ -25,9 +35,23 @@ func main() {
 	probe := flag.String("probe", "", "probe a live server at host:port")
 	notebook := flag.String("notebook", "", "statically scan a .ipynb file for attack-shaped cells")
 	cryptoFlag := flag.Bool("crypto", false, "include the quantum-threat crypto inventory")
+	fleetN := flag.Int("fleet", 0, "spawn N simulated servers with sampled misconfig presets and run a census sweep")
+	workers := flag.Int("workers", 4, "fleet sweep worker pool size")
+	rate := flag.Float64("rate", 0, "fleet sweep probe rate limit in targets/sec (0 = unlimited)")
+	seed := flag.Int64("seed", 1, "fleet preset generator seed (same seed -> identical census)")
+	resume := flag.String("resume", "", "fleet checkpoint file; an interrupted sweep continues where it left off")
+	topK := flag.Int("topk", 5, "worst targets listed in the fleet census")
+	jsonl := flag.String("jsonl", "", "stream per-target fleet results as JSONL to this file ('-' = stdout)")
 	flag.Parse()
 
 	switch {
+	case *fleetN > 0:
+		os.Exit(runFleet(*fleetN, *seed, fleet.Options{
+			Workers:        *workers,
+			Rate:           *rate,
+			TopK:           *topK,
+			CheckpointPath: *resume,
+		}, *jsonl))
 	case *notebook != "":
 		data, err := os.ReadFile(*notebook)
 		if err != nil {
@@ -45,14 +69,8 @@ func main() {
 			os.Exit(1)
 		}
 	case *preset != "":
-		var cfg server.Config
-		switch *preset {
-		case "hardened":
-			cfg = server.HardenedConfig("scan-placeholder-token")
-			cfg.ContentQuota = 10 << 30
-		case "sloppy":
-			cfg = server.SloppyConfig()
-		default:
+		cfg, ok := server.PresetConfig(*preset, "scan-placeholder-token")
+		if !ok {
 			fmt.Fprintf(os.Stderr, "jscan: unknown preset %q\n", *preset)
 			os.Exit(2)
 		}
@@ -78,7 +96,64 @@ func main() {
 			os.Exit(1)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "jscan: need --preset NAME, --probe ADDR, or --notebook FILE")
+		fmt.Fprintln(os.Stderr, "jscan: need --preset NAME, --probe ADDR, --notebook FILE, or --fleet N")
 		os.Exit(2)
 	}
+}
+
+// runFleet spawns the simulated fleet, sweeps it, and prints the
+// census to stdout (performance stats go to stderr so the census
+// stays byte-identical run to run). Returns the process exit code.
+func runFleet(n int, seed int64, opts fleet.Options, jsonlPath string) int {
+	var stream io.Writer
+	var jsonlFile *os.File
+	switch jsonlPath {
+	case "":
+	case "-":
+		stream = os.Stdout
+	default:
+		f, err := os.Create(jsonlPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jscan: %v\n", err)
+			return 1
+		}
+		jsonlFile = f
+		stream = f
+	}
+	opts.Stream = stream
+
+	presets := fleet.Generate(seed, n)
+	fl, err := fleet.Spawn(presets)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jscan: %v\n", err)
+		return 1
+	}
+	defer fl.Close()
+
+	// Ctrl-C cancels the sweep; completed targets are already in the
+	// checkpoint, so rerunning with --resume picks up the remainder.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	report, err := fleet.Scan(ctx, fl.Targets(), opts)
+	if jsonlFile != nil {
+		// Close errors mean the JSONL stream is incomplete; a silent
+		// exit 0 would hand downstream consumers a truncated dataset.
+		if cerr := jsonlFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	switch {
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintf(os.Stderr, "jscan: sweep interrupted: %v\n", err)
+	case err != nil:
+		fmt.Fprintf(os.Stderr, "jscan: %v\n", err)
+	}
+	if report != nil {
+		fmt.Print(report.Render())
+		fmt.Fprintln(os.Stderr, report.Stats.Render())
+	}
+	if err != nil {
+		return 1
+	}
+	return 0
 }

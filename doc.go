@@ -9,6 +9,14 @@
 // edge honeypots with threat-intel sharing, a misconfiguration
 // scanner, and a post-quantum audit-log signing scheme.
 //
+// The fleet subsystem (internal/fleet) reproduces the paper's
+// wide-scan methodology at scale: it spawns a fleet of simulated
+// servers whose configurations sample the misconfiguration taxonomy,
+// sweeps them through a bounded, rate-limited worker pool, and
+// aggregates a deterministic census — counts per finding class,
+// severity histogram, worst targets — with streaming JSONL output
+// and a resumable checkpoint (jscan --fleet N).
+//
 // See README.md for the tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for the per-figure reproduction record. The root
 // bench_test.go regenerates every experiment.

@@ -1,0 +1,85 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Checkpoint format: one JSON Result per line, appended as targets
+// complete. A sweep killed mid-write leaves at most one torn trailing
+// line, which LoadCheckpoint tolerates; corruption anywhere else is
+// an error, not silent data loss.
+
+// LoadCheckpoint reads the results recorded in a checkpoint file. A
+// missing file is an empty checkpoint. Later records win when a
+// target appears twice (a resumed sweep re-appends nothing, but a
+// crashed one may).
+func LoadCheckpoint(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[string]Result{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fleet: checkpoint: %w", err)
+	}
+	out := map[string]Result{}
+	lines := bytes.Split(data, []byte{'\n'})
+	for i, line := range lines {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var r Result
+		if err := json.Unmarshal(line, &r); err != nil {
+			if i == len(lines)-1 {
+				// Torn final line from an interrupted append; the
+				// target will simply be rescanned.
+				break
+			}
+			return nil, fmt.Errorf("fleet: checkpoint %s line %d: %w", path, i+1, err)
+		}
+		if r.TargetID == "" {
+			return nil, fmt.Errorf("fleet: checkpoint %s line %d: missing target_id", path, i+1)
+		}
+		out[r.TargetID] = r
+	}
+	return out, nil
+}
+
+// checkpointWriter appends results to the checkpoint file, flushing
+// per record so progress survives a kill.
+type checkpointWriter struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+func openCheckpoint(path string) (*checkpointWriter, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: checkpoint: %w", err)
+	}
+	return &checkpointWriter{f: f, bw: bufio.NewWriter(f)}, nil
+}
+
+func (w *checkpointWriter) Append(r Result) error {
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("fleet: checkpoint append: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := w.bw.Write(line); err != nil {
+		return fmt.Errorf("fleet: checkpoint append: %w", err)
+	}
+	return w.bw.Flush()
+}
+
+func (w *checkpointWriter) Close() error {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

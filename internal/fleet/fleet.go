@@ -1,0 +1,66 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/server"
+)
+
+// Target is one scannable fleet member: the address a probe reaches
+// it at plus the knobs that shaped it (kept so the static posture
+// audit and a checkpoint-resumed sweep are self-contained).
+type Target struct {
+	ID     string `json:"id"`
+	Preset string `json:"preset"`
+	Addr   string `json:"addr"`
+	Knobs  Knobs  `json:"knobs"`
+}
+
+// Fleet is a set of running in-process simulated servers.
+type Fleet struct {
+	servers []*server.Server
+	targets []Target
+}
+
+// Spawn starts one loopback server per preset, each on an ephemeral
+// port. On any listen failure the already-started members are closed
+// and the error returned.
+func Spawn(presets []Preset) (*Fleet, error) {
+	f := &Fleet{}
+	for _, p := range presets {
+		cfg := p.Knobs.Config()
+		cfg.Port = 0
+		srv := server.NewServer(cfg)
+		addr, err := srv.Start()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: spawn %s: %w", p.ID, err)
+		}
+		f.servers = append(f.servers, srv)
+		f.targets = append(f.targets, Target{
+			ID: p.ID, Preset: p.Name, Addr: addr, Knobs: p.Knobs,
+		})
+	}
+	return f, nil
+}
+
+// Targets returns the scannable members in spawn order.
+func (f *Fleet) Targets() []Target {
+	out := make([]Target, len(f.targets))
+	copy(out, f.targets)
+	return out
+}
+
+// Size returns the number of running members.
+func (f *Fleet) Size() int { return len(f.servers) }
+
+// Close stops every member.
+func (f *Fleet) Close() error {
+	var first error
+	for _, s := range f.servers {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

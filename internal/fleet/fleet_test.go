@@ -1,0 +1,308 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(42, 32)
+	b := Generate(42, 32)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different fleets")
+	}
+	c := Generate(43, 32)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical fleets")
+	}
+	seen := map[string]bool{}
+	for _, p := range a {
+		if seen[p.ID] {
+			t.Fatalf("duplicate preset id %s", p.ID)
+		}
+		seen[p.ID] = true
+	}
+}
+
+func TestGenerateAnchors(t *testing.T) {
+	ps := Generate(1, 8)
+	if ps[0].Name != "hardened" || (ps[0].Knobs != Knobs{}) {
+		t.Fatalf("preset 0 not hardened anchor: %+v", ps[0])
+	}
+	all := Knobs{OpenBind: true, NoAuth: true, TokenInURL: true,
+		WildcardCORS: true, NoTLS: true, Terminals: true, Root: true, WeakKey: true}
+	if ps[1].Knobs != all {
+		t.Fatalf("preset 1 not everything-wrong anchor: %+v", ps[1])
+	}
+}
+
+func TestKnobsNameAndConfig(t *testing.T) {
+	cases := []struct {
+		knobs Knobs
+		name  string
+		check func(t *testing.T)
+	}{
+		{Knobs{}, "hardened", nil},
+		{Knobs{NoAuth: true}, "no-auth", nil},
+		{Knobs{OpenBind: true, Terminals: true}, "open-bind+terminals", nil},
+		{Knobs{WeakKey: true}, "weak-key", nil},
+	}
+	for _, c := range cases {
+		if got := c.knobs.Name(); got != c.name {
+			t.Errorf("Name(%+v) = %q, want %q", c.knobs, got, c.name)
+		}
+	}
+	cfg := Knobs{NoAuth: true, WildcardCORS: true, WeakKey: true}.Config()
+	if !cfg.Auth.DisableAuth || cfg.AllowOrigin != "*" || len(cfg.ConnectionKey) >= 16 {
+		t.Fatalf("knob mapping wrong: %+v", cfg)
+	}
+	hardened := Knobs{}.Config()
+	if hardened.Auth.DisableAuth || hardened.AllowOrigin == "*" || !hardened.TLSEnabled {
+		t.Fatalf("hardened base not hardened: %+v", hardened)
+	}
+}
+
+// spawnFleet is a test helper: spawn n targets from seed, cleanup on
+// test end.
+func spawnFleet(t *testing.T, seed int64, n int) *Fleet {
+	t.Helper()
+	f, err := Spawn(Generate(seed, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestScanExactlyOnceWithStream(t *testing.T) {
+	f := spawnFleet(t, 1, 12)
+	var stream bytes.Buffer
+	rep, err := Scan(context.Background(), f.Targets(), Options{
+		Workers: 4, Stream: &stream, Timeout: 3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Targets != 12 || rep.Scanned != 12 || rep.Resumed != 0 || rep.Unreachable != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Every target appears exactly once in the JSONL stream.
+	seen := map[string]int{}
+	dec := json.NewDecoder(&stream)
+	for dec.More() {
+		var r Result
+		if err := dec.Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		seen[r.TargetID]++
+	}
+	if len(seen) != 12 {
+		t.Fatalf("stream has %d distinct targets, want 12", len(seen))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("target %s scanned %d times", id, n)
+		}
+	}
+}
+
+func TestScanAnchorsScoreAsExpected(t *testing.T) {
+	f := spawnFleet(t, 5, 4)
+	rep, err := Scan(context.Background(), f.Targets(), Options{Workers: 2, TopK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst list is sorted ascending by score; the everything-wrong
+	// anchor must be at the bottom and the hardened anchor clean.
+	byID := map[string]WorstTarget{}
+	for _, w := range rep.Worst {
+		byID[w.TargetID] = w
+	}
+	if w := byID["tgt-0000"]; w.Score != 100 || w.Findings != 0 {
+		t.Fatalf("hardened anchor = %+v", w)
+	}
+	if w := byID["tgt-0001"]; w.Score != 0 || w.Findings < 10 {
+		t.Fatalf("everything-wrong anchor = %+v", w)
+	}
+}
+
+func TestReportDeterministicAcrossWorkerCounts(t *testing.T) {
+	f := spawnFleet(t, 9, 16)
+	a, err := Scan(context.Background(), f.Targets(), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Scan(context.Background(), f.Targets(), Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Fatalf("census differs with worker count:\n%s\nvs\n%s", a.Render(), b.Render())
+	}
+}
+
+func TestCheckpointResumeRoundTrip(t *testing.T) {
+	f := spawnFleet(t, 3, 16)
+	targets := f.Targets()
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+
+	// First sweep covers half the fleet, then "dies".
+	first, err := Scan(context.Background(), targets[:8], Options{
+		Workers: 4, CheckpointPath: ckpt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Scanned != 8 || first.Stats.Scanned != 8 || first.Stats.Resumed != 0 {
+		t.Fatalf("first sweep = %+v", first.Stats)
+	}
+
+	// Resumed sweep over the full fleet scans only the remainder.
+	second, err := Scan(context.Background(), targets, Options{
+		Workers: 4, CheckpointPath: ckpt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.Scanned != 8 || second.Stats.Resumed != 8 {
+		t.Fatalf("resumed sweep = %+v", second.Stats)
+	}
+	if second.Scanned != 16 || second.Resumed != 8 {
+		t.Fatalf("resumed report = %+v", second)
+	}
+
+	// The resumed census matches a clean one-shot sweep.
+	clean, err := Scan(context.Background(), targets, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(second.ByCheck, clean.ByCheck) ||
+		!reflect.DeepEqual(second.BySeverity, clean.BySeverity) ||
+		second.MeanScore != clean.MeanScore ||
+		!reflect.DeepEqual(second.Worst, clean.Worst) {
+		t.Fatalf("resumed census diverged:\n%s\nvs\n%s", second.Render(), clean.Render())
+	}
+}
+
+func TestCheckpointRejectsDifferentFleet(t *testing.T) {
+	// Resuming against a checkpoint written by a different fleet
+	// (e.g. another --seed) must fail loudly, not silently fold
+	// foreign results into the census.
+	f := spawnFleet(t, 3, 6)
+	targets := f.Targets()
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+	if _, err := Scan(context.Background(), targets, Options{Workers: 2, CheckpointPath: ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	mutated := append([]Target{}, targets...)
+	mutated[2].Preset = "no-auth+root" // same ID, different configuration
+	if _, err := Scan(context.Background(), mutated, Options{Workers: 2, CheckpointPath: ckpt}); err == nil {
+		t.Fatal("checkpoint from a different fleet accepted")
+	}
+}
+
+func TestLoadCheckpointToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.ckpt")
+	whole, _ := json.Marshal(Result{TargetID: "tgt-0001", Score: 50})
+	content := append(whole, '\n')
+	content = append(content, []byte(`{"target_id":"tgt-0002","sco`)...) // torn write
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got["tgt-0001"].Score != 50 {
+		t.Fatalf("loaded = %+v", got)
+	}
+}
+
+func TestLoadCheckpointRejectsMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.ckpt")
+	content := []byte("not json at all\n{\"target_id\":\"tgt-0001\"}\n")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+}
+
+func TestLoadCheckpointMissingFile(t *testing.T) {
+	got, err := LoadCheckpoint(filepath.Join(t.TempDir(), "nope.ckpt"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("missing checkpoint: %v %+v", err, got)
+	}
+}
+
+func TestBuildReportOrderIndependent(t *testing.T) {
+	results := []Result{
+		{TargetID: "tgt-0002", Preset: "no-auth", Score: 40, Reachable: true},
+		{TargetID: "tgt-0000", Preset: "hardened", Score: 100, Reachable: true},
+		{TargetID: "tgt-0001", Preset: "root", Score: 40, Reachable: true},
+	}
+	reversed := []Result{results[2], results[1], results[0]}
+	a := BuildReport(3, results, 2)
+	b := BuildReport(3, reversed, 2)
+	if a.Render() != b.Render() {
+		t.Fatal("report depends on result order")
+	}
+	// Score ties broken by target ID.
+	if a.Worst[0].TargetID != "tgt-0001" || a.Worst[1].TargetID != "tgt-0002" {
+		t.Fatalf("worst = %+v", a.Worst)
+	}
+}
+
+func TestTokenBucketThrottles(t *testing.T) {
+	tb := newTokenBucket(100, 1) // 100/s, burst 1
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if err := tb.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 1 burst token + 4 refills at 10ms each ≈ 40ms minimum.
+	if el := time.Since(start); el < 25*time.Millisecond {
+		t.Fatalf("5 tokens at 100/s took only %s", el)
+	}
+}
+
+func TestTokenBucketCancel(t *testing.T) {
+	tb := newTokenBucket(0.1, 1) // one token per 10s
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := tb.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- tb.Wait(ctx) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled wait returned nil")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled wait did not return")
+	}
+}
+
+func TestTokenBucketUnlimited(t *testing.T) {
+	tb := newTokenBucket(0, 0)
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		if err := tb.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("unlimited bucket throttled: %s", el)
+	}
+}

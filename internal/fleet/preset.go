@@ -1,0 +1,142 @@
+// Package fleet is the concurrent scanning subsystem: it spawns a
+// fleet of in-process simulated Jupyter servers whose configurations
+// sample the paper's misconfiguration taxonomy, probes them through a
+// bounded worker pool with token-bucket rate limiting, and aggregates
+// the results into a deterministic census report with streaming JSONL
+// output and a resumable checkpoint — the wide-scan methodology of the
+// paper reproduced against a synthetic internet.
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/server"
+)
+
+// fleetToken is the shared credential every fleet server is started
+// with; probes run unauthenticated, as an internet scanner would.
+const fleetToken = "fleet-scan-token-0123456789abcdef"
+
+// Knobs is one bit per misconfiguration class in the taxonomy. The
+// zero value is a fully hardened server.
+type Knobs struct {
+	OpenBind     bool `json:"open_bind,omitempty"`     // bound to 0.0.0.0
+	NoAuth       bool `json:"no_auth,omitempty"`       // authentication disabled
+	TokenInURL   bool `json:"token_in_url,omitempty"`  // ?token= accepted
+	WildcardCORS bool `json:"wildcard_cors,omitempty"` // Access-Control-Allow-Origin: *
+	NoTLS        bool `json:"no_tls,omitempty"`        // cleartext transport
+	Terminals    bool `json:"terminals,omitempty"`     // terminals enabled
+	Root         bool `json:"root,omitempty"`          // running as root permitted
+	WeakKey      bool `json:"weak_key,omitempty"`      // short kernel connection key
+}
+
+// knobTags pairs each knob with its name fragment, in a fixed order so
+// preset names are stable.
+var knobTags = []struct {
+	tag string
+	get func(Knobs) bool
+}{
+	{"open-bind", func(k Knobs) bool { return k.OpenBind }},
+	{"no-auth", func(k Knobs) bool { return k.NoAuth }},
+	{"token-in-url", func(k Knobs) bool { return k.TokenInURL }},
+	{"wildcard-cors", func(k Knobs) bool { return k.WildcardCORS }},
+	{"no-tls", func(k Knobs) bool { return k.NoTLS }},
+	{"terminals", func(k Knobs) bool { return k.Terminals }},
+	{"root", func(k Knobs) bool { return k.Root }},
+	{"weak-key", func(k Knobs) bool { return k.WeakKey }},
+}
+
+// Name renders the knob combination as a stable preset name,
+// "hardened" when every knob is off.
+func (k Knobs) Name() string {
+	var tags []string
+	for _, kt := range knobTags {
+		if kt.get(k) {
+			tags = append(tags, kt.tag)
+		}
+	}
+	if len(tags) == 0 {
+		return "hardened"
+	}
+	return strings.Join(tags, "+")
+}
+
+// Config materializes the knobs into a server configuration, starting
+// from the hardened baseline and flipping each selected knob wrong.
+func (k Knobs) Config() server.Config {
+	cfg, _ := server.PresetConfig("hardened", fleetToken)
+	if k.OpenBind {
+		cfg.BindAddress = "0.0.0.0"
+	}
+	if k.NoAuth {
+		cfg.Auth.DisableAuth = true
+	}
+	if k.TokenInURL {
+		cfg.Auth.AllowTokenInURL = true
+	}
+	if k.WildcardCORS {
+		cfg.AllowOrigin = "*"
+	}
+	if k.NoTLS {
+		cfg.TLSEnabled = false
+	}
+	if k.Terminals {
+		cfg.EnableTerminals = true
+	}
+	if k.Root {
+		cfg.AllowRoot = true
+	}
+	if k.WeakKey {
+		cfg.ConnectionKey = "shortkey"
+	}
+	return cfg
+}
+
+// Preset is one generated fleet member configuration.
+type Preset struct {
+	ID    string `json:"id"`
+	Name  string `json:"name"`
+	Knobs Knobs  `json:"knobs"`
+}
+
+// Generate deterministically samples n presets from the knob space:
+// the same seed always yields the same fleet. The first two presets
+// anchor the extremes — fully hardened and everything-wrong — and the
+// rest are random combinations, so every census sees both poles of
+// the paper's measured population.
+func Generate(seed int64, n int) []Preset {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Preset, 0, n)
+	for i := 0; i < n; i++ {
+		var k Knobs
+		switch i {
+		case 0:
+			// hardened anchor: zero value
+		case 1:
+			k = Knobs{OpenBind: true, NoAuth: true, TokenInURL: true,
+				WildcardCORS: true, NoTLS: true, Terminals: true,
+				Root: true, WeakKey: true}
+		default:
+			k = Knobs{
+				OpenBind:     rng.Intn(2) == 1,
+				NoAuth:       rng.Intn(2) == 1,
+				TokenInURL:   rng.Intn(2) == 1,
+				WildcardCORS: rng.Intn(2) == 1,
+				NoTLS:        rng.Intn(2) == 1,
+				Terminals:    rng.Intn(2) == 1,
+				Root:         rng.Intn(2) == 1,
+				WeakKey:      rng.Intn(2) == 1,
+			}
+		}
+		out = append(out, Preset{
+			ID:    presetID(i),
+			Name:  k.Name(),
+			Knobs: k,
+		})
+	}
+	return out
+}
+
+func presetID(i int) string { return fmt.Sprintf("tgt-%04d", i) }

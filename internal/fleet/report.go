@@ -1,0 +1,128 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/misconfig"
+)
+
+// WorstTarget is one entry in the report's worst-offenders list.
+type WorstTarget struct {
+	TargetID string  `json:"target_id"`
+	Preset   string  `json:"preset"`
+	Score    float64 `json:"score"`
+	Findings int     `json:"findings"`
+}
+
+// Report is the aggregated fleet census. Everything in it is a pure
+// function of the scanned results in target-ID order, so the same
+// seed always yields an identical report; wall-clock performance
+// lives in Stats and stays out of the census.
+type Report struct {
+	Targets     int            `json:"targets"`
+	Scanned     int            `json:"scanned"`
+	Resumed     int            `json:"resumed"`
+	Unreachable int            `json:"unreachable"`
+	OpenAccess  int            `json:"open_access"`
+	MeanScore   float64        `json:"mean_score"`
+	BySeverity  map[string]int `json:"by_severity"`
+	ByCheck     map[string]int `json:"by_check"`
+	Worst       []WorstTarget  `json:"worst"`
+
+	Stats Stats `json:"-"`
+}
+
+// BuildReport aggregates results into a census. totalTargets is the
+// size of the sweep's target set; results may be fewer when a sweep
+// was cancelled early.
+func BuildReport(totalTargets int, results []Result, topK int) *Report {
+	rs := append([]Result{}, results...)
+	sortResults(rs)
+	rep := &Report{
+		Targets:    totalTargets,
+		BySeverity: map[string]int{},
+		ByCheck:    map[string]int{},
+	}
+	var scoreSum float64
+	for _, r := range rs {
+		rep.Scanned++
+		if r.Resumed {
+			rep.Resumed++
+		}
+		if !r.Reachable {
+			rep.Unreachable++
+		}
+		if r.OpenAccess {
+			rep.OpenAccess++
+		}
+		scoreSum += r.Score
+		for sev, n := range misconfig.SeverityCounts(r.Findings) {
+			rep.BySeverity[sev] += n
+		}
+		for _, f := range r.Findings {
+			rep.ByCheck[f.CheckID]++
+		}
+	}
+	if rep.Scanned > 0 {
+		rep.MeanScore = scoreSum / float64(rep.Scanned)
+	}
+	worst := append([]Result{}, rs...)
+	sort.SliceStable(worst, func(i, j int) bool {
+		if worst[i].Score != worst[j].Score {
+			return worst[i].Score < worst[j].Score
+		}
+		return worst[i].TargetID < worst[j].TargetID
+	})
+	if topK > len(worst) {
+		topK = len(worst)
+	}
+	for _, r := range worst[:topK] {
+		rep.Worst = append(rep.Worst, WorstTarget{
+			TargetID: r.TargetID, Preset: r.Preset,
+			Score: r.Score, Findings: len(r.Findings),
+		})
+	}
+	return rep
+}
+
+// severityOrder fixes the render order of severity rows.
+var severityOrder = []string{"critical", "high", "medium", "low"}
+
+// Render prints the census as an aligned, deterministic report.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fleet census: %d targets, %d scanned (%d resumed), %d unreachable, %d open-access\n",
+		r.Targets, r.Scanned, r.Resumed, r.Unreachable, r.OpenAccess)
+	fmt.Fprintf(&b, "mean hardening score %.1f/100\n", r.MeanScore)
+	b.WriteString("findings by severity:\n")
+	for _, sev := range severityOrder {
+		if n, ok := r.BySeverity[sev]; ok {
+			fmt.Fprintf(&b, "  %-8s %5d\n", sev, n)
+		}
+	}
+	b.WriteString("findings by check:\n")
+	checks := make([]string, 0, len(r.ByCheck))
+	for id := range r.ByCheck {
+		checks = append(checks, id)
+	}
+	sort.Strings(checks)
+	for _, id := range checks {
+		fmt.Fprintf(&b, "  %-8s %5d\n", id, r.ByCheck[id])
+	}
+	if len(r.Worst) > 0 {
+		fmt.Fprintf(&b, "top %d worst targets:\n", len(r.Worst))
+		for _, w := range r.Worst {
+			fmt.Fprintf(&b, "  %-9s score %3.0f  findings %2d  %s\n",
+				w.TargetID, w.Score, w.Findings, w.Preset)
+		}
+	}
+	return b.String()
+}
+
+// RenderStats prints the sweep's wall-clock performance line.
+func (s Stats) Render() string {
+	return fmt.Sprintf("sweep: %d scanned, %d resumed, %.1f targets/sec, probe p50 %.0fms p95 %.0fms max %.0fms, peak in-flight %d",
+		s.Scanned, s.Resumed, s.TargetsPerSec, s.ProbeP50MS, s.ProbeP95MS, s.ProbeMaxMS, s.MaxInFlight)
+}

@@ -1,0 +1,293 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/misconfig"
+)
+
+// Options tunes a fleet sweep.
+type Options struct {
+	Workers int           // concurrent probes; default 4
+	Rate    float64       // probes per second across all workers; 0 = unlimited
+	Burst   int           // token-bucket burst; default Workers
+	Timeout time.Duration // per-target probe timeout; default 5s
+	TopK    int           // worst targets listed in the report; default 5
+
+	// Stream receives one JSON line per freshly scanned target as the
+	// sweep runs. Optional.
+	Stream io.Writer
+
+	// CheckpointPath names a JSONL checkpoint file. Targets already
+	// recorded there are skipped (their results folded into the
+	// report as resumed), and every fresh result is appended, so an
+	// interrupted sweep continues where it left off.
+	CheckpointPath string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.Burst <= 0 {
+		o.Burst = o.Workers
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.TopK <= 0 {
+		o.TopK = 5
+	}
+	return o
+}
+
+// Result is the census record for one target: the static posture
+// audit of its configuration merged with what a live unauthenticated
+// probe observed.
+type Result struct {
+	TargetID      string              `json:"target_id"`
+	Preset        string              `json:"preset"`
+	Addr          string              `json:"addr"`
+	Reachable     bool                `json:"reachable"`
+	OpenAccess    bool                `json:"open_access"`
+	TerminalsOpen bool                `json:"terminals_open"`
+	WildcardCORS  bool                `json:"wildcard_cors"`
+	Score         float64             `json:"score"`
+	Findings      []misconfig.Finding `json:"findings"`
+
+	// Resumed marks results loaded from a checkpoint rather than
+	// scanned this sweep. Not persisted.
+	Resumed bool `json:"-"`
+}
+
+// Stats is the wall-clock performance of one sweep — reported beside
+// the census but excluded from it, so reports stay deterministic.
+type Stats struct {
+	Scanned       int
+	Resumed       int
+	TargetsPerSec float64
+	ProbeP50MS    float64
+	ProbeP95MS    float64
+	ProbeMaxMS    float64
+	MaxInFlight   int64
+}
+
+// Scan probes every target through a bounded worker pool and returns
+// the aggregated census. On context cancellation it returns the
+// partial report (every completed target included exactly once)
+// together with the context error.
+func Scan(ctx context.Context, targets []Target, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+
+	done := map[string]Result{}
+	if opts.CheckpointPath != "" {
+		loaded, err := LoadCheckpoint(opts.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		done = loaded
+	}
+	var ckpt *checkpointWriter
+	if opts.CheckpointPath != "" {
+		w, err := openCheckpoint(opts.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		ckpt = w
+		defer ckpt.Close()
+	}
+
+	var resumed []Result
+	var pending []Target
+	seen := map[string]bool{}
+	for _, t := range targets {
+		if seen[t.ID] {
+			continue
+		}
+		seen[t.ID] = true
+		if r, ok := done[t.ID]; ok {
+			if r.Preset != t.Preset {
+				return nil, fmt.Errorf(
+					"fleet: checkpoint %s records %s as preset %q but the current fleet has %q (checkpoint from a different seed or fleet?)",
+					opts.CheckpointPath, t.ID, r.Preset, t.Preset)
+			}
+			r.Resumed = true
+			resumed = append(resumed, r)
+			continue
+		}
+		pending = append(pending, t)
+	}
+
+	// scanCtx lets a collector-side failure (checkpoint or stream
+	// write) stop the sweep without conflating it with caller
+	// cancellation, which is still reported from the parent ctx.
+	scanCtx, cancelScan := context.WithCancel(ctx)
+	defer cancelScan()
+
+	limiter := newTokenBucket(opts.Rate, opts.Burst)
+	jobs := make(chan Target)
+	results := make(chan timedResult)
+
+	var inFlight metrics.Gauge
+	var maxInFlight metrics.Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range jobs {
+				if scanCtx.Err() != nil {
+					continue // drain without scanning
+				}
+				if err := limiter.Wait(scanCtx); err != nil {
+					continue
+				}
+				maxInFlight.Max(inFlight.Add(1))
+				start := time.Now()
+				res := scanOne(scanCtx, t, opts.Timeout)
+				inFlight.Add(-1)
+				results <- timedResult{res, time.Since(start)}
+			}
+		}()
+	}
+	go func() {
+		for _, t := range pending {
+			jobs <- t
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	tput := metrics.NewThroughput()
+	latency := &metrics.Histogram{}
+	var fresh []Result
+	var sinkErr error // first stream/checkpoint failure; sweep stops, channel still drains
+	for tr := range results {
+		if sinkErr != nil {
+			continue
+		}
+		tput.Tick()
+		latency.Observe(float64(tr.elapsed.Milliseconds()))
+		if opts.Stream != nil {
+			line, err := json.Marshal(tr.Result)
+			if err == nil {
+				line = append(line, '\n')
+				_, err = opts.Stream.Write(line)
+			}
+			if err != nil {
+				sinkErr = fmt.Errorf("fleet: stream: %w", err)
+				cancelScan()
+				continue
+			}
+		}
+		if ckpt != nil {
+			if err := ckpt.Append(tr.Result); err != nil {
+				sinkErr = err
+				cancelScan()
+				continue
+			}
+		}
+		fresh = append(fresh, tr.Result)
+	}
+	if sinkErr != nil {
+		return nil, sinkErr
+	}
+
+	all := append(append([]Result{}, resumed...), fresh...)
+	report := BuildReport(len(seen), all, opts.TopK)
+	report.Stats = Stats{
+		Scanned:       len(fresh),
+		Resumed:       len(resumed),
+		TargetsPerSec: tput.Rate(),
+		ProbeP50MS:    latency.Quantile(0.5),
+		ProbeP95MS:    latency.Quantile(0.95),
+		ProbeMaxMS:    latency.Max(),
+		MaxInFlight:   maxInFlight.Value(),
+	}
+	return report, ctx.Err()
+}
+
+type timedResult struct {
+	Result
+	elapsed time.Duration
+}
+
+// scanOne audits one target: static checks against the configuration
+// the knobs imply, merged with the live probe's findings, scored as
+// one posture.
+func scanOne(ctx context.Context, t Target, timeout time.Duration) Result {
+	static := misconfig.Scan(t.Knobs.Config())
+	pr := misconfig.ProbeCtx(ctx, t.Addr, timeout)
+	findings := misconfig.MergeFindings(pr.Findings, static)
+	return Result{
+		TargetID:      t.ID,
+		Preset:        t.Preset,
+		Addr:          t.Addr,
+		Reachable:     pr.Reachable,
+		OpenAccess:    pr.OpenAccess,
+		TerminalsOpen: pr.TerminalsEnabled,
+		WildcardCORS:  pr.WildcardCORS,
+		Score:         misconfig.Score(findings),
+		Findings:      findings,
+	}
+}
+
+// tokenBucket is a minimal context-aware token-bucket rate limiter.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 means unlimited
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	return &tokenBucket{
+		rate:   rate,
+		burst:  float64(burst),
+		tokens: float64(burst),
+		last:   time.Now(),
+	}
+}
+
+// Wait blocks until a token is available or the context is cancelled.
+func (tb *tokenBucket) Wait(ctx context.Context) error {
+	if tb.rate <= 0 {
+		return ctx.Err()
+	}
+	for {
+		tb.mu.Lock()
+		now := time.Now()
+		tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+		tb.last = now
+		if tb.tokens >= 1 {
+			tb.tokens--
+			tb.mu.Unlock()
+			return nil
+		}
+		wait := time.Duration((1 - tb.tokens) / tb.rate * float64(time.Second))
+		tb.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+}
+
+// sortResults orders results by target ID — the canonical order every
+// aggregation walks, making reports independent of completion order.
+func sortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].TargetID < rs[j].TargetID })
+}

@@ -25,6 +25,30 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// Gauge is an atomic instantaneous value (e.g. in-flight workers).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (negative to decrement) and returns the
+// new value.
+func (g *Gauge) Add(n int64) int64 { return g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Max raises the gauge to n when n exceeds the current value — an
+// atomic high-water mark safe against concurrent recorders.
+func (g *Gauge) Max(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // Histogram collects observations and reports quantiles. It keeps all
 // samples (bounded by Cap) — fine for benchmark-scale data.
 type Histogram struct {
@@ -64,6 +88,19 @@ func (h *Histogram) Quantile(q float64) float64 {
 	sort.Float64s(sorted)
 	idx := int(q * float64(len(sorted)-1))
 	return sorted[idx]
+}
+
+// Max returns the largest observed sample, 0 when empty.
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var max float64
+	for _, s := range h.samples {
+		if s > max {
+			max = s
+		}
+	}
+	return max
 }
 
 // Mean returns the sample mean.

@@ -25,6 +25,62 @@ func TestCounter(t *testing.T) {
 	}
 }
 
+func TestGauge(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 0 {
+		t.Fatalf("balanced add/dec value = %d", g.Value())
+	}
+	g.Set(7)
+	if n := g.Add(3); n != 10 || g.Value() != 10 {
+		t.Fatalf("add returned %d, value %d", n, g.Value())
+	}
+}
+
+func TestGaugeMax(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 1; i <= 64; i++ {
+		wg.Add(1)
+		go func(n int64) {
+			defer wg.Done()
+			g.Max(n)
+		}(int64(i))
+	}
+	wg.Wait()
+	if g.Value() != 64 {
+		t.Fatalf("high-water mark = %d, want 64", g.Value())
+	}
+	g.Max(10)
+	if g.Value() != 64 {
+		t.Fatal("Max lowered the gauge")
+	}
+}
+
+func TestHistogramMax(t *testing.T) {
+	var h Histogram
+	if h.Max() != 0 {
+		t.Fatal("empty max nonzero")
+	}
+	for _, v := range []float64{3, 9, 1, 7} {
+		h.Observe(v)
+	}
+	if h.Max() != 9 {
+		t.Fatalf("max = %f", h.Max())
+	}
+}
+
 func TestHistogramQuantiles(t *testing.T) {
 	var h Histogram
 	for i := 1; i <= 100; i++ {

@@ -6,6 +6,7 @@
 package misconfig
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"sort"
@@ -215,6 +216,41 @@ func Score(findings []Finding) float64 {
 	return 100 - penalty
 }
 
+// SeverityCounts tallies findings per severity label — the histogram
+// the fleet census aggregates across targets.
+func SeverityCounts(findings []Finding) map[string]int {
+	out := map[string]int{}
+	for _, f := range findings {
+		out[string(f.Severity)]++
+	}
+	return out
+}
+
+// MergeFindings combines finding lists, deduplicating by check ID
+// (first occurrence wins) and restoring the severity-then-ID order
+// Scan produces. The fleet census uses it to fold a live probe's
+// findings into a target's static posture audit.
+func MergeFindings(lists ...[]Finding) []Finding {
+	seen := map[string]bool{}
+	var out []Finding
+	for _, list := range lists {
+		for _, f := range list {
+			if seen[f.CheckID] {
+				continue
+			}
+			seen[f.CheckID] = true
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Severity.Rank() != out[j].Severity.Rank() {
+			return out[i].Severity.Rank() > out[j].Severity.Rank()
+		}
+		return out[i].CheckID < out[j].CheckID
+	})
+	return out
+}
+
 // Render prints findings as an aligned report.
 func Render(findings []Finding) string {
 	var b strings.Builder
@@ -239,9 +275,20 @@ type ProbeResult struct {
 // Probe tests a live server the way an internet scanner would:
 // unauthenticated requests against well-known endpoints.
 func Probe(addr string, timeout time.Duration) ProbeResult {
+	return ProbeCtx(context.Background(), addr, timeout)
+}
+
+// ProbeCtx is Probe with cancellation: a fleet sweep aborts in-flight
+// probes when the scan context is cancelled instead of waiting out
+// each per-target timeout.
+func ProbeCtx(ctx context.Context, addr string, timeout time.Duration) ProbeResult {
 	var res ProbeResult
 	hc := &http.Client{Timeout: timeout}
-	resp, err := hc.Get("http://" + addr + "/api/status")
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/api/status", nil)
+	if err != nil {
+		return res
+	}
+	resp, err := hc.Do(req)
 	if err != nil {
 		return res
 	}
@@ -267,7 +314,13 @@ func Probe(addr string, timeout time.Duration) ProbeResult {
 	}
 	// Terminal probe only meaningful if API is open.
 	if res.OpenAccess {
-		tresp, err := hc.Post("http://"+addr+"/api/terminals", "application/json", strings.NewReader("{}"))
+		treq, terr := http.NewRequestWithContext(ctx, http.MethodPost,
+			"http://"+addr+"/api/terminals", strings.NewReader("{}"))
+		if terr != nil {
+			return res
+		}
+		treq.Header.Set("Content-Type", "application/json")
+		tresp, err := hc.Do(treq)
 		if err == nil {
 			tresp.Body.Close()
 			if tresp.StatusCode == http.StatusCreated {

@@ -1,7 +1,10 @@
 package misconfig
 
 import (
+	"context"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -151,6 +154,92 @@ func TestProbeUnreachable(t *testing.T) {
 	res := Probe("127.0.0.1:1", 200*time.Millisecond)
 	if res.Reachable {
 		t.Fatal("port 1 reachable?")
+	}
+}
+
+func TestProbeConcurrentSharedServer(t *testing.T) {
+	// Fleet workers probe concurrently; many probes against one live
+	// server must be race-clean and all observe the same posture.
+	srv := server.NewServer(server.SloppyConfig())
+	addr, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const goroutines, probesEach = 16, 4
+	results := make([]ProbeResult, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < probesEach; j++ {
+				results[i] = Probe(addr, 5*time.Second)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if !res.Reachable || !res.OpenAccess || !res.WildcardCORS || !res.TerminalsEnabled {
+			t.Fatalf("goroutine %d probe = %+v", i, res)
+		}
+		if !reflect.DeepEqual(res.Findings, results[0].Findings) {
+			t.Fatalf("goroutine %d saw different findings", i)
+		}
+	}
+}
+
+func TestProbeCtxCancelled(t *testing.T) {
+	srv := server.NewServer(server.SloppyConfig())
+	addr, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := ProbeCtx(ctx, addr, 5*time.Second)
+	if res.Reachable {
+		t.Fatal("cancelled probe reported reachable")
+	}
+}
+
+func TestMergeFindings(t *testing.T) {
+	static := Scan(server.SloppyConfig())
+	probe := []Finding{
+		{CheckID: "PRB-001", Title: "open", Severity: rules.SevCritical, Class: rules.ClassMisconfig},
+		{CheckID: "JPY-001", Title: "dup of static", Severity: rules.SevCritical, Class: rules.ClassMisconfig},
+	}
+	merged := MergeFindings(probe, static)
+	if len(merged) != len(static)+1 {
+		t.Fatalf("merged %d findings, want %d", len(merged), len(static)+1)
+	}
+	seen := map[string]int{}
+	for _, f := range merged {
+		seen[f.CheckID]++
+	}
+	if seen["JPY-001"] != 1 || seen["PRB-001"] != 1 {
+		t.Fatalf("dedup failed: %+v", seen)
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].Severity.Rank() > merged[i-1].Severity.Rank() {
+			t.Fatal("merged findings not sorted by severity")
+		}
+	}
+}
+
+func TestSeverityCounts(t *testing.T) {
+	counts := SeverityCounts(Scan(server.SloppyConfig()))
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != len(Scan(server.SloppyConfig())) {
+		t.Fatalf("counts %+v do not cover all findings", counts)
+	}
+	if counts[string(rules.SevCritical)] == 0 || counts[string(rules.SevHigh)] == 0 {
+		t.Fatalf("sloppy config counts = %+v", counts)
 	}
 }
 

@@ -1,0 +1,57 @@
+package nbformat
+
+import (
+	"testing"
+)
+
+// Notebook JSON arrives from the network (the contents API accepts
+// arbitrary .ipynb bodies) and from disk via the jscan --notebook
+// path, so Parse must never panic on hostile input, and anything it
+// accepts must survive normalize → marshal → reparse.
+func FuzzParseNotebook(f *testing.F) {
+	valid := New()
+	valid.AppendCode("c1", "x = 1\nprint(x)\n")
+	valid.AppendMarkdown("m1", "# title")
+	validJSON, err := valid.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds := [][]byte{
+		validJSON,
+		[]byte(`{}`),
+		[]byte(`{"nbformat":4,"nbformat_minor":5,"cells":[],"metadata":{}}`),
+		[]byte(`{"nbformat":3,"cells":[]}`),                               // wrong major version
+		[]byte(`{"nbformat":4,"cells":[{"id":"","cell_type":"code"}]}`),   // empty cell id
+		[]byte(`{"nbformat":4,"cells":[{"id":"a","cell_type":"exec"}]}`),  // bad cell type
+		[]byte(`{"nbformat":4,"cells":[{"id":"a","cell_type":"markdown","outputs":[{"output_type":"stream"}]}]}`),
+		[]byte(`{"nbformat":4,"cells":[{"id":"a","cell_type":"code","source":["line1\n","line2"]}]}`),
+		[]byte(`{"nbformat":4,"cells":[{"id":"a","cell_type":"code","source":"x","outputs":[{"output_type":"execute_result"}]}]}`),
+		[]byte(`[1,2,3]`),
+		[]byte(`null`),
+		[]byte(``),
+		[]byte(`{"nbformat":4,"cells":[{"id":"a","cell_type":"code"},{"id":"a","cell_type":"code"}]}`), // dup id
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nb, err := Parse(data)
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		// Accepted notebooks must round-trip through the canonical
+		// form without becoming invalid.
+		nb.Normalize()
+		out, err := nb.Marshal()
+		if err != nil {
+			t.Fatalf("accepted notebook failed to marshal: %v", err)
+		}
+		if _, err := Parse(out); err != nil {
+			t.Fatalf("normalized round-trip rejected: %v\ninput: %q\noutput: %q", err, data, out)
+		}
+		// Derived views must be safe on any accepted document.
+		_ = nb.SourceHash()
+		_ = nb.Stat()
+		_ = nb.CodeCells()
+	})
+}

@@ -102,6 +102,22 @@ func SloppyConfig() Config {
 	}
 }
 
+// PresetConfig resolves a named baseline configuration ("hardened" or
+// "sloppy"), so the scanner CLI and the fleet generator share one
+// preset registry. The hardened preset carries a content quota so a
+// fully hardened server audits clean.
+func PresetConfig(name, token string) (Config, bool) {
+	switch name {
+	case "hardened":
+		cfg := HardenedConfig(token)
+		cfg.ContentQuota = 10 << 30
+		return cfg, true
+	case "sloppy":
+		return SloppyConfig(), true
+	}
+	return Config{}, false
+}
+
 // Server is a running simulated Jupyter server.
 type Server struct {
 	cfg         Config
