@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"repro/internal/kernel/minilang"
 	"repro/internal/misconfig"
 	"repro/internal/netmon"
+	"repro/internal/rules"
 	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/vfs"
@@ -295,6 +297,62 @@ func BenchmarkEnginePipeline(b *testing.B) {
 		eng.Process(tr.Events[n%len(tr.Events)])
 		n++
 	}
+}
+
+// ---- E9b: sharded engine multi-core scaling ----
+
+// BenchmarkEngineParallel contrasts the serial (one-goroutine,
+// global-order) signature engine against concurrent processing on the
+// sharded engine over the same mixed-trace workload. On 4+ cores the
+// parallel variant should sustain ≥2x the serial throughput: the
+// stateless match path is lock-free and correlation state is sharded
+// per group, so goroutines only contend when two actors hash to one
+// shard.
+func BenchmarkEngineParallel(b *testing.B) {
+	tr := workload.StandardMix(11, 2000)
+	events := tr.Events
+	b.Run("serial", func(b *testing.B) {
+		eng, err := rules.NewEngine(rules.BuiltinRules())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Process(events[i%len(events)])
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		eng, err := rules.NewEngine(rules.BuiltinRules())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var next atomic.Uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := next.Add(1)
+				eng.Process(events[int(i)%len(events)])
+			}
+		})
+	})
+	// Batched replay across actor shards — the jsentinel --workers
+	// path, which also preserves per-group determinism.
+	b.Run("replay-sharded", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng, err := rules.NewEngine(rules.BuiltinRules())
+			if err != nil {
+				b.Fatal(err)
+			}
+			workload.Replay(events, 4, 256, func(batch []trace.Event) {
+				eng.ProcessBatch(batch)
+			})
+		}
+		b.ReportMetric(float64(len(events)), "events/op")
+	})
 }
 
 // ---- E10: low-and-slow evasion vs detection crossover ----

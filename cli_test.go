@@ -164,6 +164,19 @@ func TestCLITools(t *testing.T) {
 				t.Errorf("replay output missing %q:\n%s", want, out)
 			}
 		}
+
+		// Sharded replay must see the same trace and still catch the
+		// campaign: same event count, same attack classes in the report.
+		pout, err := runTool(t, filepath.Join(bin, "jsentinel"),
+			"--replay", tracePath, "--alerts=false", "--workers", "4", "--batch", "64")
+		if err != nil {
+			t.Fatalf("parallel replay: %v\n%s", err, pout)
+		}
+		for _, want := range []string{"workers=4", "Detection report", "ransomware", "cryptomining"} {
+			if !strings.Contains(pout, want) {
+				t.Errorf("parallel replay output missing %q:\n%s", want, pout)
+			}
+		}
 	})
 
 	t.Run("jdataset", func(t *testing.T) {

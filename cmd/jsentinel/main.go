@@ -20,6 +20,7 @@ import (
 	"repro/internal/rules"
 	"repro/internal/server"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -28,13 +29,16 @@ func main() {
 	token := flag.String("token", "sentinel-demo-token", "token for the live server")
 	showAlerts := flag.Bool("alerts", true, "print individual alerts")
 	zeekOut := flag.String("zeek", "", "write Zeek-format conn/http/websocket/jupyter logs here on exit (live mode)")
+	workers := flag.Int("workers", 1, "detection workers: replay shards the trace by actor; live mode drains the tap through an async stage")
+	batch := flag.Int("batch", 256, "events per engine batch during replay")
+	queue := flag.Int("queue", 4096, "live-mode stage queue depth")
 	flag.Parse()
 
 	switch {
 	case *replay != "":
-		replayFile(*replay, *showAlerts)
+		replayFile(*replay, *showAlerts, *workers, *batch)
 	case *listen != "":
-		live(*listen, *token, *showAlerts, *zeekOut)
+		live(*listen, *token, *showAlerts, *zeekOut, *workers, *queue)
 	default:
 		fmt.Fprintln(os.Stderr, "jsentinel: need --replay FILE or --listen ADDR")
 		os.Exit(2)
@@ -56,7 +60,7 @@ func newEngine(showAlerts bool) *core.Engine {
 	return eng
 }
 
-func replayFile(path string, showAlerts bool) {
+func replayFile(path string, showAlerts bool, workers, batch int) {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "jsentinel: %v\n", err)
@@ -70,26 +74,45 @@ func replayFile(path string, showAlerts bool) {
 	}
 	eng := newEngine(showAlerts)
 	start := time.Now()
-	for _, e := range events {
-		eng.Process(e)
-	}
+	// Sharding by actor keeps every correlation group (threshold
+	// windows, sequences) on one worker in time order, so the parallel
+	// replay fires the same alerts as a serial one.
+	workload.Replay(events, workers, batch, func(b []trace.Event) {
+		eng.ProcessBatch(b)
+	})
 	elapsed := time.Since(start)
-	fmt.Printf("\nreplayed %d events in %v (%.0f events/sec)\n\n",
+	fmt.Printf("\nreplayed %d events in %v (%.0f events/sec, workers=%d batch=%d)\n\n",
 		len(events), elapsed.Round(time.Millisecond),
-		float64(len(events))/elapsed.Seconds())
+		float64(len(events))/elapsed.Seconds(), workers, batch)
 	fmt.Print(eng.Report(time.Now()).Render())
 	for _, inc := range eng.Incidents() {
 		fmt.Println(inc.Summary())
 	}
 }
 
-func live(addr, token string, showAlerts bool, zeekOut string) {
+func live(addr, token string, showAlerts bool, zeekOut string, workers, queue int) {
 	cfg := server.HardenedConfig(token)
 	srv := server.NewServer(cfg)
 	mon := netmon.NewMonitor(netmon.FullVisibility(), nil)
 	eng := newEngine(showAlerts)
-	mon.Bus().Subscribe(eng) // wire-derived events
-	srv.Bus().Subscribe(eng) // host-derived events
+	// Decouple request handling from detection: events queue into
+	// bounded stages drained off the serving path. One single-worker
+	// stage per detection worker, routed by actor key — a shared
+	// multi-worker pool would reorder one actor's events and break
+	// sequence/threshold correlation (fail,fail,success arriving as
+	// fail,success,fail).
+	if workers <= 0 {
+		workers = 1
+	}
+	stages := make([]*trace.Stage, workers)
+	for i := range stages {
+		stages[i] = trace.NewStage(eng, 1, queue, trace.Block)
+	}
+	router := trace.SinkFunc(func(e trace.Event) {
+		stages[workload.ShardIndex(workload.ActorKey(e), len(stages))].Emit(e)
+	})
+	mon.Bus().Subscribe(router) // wire-derived events
+	srv.Bus().Subscribe(router) // host-derived events
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -108,6 +131,9 @@ func live(addr, token string, showAlerts bool, zeekOut string) {
 	signal.Notify(ch, os.Interrupt)
 	<-ch
 	_ = srv.Close()
+	for _, st := range stages {
+		st.Close() // drain queued events before the final report
+	}
 
 	vis := mon.Visibility()
 	fmt.Printf("\nwire visibility: conns=%d bytes=%d http=%d ws_frames=%d jupyter_msgs=%d\n",

@@ -17,6 +17,18 @@
 // severity histogram, worst targets — with streaming JSONL output
 // and a resumable checkpoint (jscan --fleet N).
 //
+// The detection substrate is a sharded streaming pipeline ("pipeline
+// v2"): the trace.Bus stamps sequence numbers atomically and fans out
+// over copy-on-write sink snapshots; a bounded trace.Stage decouples
+// producers from slow consumers with explicit backpressure/drop
+// accounting; and the rules.Engine indexes signatures by event kind,
+// matches statelessly without locks, and shards threshold/sequence
+// correlation state per group, so detection throughput scales with
+// cores (jsentinel --workers N, BenchmarkEngineParallel). Replays
+// shard the event stream by actor, which preserves per-group ordering
+// and keeps parallel alert sets identical to serial ones for the
+// builtin detectors (see DESIGN.md for the exact guarantee).
+//
 // See README.md for the tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for the per-figure reproduction record. The root
 // bench_test.go regenerates every experiment.

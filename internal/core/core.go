@@ -123,6 +123,18 @@ func (e *Engine) Emit(ev trace.Event) {
 	e.Process(ev)
 }
 
+// ProcessBatch evaluates events in order and returns all alerts
+// fired. The replay and high-rate ingest paths use it to amortize
+// per-event overhead; it is safe to call concurrently as long as
+// events for the same actor stay within one batch stream.
+func (e *Engine) ProcessBatch(events []trace.Event) []rules.Alert {
+	var fired []rules.Alert
+	for i := range events {
+		fired = append(fired, e.Process(events[i])...)
+	}
+	return fired
+}
+
 // Process evaluates one event through signatures and detectors and
 // returns the alerts fired.
 func (e *Engine) Process(ev trace.Event) []rules.Alert {

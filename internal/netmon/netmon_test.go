@@ -272,3 +272,34 @@ func TestTokenInURLVisibleOnWire(t *testing.T) {
 		t.Fatal("token-in-URL not observed on wire")
 	}
 }
+
+// TestAsyncMonitorStage drives a tapped server whose monitor emits
+// through a bounded async stage and checks the engine still sees the
+// wire-derived exec event — the pipeline-v2 live topology.
+func TestAsyncMonitorStage(t *testing.T) {
+	cfg := FullVisibility()
+	cfg.AsyncWorkers = 1 // preserve per-connection ordering
+	cfg.AsyncQueue = 256
+	c, mon, done := tappedServer(t, cfg)
+	eng := core.MustEngine()
+	mon.Bus().Subscribe(eng)
+
+	drive(t, c)
+	settle()
+	done()
+	mon.Close() // drain the stage before asserting
+
+	if mon.Dropped() != 0 {
+		t.Fatalf("stage dropped %d events under Block policy", mon.Dropped())
+	}
+	vis := mon.Visibility()
+	if vis.JupyterMessages == 0 {
+		t.Fatalf("async monitor lost jupyter visibility: %+v", vis)
+	}
+	// Everything the analyzers decoded must have reached the engine:
+	// at least the HTTP requests and Jupyter messages, plus conn open.
+	if eng.Stats().Events < uint64(vis.HTTPRequests) {
+		t.Fatalf("engine saw %d events, wire decoded %d http requests",
+			eng.Stats().Events, vis.HTTPRequests)
+	}
+}

@@ -1,0 +1,46 @@
+package rules
+
+import (
+	"testing"
+)
+
+// FuzzUnmarshalRules feeds hostile JSON rulesets to the exchange
+// decoder: it must never panic, and any ruleset it accepts must
+// survive a marshal/unmarshal round trip (the honeypot → production
+// distribution path depends on that).
+func FuzzUnmarshalRules(f *testing.F) {
+	if seed, err := MarshalRules(BuiltinRules()); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"id":"a","conditions":[{"field":"kind","equals":"exec"}]}]`))
+	f.Add([]byte(`[{"id":"b","conditions":[{"field":"code","regex":"("}]}]`))
+	f.Add([]byte(`[{"id":"c","threshold":{"count":-1}}]`))
+	f.Add([]byte(`[{"id":"d","sequence":[{"conditions":[{"field":"op","equals":"read"}],"within":9e18}]}]`))
+	f.Add([]byte(`{"not":"a list"}`))
+	f.Add([]byte(`[null]`))
+	f.Add([]byte{0xff, 0xfe, '['})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rs, err := UnmarshalRules(data)
+		if err != nil {
+			return
+		}
+		wire, err := MarshalRules(rs)
+		if err != nil {
+			t.Fatalf("accepted ruleset does not marshal: %v", err)
+		}
+		back, err := UnmarshalRules(wire)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\n%s", err, wire)
+		}
+		if len(back) != len(rs) {
+			t.Fatalf("round trip changed rule count: %d -> %d", len(rs), len(back))
+		}
+		for i := range rs {
+			if back[i].ID != rs[i].ID {
+				t.Fatalf("rule %d id changed: %q -> %q", i, rs[i].ID, back[i].ID)
+			}
+		}
+	})
+}

@@ -6,6 +6,13 @@
 // Rules are the mechanism the paper's honeypot pipeline distributes:
 // a signature extracted at the network edge is serialized as JSON and
 // loaded into production monitors.
+//
+// The Engine is the detection substrate's hot path and is built for
+// multi-core streaming: rules are indexed by the event kind they can
+// match, stateless matching is lock-free, and threshold/sequence
+// correlation state is sharded per group so concurrent Process calls
+// from independent actors never serialize. See DESIGN.md ("Detection
+// pipeline v2").
 package rules
 
 import (
@@ -16,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/trace"
@@ -270,22 +278,146 @@ type Alert struct {
 	Count       int         `json:"count,omitempty"`
 }
 
-// Engine evaluates a ruleset over an event stream.
+// Engine evaluates a ruleset over an event stream. It is safe for
+// concurrent use from many goroutines and is built so the hot path
+// scales with cores:
+//
+//   - Compiled rules are indexed by the event Kind they can match, so
+//     Process only visits candidate rules instead of the whole set.
+//   - Stateless condition matching runs under a read lock only (the
+//     rule set is copy-on-write; AddRule is the rare writer).
+//   - Stateful threshold/sequence tracking lives in per-group shards
+//     (FNV hash of ruleID+group), so two actors' correlation state
+//     never contends on one lock.
+//
+// Events for the same correlation group must be fed in time order for
+// threshold windows and sequences to behave deterministically;
+// different groups may be processed concurrently in any interleaving
+// and produce the same alerts as a serial run.
 type Engine struct {
-	mu    sync.Mutex
-	rules []*Rule
-	// threshold state: ruleID -> group -> recent match times
-	thresholds map[string]map[string][]time.Time
-	// sequence state: ruleID -> group -> next stage index + deadline
-	sequences map[string]map[string]*seqState
-	alerts    []Alert
-	onAlert   func(Alert)
-	evaluated uint64
+	rulesMu sync.RWMutex
+	rules   []*Rule
+	// byKind maps an event kind to its candidate rules — rules pinned
+	// to that kind plus kind-agnostic rules — in registration order.
+	// Kinds absent from the map fall back to the wildcard list.
+	byKind map[trace.Kind][]*Rule
+	wild   []*Rule
+	onAlert func(Alert)
+
+	shards [stateShards]stateShard
+
+	alertsMu sync.Mutex
+	alerts   []Alert
+
+	evaluated atomic.Uint64
+}
+
+// stateShards is the number of correlation-state shards. 32 keeps lock
+// contention negligible at 16+ cores while staying cache-friendly.
+const stateShards = 32
+
+// stateShard holds threshold and sequence state for the groups hashed
+// to it, keyed by ruleID+"\x00"+group.
+type stateShard struct {
+	mu         sync.Mutex
+	thresholds map[string][]time.Time
+	sequences  map[string]*seqState
 }
 
 type seqState struct {
 	stage    int
 	lastTime time.Time
+}
+
+// shardFor picks the shard owning a rule's correlation group via
+// FNV-1a over the composite key.
+func (en *Engine) shardFor(ruleID, group string) (*stateShard, string) {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(ruleID); i++ {
+		h ^= uint64(ruleID[i])
+		h *= prime64
+	}
+	h ^= 0
+	h *= prime64
+	for i := 0; i < len(group); i++ {
+		h ^= uint64(group[i])
+		h *= prime64
+	}
+	return &en.shards[h%stateShards], ruleID + "\x00" + group
+}
+
+// ruleKinds returns the event kinds a compiled rule can possibly
+// match, or nil when the rule is kind-agnostic. A plain or threshold
+// rule is pinned by an equals-condition on the "kind" field; a
+// sequence rule is a candidate for every kind any of its stages pins,
+// and agnostic if any stage is.
+func ruleKinds(r *Rule) []trace.Kind {
+	if len(r.Sequence) == 0 {
+		if k, ok := condsKind(r.Conditions); ok {
+			return []trace.Kind{k}
+		}
+		return nil
+	}
+	seen := map[trace.Kind]bool{}
+	var out []trace.Kind
+	for i := range r.Sequence {
+		k, ok := condsKind(r.Sequence[i].Conditions)
+		if !ok {
+			return nil
+		}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func condsKind(conds []Condition) (trace.Kind, bool) {
+	for i := range conds {
+		if conds[i].Field == "kind" && conds[i].Equals != "" {
+			return trace.Kind(conds[i].Equals), true
+		}
+	}
+	return "", false
+}
+
+// rebuildIndexLocked recomputes byKind/wild from en.rules. Callers
+// hold rulesMu for writing.
+func (en *Engine) rebuildIndexLocked() {
+	perKind := map[trace.Kind][]*Rule{}
+	var wild []*Rule
+	for _, r := range en.rules {
+		ks := ruleKinds(r)
+		if ks == nil {
+			wild = append(wild, r)
+			continue
+		}
+		for _, k := range ks {
+			perKind[k] = append(perKind[k], r)
+		}
+	}
+	// Merge the wildcard rules into each kind's candidate list in
+	// registration order, so evaluation order (and hence alert order
+	// within one event) is identical to a linear scan of en.rules.
+	pos := map[*Rule]int{}
+	for i, r := range en.rules {
+		pos[r] = i
+	}
+	byKind := make(map[trace.Kind][]*Rule, len(perKind))
+	for k, rs := range perKind {
+		merged := make([]*Rule, 0, len(rs)+len(wild))
+		merged = append(merged, rs...)
+		merged = append(merged, wild...)
+		sort.Slice(merged, func(i, j int) bool { return pos[merged[i]] < pos[merged[j]] })
+		byKind[k] = merged
+	}
+	en.byKind = byKind
+	en.wild = wild
 }
 
 // NewEngine returns an engine with the given compiled rules.
@@ -295,17 +427,21 @@ func NewEngine(ruleset []*Rule) (*Engine, error) {
 			return nil, err
 		}
 	}
-	return &Engine{
-		rules:      ruleset,
-		thresholds: map[string]map[string][]time.Time{},
-		sequences:  map[string]map[string]*seqState{},
-	}, nil
+	en := &Engine{rules: ruleset}
+	for i := range en.shards {
+		en.shards[i].thresholds = map[string][]time.Time{}
+		en.shards[i].sequences = map[string]*seqState{}
+	}
+	en.rulesMu.Lock()
+	en.rebuildIndexLocked()
+	en.rulesMu.Unlock()
+	return en, nil
 }
 
 // OnAlert registers a callback invoked synchronously for each alert.
 func (en *Engine) OnAlert(fn func(Alert)) {
-	en.mu.Lock()
-	defer en.mu.Unlock()
+	en.rulesMu.Lock()
+	defer en.rulesMu.Unlock()
 	en.onAlert = fn
 }
 
@@ -314,52 +450,80 @@ func (en *Engine) AddRule(r *Rule) error {
 	if err := r.Compile(); err != nil {
 		return err
 	}
-	en.mu.Lock()
-	defer en.mu.Unlock()
-	en.rules = append(en.rules, r)
+	en.rulesMu.Lock()
+	defer en.rulesMu.Unlock()
+	// Copy-on-write: concurrent Process holds snapshots of the old
+	// slices, which stay valid and immutable.
+	next := make([]*Rule, len(en.rules)+1)
+	copy(next, en.rules)
+	next[len(en.rules)] = r
+	en.rules = next
+	en.rebuildIndexLocked()
 	return nil
 }
 
 // RuleCount returns the number of loaded rules.
 func (en *Engine) RuleCount() int {
-	en.mu.Lock()
-	defer en.mu.Unlock()
+	en.rulesMu.RLock()
+	defer en.rulesMu.RUnlock()
 	return len(en.rules)
 }
 
 // Evaluated returns the number of events processed.
 func (en *Engine) Evaluated() uint64 {
-	en.mu.Lock()
-	defer en.mu.Unlock()
-	return en.evaluated
+	return en.evaluated.Load()
 }
 
-// Emit implements trace.Sink: every event is evaluated against all
-// rules.
+// Emit implements trace.Sink: every event is evaluated against the
+// candidate rules for its kind.
 func (en *Engine) Emit(e trace.Event) {
 	en.Process(e)
 }
 
 // Process evaluates one event and returns any alerts fired.
 func (en *Engine) Process(e trace.Event) []Alert {
-	en.mu.Lock()
-	defer en.mu.Unlock()
-	en.evaluated++
+	en.evaluated.Add(1)
+	en.rulesMu.RLock()
+	candidates, ok := en.byKind[e.Kind]
+	if !ok {
+		candidates = en.wild
+	}
+	onAlert := en.onAlert
+	en.rulesMu.RUnlock()
+
 	var fired []Alert
-	for _, r := range en.rules {
+	for _, r := range candidates {
 		if a, ok := en.evalRule(r, e); ok {
 			fired = append(fired, a)
 		}
 	}
-	en.alerts = append(en.alerts, fired...)
-	if en.onAlert != nil {
-		for _, a := range fired {
-			en.onAlert(a)
+	if len(fired) > 0 {
+		en.alertsMu.Lock()
+		en.alerts = append(en.alerts, fired...)
+		en.alertsMu.Unlock()
+		if onAlert != nil {
+			for _, a := range fired {
+				onAlert(a)
+			}
 		}
 	}
 	return fired
 }
 
+// ProcessBatch evaluates events in order and returns all alerts fired,
+// in firing order. Batching amortizes per-call overhead on replay and
+// high-rate ingest paths.
+func (en *Engine) ProcessBatch(events []trace.Event) []Alert {
+	var fired []Alert
+	for i := range events {
+		fired = append(fired, en.Process(events[i])...)
+	}
+	return fired
+}
+
+// evalRule routes one candidate rule. Stateless matching happens
+// lock-free; only stateful threshold/sequence tracking takes the
+// owning shard's lock.
 func (en *Engine) evalRule(r *Rule, e trace.Event) (Alert, bool) {
 	if len(r.Sequence) > 0 {
 		return en.evalSequence(r, e)
@@ -374,13 +538,11 @@ func (en *Engine) evalRule(r *Rule, e trace.Event) (Alert, bool) {
 	if r.Threshold.GroupBy != "" {
 		group = FieldValue(e, r.Threshold.GroupBy)
 	}
-	tm := en.thresholds[r.ID]
-	if tm == nil {
-		tm = map[string][]time.Time{}
-		en.thresholds[r.ID] = tm
-	}
+	sh, key := en.shardFor(r.ID, group)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	now := e.Time
-	times := tm[group]
+	times := sh.thresholds[key]
 	fresh := times[:0]
 	for _, t := range times {
 		if r.Threshold.Window == 0 || now.Sub(t) <= r.Threshold.Window {
@@ -388,9 +550,9 @@ func (en *Engine) evalRule(r *Rule, e trace.Event) (Alert, bool) {
 		}
 	}
 	fresh = append(fresh, now)
-	tm[group] = fresh
+	sh.thresholds[key] = fresh
 	if len(fresh) >= r.Threshold.Count {
-		tm[group] = nil // reset after firing
+		sh.thresholds[key] = nil // reset after firing
 		return en.mkAlert(r, e, group, len(fresh)), true
 	}
 	return Alert{}, false
@@ -410,15 +572,13 @@ func (en *Engine) evalSequence(r *Rule, e trace.Event) (Alert, bool) {
 	default:
 		group = e.SrcIP
 	}
-	sm := en.sequences[r.ID]
-	if sm == nil {
-		sm = map[string]*seqState{}
-		en.sequences[r.ID] = sm
-	}
-	st := sm[group]
+	sh, key := en.shardFor(r.ID, group)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := sh.sequences[key]
 	if st == nil {
 		st = &seqState{}
-		sm[group] = st
+		sh.sequences[key] = st
 	}
 	stage := &r.Sequence[st.stage]
 	if stage.Within > 0 && st.stage > 0 && e.Time.Sub(st.lastTime) > stage.Within {
@@ -448,10 +608,12 @@ func (en *Engine) mkAlert(r *Rule, e trace.Event, group string, count int) Alert
 	}
 }
 
-// Alerts returns all alerts fired so far.
+// Alerts returns all alerts fired so far in firing order. After
+// concurrent processing, order across groups is nondeterministic —
+// use SortAlerts for stable output.
 func (en *Engine) Alerts() []Alert {
-	en.mu.Lock()
-	defer en.mu.Unlock()
+	en.alertsMu.Lock()
+	defer en.alertsMu.Unlock()
 	out := make([]Alert, len(en.alerts))
 	copy(out, en.alerts)
 	return out
@@ -468,12 +630,17 @@ func (en *Engine) AlertsByClass() map[string][]Alert {
 
 // Reset clears alert and correlation state, keeping rules.
 func (en *Engine) Reset() {
-	en.mu.Lock()
-	defer en.mu.Unlock()
+	for i := range en.shards {
+		sh := &en.shards[i]
+		sh.mu.Lock()
+		sh.thresholds = map[string][]time.Time{}
+		sh.sequences = map[string]*seqState{}
+		sh.mu.Unlock()
+	}
+	en.alertsMu.Lock()
 	en.alerts = nil
-	en.thresholds = map[string]map[string][]time.Time{}
-	en.sequences = map[string]map[string]*seqState{}
-	en.evaluated = 0
+	en.alertsMu.Unlock()
+	en.evaluated.Store(0)
 }
 
 // MarshalRules serializes rules to the JSON exchange format.
@@ -487,7 +654,10 @@ func UnmarshalRules(data []byte) ([]*Rule, error) {
 	if err := json.Unmarshal(data, &rs); err != nil {
 		return nil, fmt.Errorf("rules: parse: %w", err)
 	}
-	for _, r := range rs {
+	for i, r := range rs {
+		if r == nil {
+			return nil, fmt.Errorf("rules: entry %d is null", i)
+		}
 		if err := r.Compile(); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DropPolicy selects what a full Stage queue does with a new event.
+type DropPolicy int
+
+const (
+	// Block applies backpressure: Emit waits until queue space frees.
+	// Nothing is ever lost; producers slow to the consumer's pace.
+	Block DropPolicy = iota
+	// DropNewest discards the incoming event when the queue is full and
+	// increments the dropped counter. Producers never stall; the
+	// counter makes the loss explicit and monitorable.
+	DropNewest
+)
+
+// String names the policy for logs and reports.
+func (p DropPolicy) String() string {
+	if p == DropNewest {
+		return "drop_newest"
+	}
+	return "block"
+}
+
+// Stage decouples event producers from a slow Sink: events are queued
+// into a bounded channel drained by a pool of workers that invoke the
+// wrapped sink. It implements Sink, so any producer (a Bus subscriber,
+// a monitor, a honeypot observer) can be made asynchronous by wrapping
+// its downstream sink in a Stage.
+//
+// With a single worker the wrapped sink observes events in exactly the
+// order they were emitted by a single producer; with N > 1 workers
+// delivery order across events is unspecified and the sink must be
+// safe for concurrent use (the sharded rules.Engine is).
+//
+// Events emitted after Close are counted as dropped regardless of
+// policy, never delivered, and never panic.
+type Stage struct {
+	sink   Sink
+	ch     chan Event
+	policy DropPolicy
+
+	mu     sync.RWMutex // guards closed against concurrent Emit/Close
+	closed bool
+
+	wg        sync.WaitGroup
+	accepted  atomic.Uint64
+	processed atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// NewStage starts a stage delivering to sink with the given worker
+// count (min 1), queue depth (default 1024), and drop policy.
+func NewStage(sink Sink, workers, depth int, policy DropPolicy) *Stage {
+	if workers <= 0 {
+		workers = 1
+	}
+	if depth <= 0 {
+		depth = 1024
+	}
+	st := &Stage{sink: sink, ch: make(chan Event, depth), policy: policy}
+	st.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go st.worker()
+	}
+	return st
+}
+
+func (st *Stage) worker() {
+	defer st.wg.Done()
+	for e := range st.ch {
+		st.sink.Emit(e)
+		st.processed.Add(1)
+	}
+}
+
+// Emit enqueues the event, honoring the drop policy when full.
+func (st *Stage) Emit(e Event) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.closed {
+		st.dropped.Add(1)
+		return
+	}
+	// Count the acceptance before the enqueue: a drained stage must
+	// satisfy Processed() >= Accepted(), so the counter may never lag
+	// behind an event already visible to a worker. The drop path
+	// compensates.
+	st.accepted.Add(1)
+	if st.policy == Block {
+		st.ch <- e
+		return
+	}
+	select {
+	case st.ch <- e:
+	default:
+		st.accepted.Add(^uint64(0)) // undo: the event was not enqueued
+		st.dropped.Add(1)
+	}
+}
+
+// Close stops accepting events, drains the queue, and waits for the
+// workers to finish. It is idempotent.
+func (st *Stage) Close() {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	st.closed = true
+	close(st.ch)
+	st.mu.Unlock()
+	st.wg.Wait()
+}
+
+// Accepted returns how many events were enqueued.
+func (st *Stage) Accepted() uint64 { return st.accepted.Load() }
+
+// Processed returns how many events the wrapped sink has consumed.
+func (st *Stage) Processed() uint64 { return st.processed.Load() }
+
+// Dropped returns how many events were discarded (queue overflow under
+// DropNewest, or emitted after Close).
+func (st *Stage) Dropped() uint64 { return st.dropped.Load() }
+
+// Pending returns the number of queued, not-yet-processed events.
+func (st *Stage) Pending() int { return len(st.ch) }

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestStageDeliversAll(t *testing.T) {
+	var n atomic.Uint64
+	st := NewStage(SinkFunc(func(Event) { n.Add(1) }), 4, 8, Block)
+	for i := 0; i < 500; i++ {
+		st.Emit(Event{Kind: KindHTTP})
+	}
+	st.Close()
+	if n.Load() != 500 {
+		t.Fatalf("delivered = %d, want 500", n.Load())
+	}
+	if st.Accepted() != 500 || st.Processed() != 500 || st.Dropped() != 0 {
+		t.Fatalf("counters = %d/%d/%d", st.Accepted(), st.Processed(), st.Dropped())
+	}
+}
+
+func TestStageSingleWorkerPreservesOrder(t *testing.T) {
+	var got []uint64
+	st := NewStage(SinkFunc(func(e Event) { got = append(got, e.Seq) }), 1, 4, Block)
+	for i := 1; i <= 200; i++ {
+		st.Emit(Event{Seq: uint64(i)})
+	}
+	st.Close()
+	for i, s := range got {
+		if s != uint64(i+1) {
+			t.Fatalf("order broken at %d: %d", i, s)
+		}
+	}
+}
+
+func TestStageDropNewestCountsOverflow(t *testing.T) {
+	release := make(chan struct{})
+	st := NewStage(SinkFunc(func(Event) { <-release }), 1, 2, DropNewest)
+	// One event occupies the worker; two fill the queue; the rest drop.
+	for i := 0; i < 10; i++ {
+		st.Emit(Event{})
+	}
+	if st.Dropped() == 0 {
+		t.Fatal("expected drops with a stalled worker and depth 2")
+	}
+	close(release)
+	st.Close()
+	if st.Accepted()+st.Dropped() != 10 {
+		t.Fatalf("accepted %d + dropped %d != 10", st.Accepted(), st.Dropped())
+	}
+	if st.Processed() != st.Accepted() {
+		t.Fatalf("processed %d != accepted %d", st.Processed(), st.Accepted())
+	}
+}
+
+func TestStageBlockNeverDrops(t *testing.T) {
+	var n atomic.Uint64
+	st := NewStage(SinkFunc(func(Event) {
+		time.Sleep(100 * time.Microsecond)
+		n.Add(1)
+	}), 2, 1, Block)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				st.Emit(Event{})
+			}
+		}()
+	}
+	wg.Wait()
+	st.Close()
+	if n.Load() != 200 || st.Dropped() != 0 {
+		t.Fatalf("delivered = %d dropped = %d", n.Load(), st.Dropped())
+	}
+}
+
+func TestStageEmitAfterCloseIsDropped(t *testing.T) {
+	st := NewStage(Discard, 1, 4, Block)
+	st.Emit(Event{})
+	st.Close()
+	st.Emit(Event{})
+	st.Close() // idempotent
+	if st.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", st.Dropped())
+	}
+}
+
+func TestStageAsBusSubscriber(t *testing.T) {
+	var n atomic.Uint64
+	bus := NewBus(NewFakeClock(t0))
+	st := NewStage(SinkFunc(func(e Event) {
+		if e.Seq == 0 {
+			t.Error("event not stamped")
+		}
+		n.Add(1)
+	}), 2, 16, Block)
+	bus.Subscribe(st)
+	for i := 0; i < 64; i++ {
+		bus.Emit(Event{Kind: KindExec})
+	}
+	st.Close()
+	if n.Load() != 64 {
+		t.Fatalf("delivered = %d, want 64", n.Load())
+	}
+}

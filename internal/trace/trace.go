@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -181,10 +182,15 @@ var Discard Sink = SinkFunc(func(Event) {})
 
 // Bus is a thread-safe fan-out of events to subscriber sinks, with a
 // monotonically increasing sequence stamp.
+//
+// The hot path is allocation- and lock-free: sequence numbers are
+// stamped with an atomic counter and the subscriber list is a
+// copy-on-write snapshot replaced only by Subscribe, so concurrent
+// emitters never contend with each other.
 type Bus struct {
-	mu    sync.RWMutex
-	seq   uint64
-	sinks []Sink
+	mu    sync.Mutex // serializes Subscribe (copy-on-write writers)
+	seq   atomic.Uint64
+	sinks atomic.Pointer[[]Sink]
 	clock Clock
 }
 
@@ -202,30 +208,34 @@ func NewBus(clock Clock) *Bus {
 func (b *Bus) Subscribe(s Sink) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.sinks = append(b.sinks, s)
+	var cur []Sink
+	if p := b.sinks.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]Sink, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = s
+	b.sinks.Store(&next)
 }
 
 // Emit stamps and delivers the event to all sinks.
 func (b *Bus) Emit(e Event) {
-	b.mu.Lock()
-	b.seq++
-	e.Seq = b.seq
+	e.Seq = b.seq.Add(1)
 	if e.Time.IsZero() {
 		e.Time = b.clock.Now()
 	}
-	sinks := make([]Sink, len(b.sinks))
-	copy(sinks, b.sinks)
-	b.mu.Unlock()
-	for _, s := range sinks {
+	p := b.sinks.Load()
+	if p == nil {
+		return
+	}
+	for _, s := range *p {
 		s.Emit(e)
 	}
 }
 
 // Seq returns the last assigned sequence number.
 func (b *Bus) Seq() uint64 {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return b.seq
+	return b.seq.Load()
 }
 
 // Ring is a bounded ring buffer of events; the oldest events are

@@ -15,6 +15,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/trace"
@@ -291,3 +292,96 @@ func StandardMix(seed int64, benignSteps int) *Trace {
 // EntropyOf is re-exported for tests validating generated payload
 // entropy assumptions against the real estimator.
 func EntropyOf(data []byte) float64 { return vfs.Entropy(data) }
+
+// ActorKey returns the stable identity used to shard an event stream
+// for parallel replay. It mirrors how the builtin detectors group
+// correlation state: source address for transport/auth events, kernel
+// for resource samples (CM-003 thresholds by kernel_id), else user,
+// else source, else kernel. Sharding by it keeps every builtin
+// threshold window and sequence on one shard, in time order; a custom
+// rule whose GroupBy cuts across actor keys (say, grouping http
+// events by user) loses the serial-equivalence guarantee.
+func ActorKey(e trace.Event) string {
+	if (e.Kind == trace.KindAuth || e.Kind == trace.KindHTTP || e.Kind == trace.KindConn) && e.SrcIP != "" {
+		return e.SrcIP
+	}
+	if e.Kind == trace.KindSysRes && e.KernelID != "" {
+		return e.KernelID
+	}
+	switch {
+	case e.User != "":
+		return e.User
+	case e.SrcIP != "":
+		return e.SrcIP
+	default:
+		return e.KernelID
+	}
+}
+
+// ShardIndex maps a shard key to one of n shards via FNV-1a — the
+// same routing Partition uses, exported so live pipelines can route a
+// stream of events to per-actor stages consistently.
+func ShardIndex(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(n))
+}
+
+// Partition splits events into n shards by FNV-1a of ActorKey,
+// preserving relative order within each shard. Events of one actor
+// always land in the same shard.
+func Partition(events []trace.Event, n int) [][]trace.Event {
+	if n <= 1 {
+		return [][]trace.Event{events}
+	}
+	shards := make([][]trace.Event, n)
+	for _, e := range events {
+		idx := ShardIndex(ActorKey(e), n)
+		shards[idx] = append(shards[idx], e)
+	}
+	return shards
+}
+
+// Replay feeds events to process in batches of at most batch events
+// (default 256). With workers > 1 the stream is partitioned by actor
+// and the shards are replayed concurrently — per-actor ordering is
+// preserved, so a sharded detection engine produces the same alert
+// set as a serial replay (up to output order; sort for stable
+// reports). Replay returns once every event has been processed.
+func Replay(events []trace.Event, workers, batch int, process func([]trace.Event)) {
+	if batch <= 0 {
+		batch = 256
+	}
+	feed := func(shard []trace.Event) {
+		for len(shard) > 0 {
+			n := batch
+			if n > len(shard) {
+				n = len(shard)
+			}
+			process(shard[:n])
+			shard = shard[n:]
+		}
+	}
+	if workers <= 1 {
+		feed(events)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, shard := range Partition(events, workers) {
+		if len(shard) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh []trace.Event) {
+			defer wg.Done()
+			feed(sh)
+		}(shard)
+	}
+	wg.Wait()
+}

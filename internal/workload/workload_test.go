@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -136,6 +137,80 @@ func TestGeneratorSeqMonotone(t *testing.T) {
 	for i := 1; i < len(tr.Events); i++ {
 		if tr.Events[i].Seq <= tr.Events[i-1].Seq {
 			t.Fatalf("seq not monotone at %d", i)
+		}
+	}
+}
+
+func TestActorKeyPrecedence(t *testing.T) {
+	cases := []struct {
+		e    trace.Event
+		want string
+	}{
+		{trace.Event{Kind: trace.KindAuth, SrcIP: "1.2.3.4", User: "alice"}, "1.2.3.4"},
+		{trace.Event{Kind: trace.KindHTTP, SrcIP: "1.2.3.4", User: "alice"}, "1.2.3.4"},
+		{trace.Event{Kind: trace.KindExec, SrcIP: "1.2.3.4", User: "alice"}, "alice"},
+		{trace.Event{Kind: trace.KindFileOp, SrcIP: "1.2.3.4"}, "1.2.3.4"},
+		// sys_res keys by kernel even when a user is present: CM-003
+		// thresholds group resource samples by kernel_id.
+		{trace.Event{Kind: trace.KindSysRes, KernelID: "kern-1", User: "alice"}, "kern-1"},
+		{trace.Event{Kind: trace.KindSysRes, KernelID: "kern-1"}, "kern-1"},
+	}
+	for i, c := range cases {
+		if got := ActorKey(c.e); got != c.want {
+			t.Errorf("case %d: ActorKey = %q, want %q", i, got, c.want)
+		}
+	}
+}
+
+func TestPartitionPreservesActorOrder(t *testing.T) {
+	tr := StandardMix(31, 300)
+	shards := Partition(tr.Events, 8)
+	total := 0
+	for _, sh := range shards {
+		total += len(sh)
+		// Within a shard, seq must stay monotone per actor (and in
+		// fact globally, since shards preserve stream order).
+		for i := 1; i < len(sh); i++ {
+			if sh[i].Seq <= sh[i-1].Seq {
+				t.Fatalf("shard order broken: seq %d after %d", sh[i].Seq, sh[i-1].Seq)
+			}
+		}
+		// An actor never spans shards.
+	}
+	if total != len(tr.Events) {
+		t.Fatalf("partition lost events: %d != %d", total, len(tr.Events))
+	}
+	seen := map[string]int{}
+	for si, sh := range shards {
+		for _, e := range sh {
+			key := ActorKey(e)
+			if prev, ok := seen[key]; ok && prev != si {
+				t.Fatalf("actor %q split across shards %d and %d", key, prev, si)
+			}
+			seen[key] = si
+		}
+	}
+}
+
+func TestReplayCoversAllEventsInBatches(t *testing.T) {
+	tr := StandardMix(32, 200)
+	for _, workers := range []int{1, 4} {
+		var mu sync.Mutex
+		count := 0
+		maxBatch := 0
+		Replay(tr.Events, workers, 64, func(b []trace.Event) {
+			mu.Lock()
+			count += len(b)
+			if len(b) > maxBatch {
+				maxBatch = len(b)
+			}
+			mu.Unlock()
+		})
+		if count != len(tr.Events) {
+			t.Fatalf("workers=%d: replayed %d of %d events", workers, count, len(tr.Events))
+		}
+		if maxBatch > 64 {
+			t.Fatalf("workers=%d: batch of %d exceeds limit", workers, maxBatch)
 		}
 	}
 }

@@ -1,0 +1,111 @@
+// Pipeline v2 acceptance: the sharded streaming detection path must
+// fire exactly the alerts a serial scan fires, on the full mixed
+// workload, end to end across trace → workload sharding → rules.
+package repro_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/rules"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func alertFingerprint(a rules.Alert) string {
+	return fmt.Sprintf("%s|%s|%d|%s", a.RuleID, a.Group, a.Count, a.Time.UTC().Format(time.RFC3339Nano))
+}
+
+func sortedFingerprints(t *testing.T, alerts []rules.Alert) []string {
+	t.Helper()
+	rules.SortAlerts(alerts)
+	out := make([]string, len(alerts))
+	for i, a := range alerts {
+		out[i] = alertFingerprint(a)
+	}
+	return out
+}
+
+// TestShardedReplayMatchesSerial replays the standard attack mix
+// serially and through the actor-sharded parallel path and demands
+// identical (sorted) alert sets — the determinism guarantee DESIGN.md
+// documents.
+func TestShardedReplayMatchesSerial(t *testing.T) {
+	tr := workload.StandardMix(17, 900)
+
+	serial, err := rules.NewEngine(rules.BuiltinRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tr.Events {
+		serial.Process(e)
+	}
+
+	for _, workers := range []int{2, 8} {
+		sharded, err := rules.NewEngine(rules.BuiltinRules())
+		if err != nil {
+			t.Fatal(err)
+		}
+		workload.Replay(tr.Events, workers, 128, func(b []trace.Event) {
+			sharded.ProcessBatch(b)
+		})
+		want := sortedFingerprints(t, serial.Alerts())
+		got := sortedFingerprints(t, sharded.Alerts())
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d alerts, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: alert sets diverge at %d:\nserial  %s\nsharded %s",
+					workers, i, want[i], got[i])
+			}
+		}
+		if sharded.Evaluated() != uint64(len(tr.Events)) {
+			t.Fatalf("workers=%d: evaluated %d of %d", workers, sharded.Evaluated(), len(tr.Events))
+		}
+	}
+}
+
+// TestStagePipelineDeliversToEngine wires Bus → Stage → sharded
+// engine, the full streaming topology jsentinel's live mode runs, and
+// checks nothing is lost under concurrent emitters with the Block
+// policy.
+func TestStagePipelineDeliversToEngine(t *testing.T) {
+	eng, err := rules.NewEngine(rules.BuiltinRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := trace.NewBus(trace.NewFakeClock(time.Date(2026, 6, 1, 9, 0, 0, 0, time.UTC)))
+	stage := trace.NewStage(eng, 4, 64, trace.Block)
+	bus.Subscribe(stage)
+
+	var emitted atomic.Uint64
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 250; i++ {
+				bus.Emit(trace.Event{
+					Kind: trace.KindExec, User: fmt.Sprintf("u%d", g),
+					Code: "b64encode(x)", // EX-003 fires per event
+				})
+				emitted.Add(1)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	stage.Close()
+	if eng.Evaluated() != emitted.Load() {
+		t.Fatalf("engine evaluated %d of %d emitted", eng.Evaluated(), emitted.Load())
+	}
+	if n := len(eng.Alerts()); n != int(emitted.Load()) {
+		t.Fatalf("alerts = %d, want %d", n, emitted.Load())
+	}
+	if stage.Dropped() != 0 {
+		t.Fatalf("stage dropped %d events under Block policy", stage.Dropped())
+	}
+}
