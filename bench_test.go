@@ -241,6 +241,42 @@ func BenchmarkFleetScan(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetDeepScan measures the multi-suite sweep: every target
+// gets the full posture audit, live probe, notebook deep scan, crypto
+// inventory, and threat-intel enrichment. Throughput must scale with
+// the worker pool — the knob that takes the paper's census from one
+// server to internet scale.
+func BenchmarkFleetDeepScan(b *testing.B) {
+	const fleetSize = 32
+	fl, err := fleet.Spawn(fleet.Generate(1, fleetSize))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fl.Close()
+	targets := fl.Targets()
+	suites := []string{"misconfig", "nbscan", "crypto", "intel"}
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := fleet.Scan(context.Background(), targets, fleet.Options{
+					Workers: workers, Suites: suites,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Scanned != fleetSize {
+					b.Fatalf("scanned %d/%d", rep.Scanned, fleetSize)
+				}
+				if rep.BySuite["nbscan"] == 0 || rep.BySuite["crypto"] == 0 {
+					b.Fatal("deep-scan suites produced no findings")
+				}
+			}
+			b.ReportMetric(float64(fleetSize)*float64(b.N)/b.Elapsed().Seconds(), "targets/sec")
+		})
+	}
+}
+
 // ---- E8: brute-force detection ----
 
 func BenchmarkBruteForceDetection(b *testing.B) {

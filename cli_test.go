@@ -128,6 +128,75 @@ func TestCLITools(t *testing.T) {
 		}
 	})
 
+	t.Run("jscan-suites", func(t *testing.T) {
+		// A multi-suite deep sweep must stay byte-deterministic for a
+		// fixed seed and suite set, including the per-suite histogram
+		// and the pipeline alert tally, regardless of worker count.
+		census := func(out string) string {
+			var keep []string
+			for _, line := range strings.Split(out, "\n") {
+				if !strings.HasPrefix(line, "sweep:") {
+					keep = append(keep, line)
+				}
+			}
+			return strings.Join(keep, "\n")
+		}
+		args := []string{"--fleet", "12", "--seed", "7", "--suites", "misconfig,nbscan,crypto,intel"}
+		out1, err := runTool(t, filepath.Join(bin, "jscan"), append([]string{"--workers", "8"}, args...)...)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out1)
+		}
+		out2, err := runTool(t, filepath.Join(bin, "jscan"), append([]string{"--workers", "2"}, args...)...)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out2)
+		}
+		if census(out1) != census(out2) {
+			t.Fatalf("deep census not deterministic:\n%s\nvs\n%s", out1, out2)
+		}
+		for _, want := range []string{"findings by suite", "nbscan", "crypto", "intel",
+			"alerts raised through the rules pipeline", "SC-001-critical-exposure"} {
+			if !strings.Contains(out1, want) {
+				t.Errorf("deep census missing %q:\n%s", want, out1)
+			}
+		}
+
+		// An unknown suite name is a usage error that fails fast,
+		// before any fleet server is spawned.
+		out3, err := runTool(t, filepath.Join(bin, "jscan"),
+			"--fleet", "4", "--suites", "misconfig,bogus")
+		if err == nil {
+			t.Fatalf("unknown suite accepted:\n%s", out3)
+		}
+		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+			t.Errorf("unknown suite exit = %v, want usage error (2)", err)
+		}
+		for _, want := range []string{"unknown suite", "usage", "misconfig"} {
+			if !strings.Contains(out3, want) {
+				t.Errorf("unknown-suite error missing %q:\n%s", want, out3)
+			}
+		}
+	})
+
+	t.Run("jscan-events-replay", func(t *testing.T) {
+		// The census's unified finding stream replays through
+		// jsentinel, re-raising the same scan alerts offline.
+		events := filepath.Join(work, "findings.jsonl")
+		out, err := runTool(t, filepath.Join(bin, "jscan"),
+			"--fleet", "8", "--seed", "7", "--suites", "misconfig,nbscan,intel", "--events", events)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		replay, err := runTool(t, filepath.Join(bin, "jsentinel"), "--replay", events)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, replay)
+		}
+		for _, want := range []string{"scan_finding=", "SC-001-critical-exposure"} {
+			if !strings.Contains(replay, want) {
+				t.Errorf("replay missing %q:\n%s", want, replay)
+			}
+		}
+	})
+
 	t.Run("jupyterd-scan", func(t *testing.T) {
 		out, err := runTool(t, filepath.Join(bin, "jupyterd"), "--sloppy", "--addr", "127.0.0.1:0", "--scan")
 		if err != nil {

@@ -1,15 +1,19 @@
-// Command jscan is the misconfiguration scanner: it audits a named
+// Command jscan is the exposure scanner: it audits a named
 // configuration preset, probes a live server the way an internet
 // scanner would, or runs a fleet census — spawning N simulated
 // servers with misconfiguration presets sampled from the paper's
-// taxonomy and sweeping them through a bounded, rate-limited worker
-// pool into a deterministic aggregate report.
+// taxonomy and deep-scanning them through a bounded, rate-limited
+// worker pool with any set of scanner suites (config posture, live
+// probe, notebook deep scan, crypto inventory, threat-intel
+// enrichment). Census findings are also pushed through the rules
+// engine, so a sweep alerts exactly like live monitoring.
 //
 //	jscan --preset sloppy
 //	jscan --preset hardened
 //	jscan --probe 127.0.0.1:8888
 //	jscan --fleet 64 --workers 8 --seed 1
-//	jscan --fleet 64 --rate 100 --resume sweep.ckpt --jsonl results.jsonl
+//	jscan --fleet 64 --suites misconfig,nbscan,crypto,intel
+//	jscan --fleet 64 --rate 100 --resume sweep.ckpt --jsonl results.jsonl --events events.jsonl
 package main
 
 import (
@@ -20,6 +24,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/cryptoaudit"
@@ -27,7 +33,10 @@ import (
 	"repro/internal/misconfig"
 	"repro/internal/nbformat"
 	"repro/internal/nbscan"
+	"repro/internal/rules"
+	"repro/internal/scan"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -36,22 +45,33 @@ func main() {
 	notebook := flag.String("notebook", "", "statically scan a .ipynb file for attack-shaped cells")
 	cryptoFlag := flag.Bool("crypto", false, "include the quantum-threat crypto inventory")
 	fleetN := flag.Int("fleet", 0, "spawn N simulated servers with sampled misconfig presets and run a census sweep")
+	suitesFlag := flag.String("suites", "misconfig", "comma-separated scanner suites for the fleet sweep (misconfig,nbscan,crypto,intel)")
 	workers := flag.Int("workers", 4, "fleet sweep worker pool size")
 	rate := flag.Float64("rate", 0, "fleet sweep probe rate limit in targets/sec (0 = unlimited)")
 	seed := flag.Int64("seed", 1, "fleet preset generator seed (same seed -> identical census)")
 	resume := flag.String("resume", "", "fleet checkpoint file; an interrupted sweep continues where it left off")
 	topK := flag.Int("topk", 5, "worst targets listed in the fleet census")
 	jsonl := flag.String("jsonl", "", "stream per-target fleet results as JSONL to this file ('-' = stdout)")
+	events := flag.String("events", "", "write every fleet finding as a trace-event JSONL stream (replayable with jsentinel --replay)")
 	flag.Parse()
 
 	switch {
 	case *fleetN > 0:
+		suiteNames := strings.Split(*suitesFlag, ",")
+		if _, err := scan.Resolve(suiteNames); err != nil {
+			// Fail fast, before any server is spawned: a typo in
+			// --suites is a usage error, not a sweep failure.
+			fmt.Fprintf(os.Stderr, "jscan: %v\nusage: --suites takes a comma-separated subset of: %s\n",
+				err, strings.Join(scan.Names(), ","))
+			os.Exit(2)
+		}
 		os.Exit(runFleet(*fleetN, *seed, fleet.Options{
 			Workers:        *workers,
 			Rate:           *rate,
 			TopK:           *topK,
+			Suites:         suiteNames,
 			CheckpointPath: *resume,
-		}, *jsonl))
+		}, *jsonl, *events))
 	case *notebook != "":
 		data, err := os.ReadFile(*notebook)
 		if err != nil {
@@ -101,10 +121,13 @@ func main() {
 	}
 }
 
-// runFleet spawns the simulated fleet, sweeps it, and prints the
-// census to stdout (performance stats go to stderr so the census
-// stays byte-identical run to run). Returns the process exit code.
-func runFleet(n int, seed int64, opts fleet.Options, jsonlPath string) int {
+// runFleet spawns the simulated fleet, sweeps it with the selected
+// suites, and prints the census to stdout (performance stats go to
+// stderr so the census stays byte-identical run to run). Every
+// finding also flows through a bounded stage into the rules engine;
+// the resulting alert tally is part of the census. Returns the
+// process exit code.
+func runFleet(n int, seed int64, opts fleet.Options, jsonlPath, eventsPath string) int {
 	var stream io.Writer
 	var jsonlFile *os.File
 	switch jsonlPath {
@@ -122,6 +145,34 @@ func runFleet(n int, seed int64, opts fleet.Options, jsonlPath string) int {
 	}
 	opts.Stream = stream
 
+	// Findings feed the detection pipeline: a bounded async stage
+	// drains into the rules engine, exactly like live monitoring. The
+	// builtin scan rules are stateless, so the alert tally below is
+	// deterministic regardless of worker count or delivery order.
+	engine, err := rules.NewEngine(rules.BuiltinRules())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jscan: %v\n", err)
+		return 1
+	}
+	stage := trace.NewStage(engine, opts.Workers, 4096, trace.Block)
+	var eventsWriter *trace.JSONLWriter
+	var eventsFile *os.File
+	if eventsPath != "" {
+		f, err := os.Create(eventsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jscan: %v\n", err)
+			return 1
+		}
+		eventsFile = f
+		eventsWriter = trace.NewJSONLWriter(f)
+	}
+	opts.Events = trace.SinkFunc(func(e trace.Event) {
+		stage.Emit(e)
+		if eventsWriter != nil {
+			eventsWriter.Emit(e)
+		}
+	})
+
 	presets := fleet.Generate(seed, n)
 	fl, err := fleet.Spawn(presets)
 	if err != nil {
@@ -135,6 +186,15 @@ func runFleet(n int, seed int64, opts fleet.Options, jsonlPath string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	report, err := fleet.Scan(ctx, fl.Targets(), opts)
+	stage.Close() // drain queued findings before the alert tally
+	if eventsWriter != nil {
+		if ferr := eventsWriter.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+		if cerr := eventsFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if jsonlFile != nil {
 		// Close errors mean the JSONL stream is incomplete; a silent
 		// exit 0 would hand downstream consumers a truncated dataset.
@@ -150,10 +210,31 @@ func runFleet(n int, seed int64, opts fleet.Options, jsonlPath string) int {
 	}
 	if report != nil {
 		fmt.Print(report.Render())
+		fmt.Print(renderAlerts(engine.Alerts()))
 		fmt.Fprintln(os.Stderr, report.Stats.Render())
 	}
 	if err != nil {
 		return 1
 	}
 	return 0
+}
+
+// renderAlerts tallies pipeline alerts per rule, sorted by rule ID so
+// the census stays deterministic.
+func renderAlerts(alerts []rules.Alert) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "alerts raised through the rules pipeline: %d\n", len(alerts))
+	byRule := map[string]int{}
+	for _, a := range alerts {
+		byRule[a.RuleID]++
+	}
+	ids := make([]string, 0, len(byRule))
+	for id := range byRule {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "  %-26s %5d\n", id, byRule[id])
+	}
+	return b.String()
 }

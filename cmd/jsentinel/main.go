@@ -3,7 +3,13 @@
 // detection engine and prints the incident report, or (b) runs a
 // reverse-proxy-style tapped server and streams alerts live.
 //
+// Replay accepts any trace-event stream, including the unified
+// finding stream a fleet census emits (jscan --fleet N --events
+// findings.jsonl): scan_finding events hit the same builtin SC-*
+// rules there, so a recorded sweep re-raises its alerts offline.
+//
 //	jsentinel --replay events.jsonl
+//	jsentinel --replay census-findings.jsonl
 //	jsentinel --listen 127.0.0.1:9999 --token <tok>   (tapped live server)
 package main
 
@@ -13,6 +19,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -81,13 +89,30 @@ func replayFile(path string, showAlerts bool, workers, batch int) {
 		eng.ProcessBatch(b)
 	})
 	elapsed := time.Since(start)
-	fmt.Printf("\nreplayed %d events in %v (%.0f events/sec, workers=%d batch=%d)\n\n",
+	fmt.Printf("\nreplayed %d events in %v (%.0f events/sec, workers=%d batch=%d)\n",
 		len(events), elapsed.Round(time.Millisecond),
 		float64(len(events))/elapsed.Seconds(), workers, batch)
+	fmt.Printf("event mix: %s\n\n", renderKindMix(events))
 	fmt.Print(eng.Report(time.Now()).Render())
 	for _, inc := range eng.Incidents() {
 		fmt.Println(inc.Summary())
 	}
+}
+
+// renderKindMix summarizes the replayed stream's composition, sorted
+// by kind for stable output.
+func renderKindMix(events []trace.Event) string {
+	counts := trace.CountByKind(events)
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, counts[trace.Kind(k)]))
+	}
+	return strings.Join(parts, " ")
 }
 
 func live(addr, token string, showAlerts bool, zeekOut string, workers, queue int) {

@@ -11,11 +11,19 @@
 //
 // The fleet subsystem (internal/fleet) reproduces the paper's
 // wide-scan methodology at scale: it spawns a fleet of simulated
-// servers whose configurations sample the misconfiguration taxonomy,
-// sweeps them through a bounded, rate-limited worker pool, and
-// aggregates a deterministic census — counts per finding class,
-// severity histogram, worst targets — with streaming JSONL output
-// and a resumable checkpoint (jscan --fleet N).
+// servers whose configurations sample the misconfiguration taxonomy
+// and sweeps them through a bounded, rate-limited worker pool with
+// any set of pluggable scanner suites (internal/scan registry):
+// config posture + live probe (misconfig), notebook deep scan of the
+// target's filesystem (nbscan), quantum-threat crypto inventory
+// (crypto), and threat-intel enrichment (intel). The census is
+// deterministic — per-suite/severity/check histograms, worst targets
+// — with streaming JSONL output and a versioned, signature-checked,
+// resumable checkpoint (jscan --fleet N --suites ...). Every finding
+// is also projected as a scan_finding trace event through a bounded
+// stage into the rules engine, so a wide scan alerts through the
+// same pipeline as live monitoring and its finding stream replays
+// with jsentinel --replay.
 //
 // The detection substrate is a sharded streaming pipeline ("pipeline
 // v2"): the trace.Bus stamps sequence numbers atomically and fans out

@@ -8,6 +8,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"net"
 	"strings"
 	"testing"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/cryptoaudit"
+	"repro/internal/fleet"
 	"repro/internal/honeypot"
 	"repro/internal/misconfig"
 	"repro/internal/nbformat"
@@ -229,5 +231,53 @@ func TestEndToEndDeploymentStory(t *testing.T) {
 	}
 	if !strings.Contains(zeek.String(), "execute_request") {
 		t.Fatal("zeek jupyter.log missing kernel traffic")
+	}
+}
+
+// TestFleetSweepRaisesAlertsThroughPipeline closes the loop between
+// the census and the detection substrate: a fleet sweep over hostile
+// presets projects every finding as a trace event through a bounded
+// stage into the rules engine, which must raise alerts the same way
+// live monitoring would.
+func TestFleetSweepRaisesAlertsThroughPipeline(t *testing.T) {
+	fl, err := fleet.Spawn(fleet.Generate(1, 6)) // includes the everything-wrong anchor
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+
+	engine, err := rules.NewEngine(rules.BuiltinRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stage := trace.NewStage(engine, 4, 1024, trace.Block)
+	rep, err := fleet.Scan(context.Background(), fl.Targets(), fleet.Options{
+		Workers: 4,
+		Suites:  []string{"misconfig", "nbscan", "crypto", "intel"},
+		Events:  stage,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stage.Close() // drain queued findings into the engine
+
+	alerts := engine.Alerts()
+	if len(alerts) == 0 {
+		t.Fatal("hostile sweep raised no alerts through the rules pipeline")
+	}
+	byRule := map[string]int{}
+	for _, a := range alerts {
+		byRule[a.RuleID]++
+	}
+	// The open-auth anchor guarantees critical misconfig findings and
+	// a seeded trojan notebook, so all three scan rules must fire.
+	for _, id := range []string{"SC-001-critical-exposure", "SC-002-trojan-notebook", "SC-003-known-indicator"} {
+		if byRule[id] == 0 {
+			t.Errorf("rule %s never fired; alerts by rule: %+v", id, byRule)
+		}
+	}
+	if uint64(rep.BySuite["misconfig"]+rep.BySuite["nbscan"]+rep.BySuite["crypto"]+rep.BySuite["intel"]) !=
+		engine.Evaluated() {
+		t.Errorf("engine evaluated %d events for findings %v", engine.Evaluated(), rep.BySuite)
 	}
 }

@@ -17,8 +17,8 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/posture"
 	"repro/internal/rules"
-	"repro/internal/server"
 )
 
 // Primitive is one cryptographic mechanism in use.
@@ -43,7 +43,7 @@ type Inventory struct {
 
 // Audit inventories the crypto mechanisms implied by a server config,
 // mirroring the paper's two immediate quantum threats.
-func Audit(cfg server.Config) Inventory {
+func Audit(cfg posture.Config) Inventory {
 	inv := Inventory{}
 	if cfg.ConnectionKey != "" {
 		inv.Primitives = append(inv.Primitives, Primitive{

@@ -1,0 +1,63 @@
+package cryptoaudit
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/rules"
+	"repro/internal/scan"
+)
+
+// SuiteName is this scanner's key in the scan suite registry.
+const SuiteName = "crypto"
+
+// SweepSuite adapts the quantum-threat crypto inventory to the
+// unified scan suite contract: each harvest-now-decrypt-later or
+// quantum-spoofable primitive in the target's configuration becomes a
+// census finding. Primitives that are merely quantum-degraded (not
+// already broken classically) rate low severity — the paper's
+// forward-looking exposure, not a present-day incident.
+type SweepSuite struct{}
+
+// Name implements scan.Suite.
+func (SweepSuite) Name() string { return SuiteName }
+
+// Description implements scan.Suite.
+func (SweepSuite) Description() string {
+	return "quantum-threat inventory of the crypto primitives the configuration implies"
+}
+
+// Run implements scan.Suite.
+func (SweepSuite) Run(_ context.Context, t scan.Target) (scan.Outcome, error) {
+	inv := Audit(t.Config)
+	var findings []scan.Finding
+	for _, p := range inv.Primitives {
+		// A primitive that is already worthless classically is a live
+		// exposure; one broken only by a future quantum adversary is a
+		// migration item.
+		sev := rules.SevLow
+		if p.Classical == "0-bit" {
+			sev = rules.SevMedium
+		}
+		if p.HarvestNowDecryptLater {
+			findings = append(findings, scan.Finding{
+				Suite: SuiteName, CheckID: "CRY-001-harvest", Title: "Harvest-now-decrypt-later exposure",
+				Severity: sev, Class: rules.ClassMisconfig, Target: p.Name,
+				Evidence:    fmt.Sprintf("%s (%s): quantum security %s", p.Name, p.Use, p.Quantum),
+				Remediation: "Migrate key exchange to a post-quantum KEM; recorded traffic is already at risk.",
+			})
+		}
+		if p.SpoofableSignature {
+			findings = append(findings, scan.Finding{
+				Suite: SuiteName, CheckID: "CRY-002-spoofable-sig", Title: "Quantum-spoofable signature",
+				Severity: sev, Class: rules.ClassMisconfig, Target: p.Name,
+				Evidence:    fmt.Sprintf("%s (%s): quantum security %s", p.Name, p.Use, p.Quantum),
+				Remediation: "Adopt hash-based or lattice signatures (the audit-log checkpoint chain shows the pattern).",
+			})
+		}
+	}
+	scan.Sort(findings)
+	return scan.Outcome{Findings: findings}, nil
+}
+
+func init() { scan.Register(SweepSuite{}) }

@@ -3,27 +3,81 @@ package fleet
 import (
 	"bufio"
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 )
 
-// Checkpoint format: one JSON Result per line, appended as targets
-// complete. A sweep killed mid-write leaves at most one torn trailing
-// line, which LoadCheckpoint tolerates; corruption anywhere else is
-// an error, not silent data loss.
+// Checkpoint format v2: a header line {"fleet_checkpoint":2,
+// "fleet_sig":"...","suites":[...]} followed by one JSON Result per
+// line, appended as targets complete. Legacy (v1) files have no
+// header and carry pre-suite Result JSON; LoadCheckpoint reads them
+// by defaulting every record to the misconfig suite. A sweep killed
+// mid-write leaves at most one torn trailing line, which
+// LoadCheckpoint tolerates; corruption anywhere else is an error, not
+// silent data loss.
+
+// CheckpointVersion is the schema version this binary writes. A
+// checkpoint declaring a newer version is rejected rather than
+// misread.
+const CheckpointVersion = 2
+
+// checkpointHeader is the first line of a v2+ checkpoint.
+type checkpointHeader struct {
+	Version   int      `json:"fleet_checkpoint"`
+	Signature string   `json:"fleet_sig,omitempty"`
+	Suites    []string `json:"suites,omitempty"`
+}
+
+// FleetSignature fingerprints a target set independent of ephemeral
+// addresses and sweep order: the hash covers each member's ID,
+// preset, and knobs. A checkpoint records it so a resume against a
+// different fleet (another seed or size) fails loudly instead of
+// silently folding foreign results into the census.
+func FleetSignature(targets []Target) string {
+	ids := make([]string, 0, len(targets))
+	byID := map[string]Target{}
+	for _, t := range targets {
+		if _, dup := byID[t.ID]; dup {
+			continue
+		}
+		byID[t.ID] = t
+		ids = append(ids, t.ID)
+	}
+	sort.Strings(ids)
+	h := sha256.New()
+	for _, id := range ids {
+		t := byID[id]
+		knobs, _ := json.Marshal(t.Knobs)
+		fmt.Fprintf(h, "%s|%s|%s\n", t.ID, t.Preset, knobs)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}
 
 // LoadCheckpoint reads the results recorded in a checkpoint file. A
 // missing file is an empty checkpoint. Later records win when a
 // target appears twice (a resumed sweep re-appends nothing, but a
-// crashed one may).
+// crashed one may). Legacy headerless files load with every record
+// normalized to the misconfig suite.
 func LoadCheckpoint(path string) (map[string]Result, error) {
+	out, _, err := loadCheckpoint(path)
+	return out, err
+}
+
+// loadCheckpoint is LoadCheckpoint plus the parsed header (zero
+// header for legacy files), which Scan checks against the current
+// fleet signature and suite set.
+func loadCheckpoint(path string) (map[string]Result, checkpointHeader, error) {
+	var hdr checkpointHeader
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return map[string]Result{}, nil
+		return map[string]Result{}, hdr, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("fleet: checkpoint: %w", err)
+		return nil, hdr, fmt.Errorf("fleet: checkpoint: %w", err)
 	}
 	out := map[string]Result{}
 	lines := bytes.Split(data, []byte{'\n'})
@@ -32,6 +86,20 @@ func LoadCheckpoint(path string) (map[string]Result, error) {
 		if len(line) == 0 {
 			continue
 		}
+		if i == 0 {
+			// Only the first line may be a header; a legacy file's
+			// first line is a Result and carries no version key.
+			var h checkpointHeader
+			if err := json.Unmarshal(line, &h); err == nil && h.Version > 0 {
+				if h.Version > CheckpointVersion {
+					return nil, hdr, fmt.Errorf(
+						"fleet: checkpoint %s is schema v%d but this binary reads up to v%d; upgrade or start a fresh checkpoint",
+						path, h.Version, CheckpointVersion)
+				}
+				hdr = h
+				continue
+			}
+		}
 		var r Result
 		if err := json.Unmarshal(line, &r); err != nil {
 			if i == len(lines)-1 {
@@ -39,14 +107,29 @@ func LoadCheckpoint(path string) (map[string]Result, error) {
 				// target will simply be rescanned.
 				break
 			}
-			return nil, fmt.Errorf("fleet: checkpoint %s line %d: %w", path, i+1, err)
+			return nil, hdr, fmt.Errorf("fleet: checkpoint %s line %d: %w", path, i+1, err)
 		}
 		if r.TargetID == "" {
-			return nil, fmt.Errorf("fleet: checkpoint %s line %d: missing target_id", path, i+1)
+			return nil, hdr, fmt.Errorf("fleet: checkpoint %s line %d: missing target_id", path, i+1)
 		}
+		normalizeLegacyResult(&r)
 		out[r.TargetID] = r
 	}
-	return out, nil
+	return out, hdr, nil
+}
+
+// normalizeLegacyResult upgrades a pre-suite (v1) record in place:
+// records written before the unified Finding carried only misconfig
+// findings and no suite list.
+func normalizeLegacyResult(r *Result) {
+	if len(r.Suites) == 0 {
+		r.Suites = []string{"misconfig"}
+	}
+	for i := range r.Findings {
+		if r.Findings[i].Suite == "" {
+			r.Findings[i].Suite = "misconfig"
+		}
+	}
 }
 
 // checkpointWriter appends results to the checkpoint file, flushing
@@ -56,12 +139,31 @@ type checkpointWriter struct {
 	bw *bufio.Writer
 }
 
-func openCheckpoint(path string) (*checkpointWriter, error) {
+// openCheckpoint opens the checkpoint for appending, stamping the
+// header on a fresh (or empty) file. An existing legacy file keeps
+// its headerless format; its provenance was already validated by the
+// loader's per-target checks.
+func openCheckpoint(path string, hdr checkpointHeader) (*checkpointWriter, error) {
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: checkpoint: %w", err)
 	}
-	return &checkpointWriter{f: f, bw: bufio.NewWriter(f)}, nil
+	w := &checkpointWriter{f: f, bw: bufio.NewWriter(f)}
+	if st, err := f.Stat(); err == nil && st.Size() == 0 {
+		line, err := json.Marshal(hdr)
+		if err == nil {
+			line = append(line, '\n')
+			_, err = w.bw.Write(line)
+		}
+		if err == nil {
+			err = w.bw.Flush()
+		}
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: checkpoint header: %w", err)
+		}
+	}
+	return w, nil
 }
 
 func (w *checkpointWriter) Append(r Result) error {

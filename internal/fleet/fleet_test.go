@@ -4,11 +4,17 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
+	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/scan"
+	"repro/internal/trace"
 )
 
 func TestGenerateDeterministic(t *testing.T) {
@@ -152,28 +158,33 @@ func TestCheckpointResumeRoundTrip(t *testing.T) {
 	targets := f.Targets()
 	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
 
-	// First sweep covers half the fleet, then "dies".
-	first, err := Scan(context.Background(), targets[:8], Options{
-		Workers: 4, CheckpointPath: ckpt,
+	// First sweep dies partway: cancellation after a few results
+	// leaves a partial checkpoint, the way a killed sweep would.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	first, err := Scan(ctx, targets, Options{
+		Workers: 2, Rate: 200, CheckpointPath: ckpt,
+		Stream: &cancelAfterWriter{n: 4, cancel: cancel},
 	})
-	if err != nil {
-		t.Fatal(err)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	if first.Scanned != 8 || first.Stats.Scanned != 8 || first.Stats.Resumed != 0 {
-		t.Fatalf("first sweep = %+v", first.Stats)
+	firstScanned := first.Scanned
+	if firstScanned < 4 || firstScanned >= 16 {
+		t.Fatalf("interrupted sweep scanned %d, want partial coverage in [4,16)", firstScanned)
 	}
 
-	// Resumed sweep over the full fleet scans only the remainder.
+	// Resumed sweep over the same fleet scans only the remainder.
 	second, err := Scan(context.Background(), targets, Options{
 		Workers: 4, CheckpointPath: ckpt,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if second.Stats.Scanned != 8 || second.Stats.Resumed != 8 {
-		t.Fatalf("resumed sweep = %+v", second.Stats)
+	if second.Stats.Resumed != firstScanned || second.Stats.Scanned != 16-firstScanned {
+		t.Fatalf("resumed sweep = %+v after %d first-pass results", second.Stats, firstScanned)
 	}
-	if second.Scanned != 16 || second.Resumed != 8 {
+	if second.Scanned != 16 || second.Resumed != firstScanned {
 		t.Fatalf("resumed report = %+v", second)
 	}
 
@@ -304,5 +315,252 @@ func TestTokenBucketUnlimited(t *testing.T) {
 	}
 	if el := time.Since(start); el > time.Second {
 		t.Fatalf("unlimited bucket throttled: %s", el)
+	}
+}
+
+// ---- Multi-suite deep sweeps ----
+
+var allSuites = []string{"misconfig", "nbscan", "crypto", "intel"}
+
+func TestDeepScanSuitesDeterministic(t *testing.T) {
+	f := spawnFleet(t, 21, 8)
+	a, err := Scan(context.Background(), f.Targets(), Options{Workers: 1, Suites: allSuites})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Scan(context.Background(), f.Targets(), Options{Workers: 8, Suites: allSuites})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Fatalf("deep census differs with worker count:\n%s\nvs\n%s", a.Render(), b.Render())
+	}
+	// The everything-wrong anchor has open auth, so the seeded trojan
+	// notebook must surface through the deep-scan and intel suites,
+	// and the crypto inventory flags every target.
+	for _, suite := range allSuites {
+		if a.BySuite[suite] == 0 {
+			t.Errorf("suite %s contributed no findings: %+v", suite, a.BySuite)
+		}
+	}
+	if a.BySuite["nbscan"] < 2 || a.BySuite["intel"] < 2 {
+		t.Errorf("trojan notebook under-detected: %+v", a.BySuite)
+	}
+}
+
+func TestScanUnknownSuiteFailsFast(t *testing.T) {
+	f := spawnFleet(t, 1, 2)
+	_, err := Scan(context.Background(), f.Targets(), Options{Suites: []string{"misconfig", "bogus"}})
+	if err == nil || !strings.Contains(err.Error(), "unknown suite") {
+		t.Fatalf("err = %v, want unknown-suite failure", err)
+	}
+}
+
+func TestSweepEmitsFindingsThroughEventSink(t *testing.T) {
+	f := spawnFleet(t, 21, 6)
+	var mu sync.Mutex
+	var events []trace.Event
+	sink := trace.SinkFunc(func(e trace.Event) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	})
+	rep, err := Scan(context.Background(), f.Targets(), Options{
+		Workers: 4, Suites: allSuites, Events: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range rep.BySuite {
+		total += n
+	}
+	if len(events) != total {
+		t.Fatalf("emitted %d events for %d findings", len(events), total)
+	}
+	for _, e := range events {
+		if e.Kind != trace.KindScanFinding {
+			t.Fatalf("event kind = %s", e.Kind)
+		}
+		if e.Field("target_id") == "" || e.Field("suite") == "" || e.Field("severity") == "" {
+			t.Fatalf("event missing scan fields: %+v", e)
+		}
+	}
+}
+
+func TestSweepRecordsPerSuiteTiming(t *testing.T) {
+	f := spawnFleet(t, 21, 4)
+	rep, err := Scan(context.Background(), f.Targets(), Options{Workers: 2, Suites: allSuites})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, suite := range allSuites {
+		st, ok := rep.Stats.PerSuite[suite]
+		if !ok || st.Targets != 4 {
+			t.Fatalf("per-suite stats for %s = %+v (%v)", suite, st, rep.Stats.PerSuite)
+		}
+	}
+	if !strings.Contains(rep.Stats.Render(), "sweep: suite") {
+		t.Fatalf("stats render lacks per-suite rows:\n%s", rep.Stats.Render())
+	}
+}
+
+// ---- Checkpoint schema v2 ----
+
+func TestCheckpointHeaderWritten(t *testing.T) {
+	f := spawnFleet(t, 5, 4)
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+	if _, err := Scan(context.Background(), f.Targets(), Options{Workers: 2, CheckpointPath: ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(string(data), "\n", 2)[0]
+	var hdr struct {
+		Version   int      `json:"fleet_checkpoint"`
+		Signature string   `json:"fleet_sig"`
+		Suites    []string `json:"suites"`
+	}
+	if err := json.Unmarshal([]byte(first), &hdr); err != nil {
+		t.Fatalf("header line %q: %v", first, err)
+	}
+	if hdr.Version != CheckpointVersion || hdr.Signature == "" || len(hdr.Suites) == 0 {
+		t.Fatalf("header = %+v", hdr)
+	}
+	if hdr.Signature != FleetSignature(f.Targets()) {
+		t.Fatalf("header signature %s != fleet signature %s", hdr.Signature, FleetSignature(f.Targets()))
+	}
+}
+
+func TestLoadCheckpointLegacyHeaderless(t *testing.T) {
+	// A v1 checkpoint: no header, pre-suite Result JSON whose findings
+	// carry no suite field. It must load with every record normalized
+	// to the misconfig suite, so old sweeps stay resumable.
+	path := filepath.Join(t.TempDir(), "legacy.ckpt")
+	legacy := `{"target_id":"tgt-0000","preset":"hardened","addr":"127.0.0.1:1","reachable":true,"open_access":false,"terminals_open":false,"wildcard_cors":false,"score":100,"findings":null}
+{"target_id":"tgt-0001","preset":"no-auth","addr":"127.0.0.1:2","reachable":true,"open_access":true,"terminals_open":false,"wildcard_cors":false,"score":55,"findings":[{"check_id":"JPY-001","title":"Authentication disabled","severity":"critical","class":"security_misconfiguration","evidence":"x","remediation":"y"}]}
+`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d records, want 2", len(got))
+	}
+	r := got["tgt-0001"]
+	if len(r.Suites) != 1 || r.Suites[0] != "misconfig" {
+		t.Fatalf("legacy record suites = %v", r.Suites)
+	}
+	if len(r.Findings) != 1 || r.Findings[0].Suite != "misconfig" || r.Findings[0].CheckID != "JPY-001" {
+		t.Fatalf("legacy finding not normalized: %+v", r.Findings)
+	}
+}
+
+func TestLoadCheckpointRejectsNewerVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "future.ckpt")
+	content := `{"fleet_checkpoint":99,"fleet_sig":"abcd"}
+{"target_id":"tgt-0000","score":100}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil || !strings.Contains(err.Error(), "schema v99") {
+		t.Fatalf("newer-version checkpoint accepted: %v", err)
+	}
+}
+
+func TestCheckpointSuiteSetMismatchRejected(t *testing.T) {
+	f := spawnFleet(t, 5, 4)
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+	if _, err := Scan(context.Background(), f.Targets(), Options{Workers: 2, CheckpointPath: ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Scan(context.Background(), f.Targets(), Options{
+		Workers: 2, CheckpointPath: ckpt, Suites: allSuites,
+	})
+	if err == nil || !strings.Contains(err.Error(), "suites") {
+		t.Fatalf("suite-set mismatch accepted: %v", err)
+	}
+}
+
+func TestFleetSignatureIgnoresAddressesAndOrder(t *testing.T) {
+	a := spawnFleet(t, 7, 6)
+	b := spawnFleet(t, 7, 6)
+	sa, sb := FleetSignature(a.Targets()), FleetSignature(b.Targets())
+	if sa != sb {
+		t.Fatalf("same seed, different signatures: %s vs %s", sa, sb)
+	}
+	rev := a.Targets()
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	if FleetSignature(rev) != sa {
+		t.Fatal("signature depends on target order")
+	}
+	c := spawnFleet(t, 8, 6)
+	if FleetSignature(c.Targets()) == sa {
+		t.Fatal("different seeds share a signature")
+	}
+}
+
+func TestHostileTargetFindingsSpanSuites(t *testing.T) {
+	f := spawnFleet(t, 1, 2) // tgt-0001 = everything-wrong anchor
+	var hostile Target
+	for _, tg := range f.Targets() {
+		if tg.ID == "tgt-0001" {
+			hostile = tg
+		}
+	}
+	res, _, err := scanOne(context.Background(), hostile,
+		mustResolve(t, allSuites), allSuites, 3*time.Second)
+	if err != nil {
+		t.Fatalf("scanOne incomplete: %v", err)
+	}
+	bySuite := scan.SuiteCounts(res.Findings)
+	for _, suite := range allSuites {
+		if bySuite[suite] == 0 {
+			t.Errorf("hostile target has no %s findings: %+v", suite, bySuite)
+		}
+	}
+	if res.Score != 0 {
+		t.Errorf("everything-wrong anchor scored %v, want 0", res.Score)
+	}
+}
+
+func mustResolve(t *testing.T, names []string) []scan.Suite {
+	t.Helper()
+	suites, err := scan.Resolve(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return suites
+}
+
+func TestCheckpointHeaderOnlySuiteMismatchRejected(t *testing.T) {
+	// A sweep killed after writing the header but before any result
+	// must still pin the suite set: the header alone carries it.
+	f := spawnFleet(t, 5, 4)
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+	if _, err := Scan(context.Background(), f.Targets(), Options{Workers: 2, CheckpointPath: ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headerOnly := strings.SplitN(string(data), "\n", 2)[0] + "\n"
+	if err := os.WriteFile(ckpt, []byte(headerOnly), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Scan(context.Background(), f.Targets(), Options{
+		Workers: 2, CheckpointPath: ckpt, Suites: allSuites,
+	})
+	if err == nil || !strings.Contains(err.Error(), "suites") {
+		t.Fatalf("header-only suite mismatch accepted: %v", err)
 	}
 }

@@ -1,0 +1,65 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoadCheckpoint hammers the checkpoint loader with torn lines,
+// duplicate targets, version headers, and hostile JSON. Invariants:
+// it never panics, and when it succeeds, no well-formed non-final
+// record was silently dropped — every parseable Result line (past the
+// optional header) must be present in the loaded map.
+func FuzzLoadCheckpoint(f *testing.F) {
+	whole, _ := json.Marshal(Result{TargetID: "tgt-0001", Preset: "no-auth", Score: 55,
+		Suites: []string{"misconfig"}})
+	f.Add(append(append([]byte(`{"fleet_checkpoint":2,"fleet_sig":"ab","suites":["misconfig"]}`+"\n"), whole...), '\n'))
+	f.Add(append(whole, '\n'))                                                      // legacy headerless
+	f.Add(append(append(append([]byte{}, whole...), '\n'), whole...))               // duplicate target
+	f.Add(append(append(append([]byte{}, whole...), '\n'), []byte(`{"target_`)...)) // torn tail
+	f.Add([]byte(`{"fleet_checkpoint":99}` + "\n"))                                 // future version
+	f.Add([]byte(`{"target_id":""}` + "\n"))                                        // missing id
+	f.Add([]byte("\n\nnot json\n"))
+	f.Add([]byte(`[{"target_id":1e309}]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.ckpt")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		got, err := LoadCheckpoint(path)
+		if err != nil {
+			return
+		}
+		if got == nil {
+			t.Fatal("nil map without error")
+		}
+		// Replay the line discipline independently: every non-final,
+		// non-header line that parses as a Result with a target_id
+		// must have made it into the map (later duplicates win, so
+		// presence — not equality — is the invariant).
+		lines := bytes.Split(data, []byte{'\n'})
+		for i, line := range lines {
+			line = bytes.TrimSpace(line)
+			if len(line) == 0 || i == len(lines)-1 {
+				continue
+			}
+			if i == 0 {
+				var h checkpointHeader
+				if json.Unmarshal(line, &h) == nil && h.Version > 0 {
+					continue
+				}
+			}
+			var r Result
+			if json.Unmarshal(line, &r) != nil || r.TargetID == "" {
+				continue
+			}
+			if _, ok := got[r.TargetID]; !ok {
+				t.Fatalf("record %q on line %d silently dropped", r.TargetID, i+1)
+			}
+		}
+	})
+}

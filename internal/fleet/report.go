@@ -5,7 +5,7 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/misconfig"
+	"repro/internal/scan"
 )
 
 // WorstTarget is one entry in the report's worst-offenders list.
@@ -27,6 +27,7 @@ type Report struct {
 	Unreachable int            `json:"unreachable"`
 	OpenAccess  int            `json:"open_access"`
 	MeanScore   float64        `json:"mean_score"`
+	BySuite     map[string]int `json:"by_suite"`
 	BySeverity  map[string]int `json:"by_severity"`
 	ByCheck     map[string]int `json:"by_check"`
 	Worst       []WorstTarget  `json:"worst"`
@@ -42,6 +43,7 @@ func BuildReport(totalTargets int, results []Result, topK int) *Report {
 	sortResults(rs)
 	rep := &Report{
 		Targets:    totalTargets,
+		BySuite:    map[string]int{},
 		BySeverity: map[string]int{},
 		ByCheck:    map[string]int{},
 	}
@@ -58,8 +60,11 @@ func BuildReport(totalTargets int, results []Result, topK int) *Report {
 			rep.OpenAccess++
 		}
 		scoreSum += r.Score
-		for sev, n := range misconfig.SeverityCounts(r.Findings) {
+		for sev, n := range scan.SeverityCounts(r.Findings) {
 			rep.BySeverity[sev] += n
+		}
+		for suite, n := range scan.SuiteCounts(r.Findings) {
+			rep.BySuite[suite] += n
 		}
 		for _, f := range r.Findings {
 			rep.ByCheck[f.CheckID]++
@@ -88,7 +93,7 @@ func BuildReport(totalTargets int, results []Result, topK int) *Report {
 }
 
 // severityOrder fixes the render order of severity rows.
-var severityOrder = []string{"critical", "high", "medium", "low"}
+var severityOrder = []string{"critical", "high", "medium", "low", "info"}
 
 // Render prints the census as an aligned, deterministic report.
 func (r *Report) Render() string {
@@ -96,6 +101,17 @@ func (r *Report) Render() string {
 	fmt.Fprintf(&b, "Fleet census: %d targets, %d scanned (%d resumed), %d unreachable, %d open-access\n",
 		r.Targets, r.Scanned, r.Resumed, r.Unreachable, r.OpenAccess)
 	fmt.Fprintf(&b, "mean hardening score %.1f/100\n", r.MeanScore)
+	if len(r.BySuite) > 0 {
+		b.WriteString("findings by suite:\n")
+		suites := make([]string, 0, len(r.BySuite))
+		for s := range r.BySuite {
+			suites = append(suites, s)
+		}
+		sort.Strings(suites)
+		for _, s := range suites {
+			fmt.Fprintf(&b, "  %-9s %5d\n", s, r.BySuite[s])
+		}
+	}
 	b.WriteString("findings by severity:\n")
 	for _, sev := range severityOrder {
 		if n, ok := r.BySeverity[sev]; ok {
@@ -109,7 +125,7 @@ func (r *Report) Render() string {
 	}
 	sort.Strings(checks)
 	for _, id := range checks {
-		fmt.Fprintf(&b, "  %-8s %5d\n", id, r.ByCheck[id])
+		fmt.Fprintf(&b, "  %-22s %5d\n", id, r.ByCheck[id])
 	}
 	if len(r.Worst) > 0 {
 		fmt.Fprintf(&b, "top %d worst targets:\n", len(r.Worst))
@@ -121,8 +137,26 @@ func (r *Report) Render() string {
 	return b.String()
 }
 
-// RenderStats prints the sweep's wall-clock performance line.
+// RenderStats prints the sweep's wall-clock performance, one
+// "sweep:"-prefixed line per row so deterministic-census consumers
+// can filter all of it out.
 func (s Stats) Render() string {
-	return fmt.Sprintf("sweep: %d scanned, %d resumed, %.1f targets/sec, probe p50 %.0fms p95 %.0fms max %.0fms, peak in-flight %d",
-		s.Scanned, s.Resumed, s.TargetsPerSec, s.ProbeP50MS, s.ProbeP95MS, s.ProbeMaxMS, s.MaxInFlight)
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep: %d scanned, %d resumed, %d incomplete, %.1f targets/sec, probe p50 %.0fms p95 %.0fms max %.0fms, peak in-flight %d",
+		s.Scanned, s.Resumed, s.Incomplete, s.TargetsPerSec, s.ProbeP50MS, s.ProbeP95MS, s.ProbeMaxMS, s.MaxInFlight)
+	suites := make([]string, 0, len(s.PerSuite))
+	for name := range s.PerSuite {
+		suites = append(suites, name)
+	}
+	sort.Strings(suites)
+	for _, name := range suites {
+		st := s.PerSuite[name]
+		avg := 0.0
+		if st.Targets > 0 {
+			avg = st.TotalMS / float64(st.Targets)
+		}
+		fmt.Fprintf(&b, "\nsweep: suite %-9s %4d targets, avg %6.2fms, max %6.2fms",
+			name, st.Targets, avg, st.MaxMS)
+	}
+	return b.String()
 }

@@ -9,23 +9,21 @@ import (
 	"context"
 	"fmt"
 	"net/http"
-	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/posture"
 	"repro/internal/rules"
-	"repro/internal/server"
+	"repro/internal/scan"
 )
 
-// Finding is one failed check.
-type Finding struct {
-	CheckID     string         `json:"check_id"`
-	Title       string         `json:"title"`
-	Severity    rules.Severity `json:"severity"`
-	Class       string         `json:"class"`
-	Evidence    string         `json:"evidence"`
-	Remediation string         `json:"remediation"`
-}
+// SuiteName is this scanner's key in the scan suite registry.
+const SuiteName = "misconfig"
+
+// Finding is the unified scan finding; misconfig produces findings
+// with Suite = "misconfig". The alias is the compatibility shim for
+// callers that predate the scan package.
+type Finding = scan.Finding
 
 // Check is one configuration test.
 type Check struct {
@@ -34,7 +32,7 @@ type Check struct {
 	Severity    rules.Severity
 	Remediation string
 	// Eval returns evidence when the check FAILS, "" when it passes.
-	Eval func(cfg server.Config) string
+	Eval func(cfg posture.Config) string
 }
 
 // Checks returns the full static check catalogue.
@@ -44,7 +42,7 @@ func Checks() []Check {
 			ID: "JPY-001", Title: "Authentication disabled",
 			Severity:    rules.SevCritical,
 			Remediation: "Enable token or password authentication; never run --NotebookApp.token=''.",
-			Eval: func(cfg server.Config) string {
+			Eval: func(cfg posture.Config) string {
 				if cfg.Auth.DisableAuth {
 					return "Auth.DisableAuth=true: any network peer gets full control"
 				}
@@ -55,7 +53,7 @@ func Checks() []Check {
 			ID: "JPY-002", Title: "Server bound to all interfaces",
 			Severity:    rules.SevHigh,
 			Remediation: "Bind to 127.0.0.1 and front with SSH tunneling or an authenticating proxy.",
-			Eval: func(cfg server.Config) string {
+			Eval: func(cfg posture.Config) string {
 				if cfg.BindAddress == "0.0.0.0" || cfg.BindAddress == "::" || cfg.BindAddress == "" {
 					return fmt.Sprintf("BindAddress=%q exposes the API to the network", cfg.BindAddress)
 				}
@@ -66,7 +64,7 @@ func Checks() []Check {
 			ID: "JPY-003", Title: "TLS disabled",
 			Severity:    rules.SevHigh,
 			Remediation: "Serve over HTTPS; tokens and notebook contents otherwise transit in cleartext.",
-			Eval: func(cfg server.Config) string {
+			Eval: func(cfg posture.Config) string {
 				if !cfg.TLSEnabled {
 					return "TLSEnabled=false: credentials and data readable on path"
 				}
@@ -77,7 +75,7 @@ func Checks() []Check {
 			ID: "JPY-004", Title: "Token accepted in URL",
 			Severity:    rules.SevMedium,
 			Remediation: "Disallow ?token=; URLs leak via logs, Referer headers, and shell history.",
-			Eval: func(cfg server.Config) string {
+			Eval: func(cfg posture.Config) string {
 				if cfg.Auth.AllowTokenInURL {
 					return "Auth.AllowTokenInURL=true"
 				}
@@ -88,7 +86,7 @@ func Checks() []Check {
 			ID: "JPY-005", Title: "Wildcard CORS origin",
 			Severity:    rules.SevHigh,
 			Remediation: "Pin Access-Control-Allow-Origin to the gateway origin.",
-			Eval: func(cfg server.Config) string {
+			Eval: func(cfg posture.Config) string {
 				if cfg.AllowOrigin == "*" {
 					return "AllowOrigin=*: any website the user visits can drive the API"
 				}
@@ -99,7 +97,7 @@ func Checks() []Check {
 			ID: "JPY-006", Title: "Terminals enabled",
 			Severity:    rules.SevMedium,
 			Remediation: "Disable terminals unless required; they bypass kernel-level auditing.",
-			Eval: func(cfg server.Config) string {
+			Eval: func(cfg posture.Config) string {
 				if cfg.EnableTerminals {
 					return "EnableTerminals=true widens the attack interface"
 				}
@@ -110,7 +108,7 @@ func Checks() []Check {
 			ID: "JPY-007", Title: "Running as root permitted",
 			Severity:    rules.SevHigh,
 			Remediation: "Run the server and kernels as an unprivileged user.",
-			Eval: func(cfg server.Config) string {
+			Eval: func(cfg posture.Config) string {
 				if cfg.AllowRoot {
 					return "AllowRoot=true"
 				}
@@ -121,7 +119,7 @@ func Checks() []Check {
 			ID: "JPY-008", Title: "Kernel shell escape permitted",
 			Severity:    rules.SevMedium,
 			Remediation: "Disable shell access from kernels; audit cannot contain what it cannot see.",
-			Eval: func(cfg server.Config) string {
+			Eval: func(cfg posture.Config) string {
 				if cfg.ShellInKernel {
 					return "ShellInKernel=true"
 				}
@@ -132,7 +130,7 @@ func Checks() []Check {
 			ID: "JPY-009", Title: "Kernel messages unsigned",
 			Severity:    rules.SevHigh,
 			Remediation: "Set a connection key so kernel messages carry HMAC-SHA256 signatures.",
-			Eval: func(cfg server.Config) string {
+			Eval: func(cfg posture.Config) string {
 				if cfg.ConnectionKey == "" {
 					return "ConnectionKey empty: execute_requests are forgeable"
 				}
@@ -143,7 +141,7 @@ func Checks() []Check {
 			ID: "JPY-010", Title: "Weak kernel connection key",
 			Severity:    rules.SevMedium,
 			Remediation: "Use a key of at least 16 random bytes.",
-			Eval: func(cfg server.Config) string {
+			Eval: func(cfg posture.Config) string {
 				if cfg.ConnectionKey != "" && len(cfg.ConnectionKey) < 16 {
 					return fmt.Sprintf("ConnectionKey is %d bytes", len(cfg.ConnectionKey))
 				}
@@ -154,7 +152,7 @@ func Checks() []Check {
 			ID: "JPY-011", Title: "No login throttling",
 			Severity:    rules.SevMedium,
 			Remediation: "Configure MaxFailures/FailureWindow to blunt password guessing.",
-			Eval: func(cfg server.Config) string {
+			Eval: func(cfg posture.Config) string {
 				if !cfg.Auth.DisableAuth && cfg.Auth.MaxFailures <= 0 {
 					return "Auth.MaxFailures=0: unlimited guessing rate"
 				}
@@ -165,7 +163,7 @@ func Checks() []Check {
 			ID: "JPY-012", Title: "No content quota",
 			Severity:    rules.SevLow,
 			Remediation: "Set a content quota so a compromised kernel cannot fill storage.",
-			Eval: func(cfg server.Config) string {
+			Eval: func(cfg posture.Config) string {
 				if cfg.ContentQuota == 0 {
 					return "ContentQuota=0 (unlimited)"
 				}
@@ -176,80 +174,33 @@ func Checks() []Check {
 }
 
 // Scan runs all static checks against a configuration.
-func Scan(cfg server.Config) []Finding {
+func Scan(cfg posture.Config) []Finding {
 	var out []Finding
 	for _, c := range Checks() {
 		if ev := c.Eval(cfg); ev != "" {
 			out = append(out, Finding{
-				CheckID: c.ID, Title: c.Title, Severity: c.Severity,
+				Suite: SuiteName, CheckID: c.ID, Title: c.Title, Severity: c.Severity,
 				Class: rules.ClassMisconfig, Evidence: ev, Remediation: c.Remediation,
 			})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Severity.Rank() != out[j].Severity.Rank() {
-			return out[i].Severity.Rank() > out[j].Severity.Rank()
-		}
-		return out[i].CheckID < out[j].CheckID
-	})
+	scan.Sort(out)
 	return out
 }
 
 // Score converts findings into a 0-100 hardening score (100 = clean).
-func Score(findings []Finding) float64 {
-	penalty := 0.0
-	for _, f := range findings {
-		switch f.Severity {
-		case rules.SevCritical:
-			penalty += 30
-		case rules.SevHigh:
-			penalty += 15
-		case rules.SevMedium:
-			penalty += 7
-		case rules.SevLow:
-			penalty += 3
-		}
-	}
-	if penalty > 100 {
-		penalty = 100
-	}
-	return 100 - penalty
-}
+// Shim over scan.Score: the severity weight table lives in the scan
+// package so every suite and the census score consistently.
+func Score(findings []Finding) float64 { return scan.Score(findings) }
 
-// SeverityCounts tallies findings per severity label — the histogram
-// the fleet census aggregates across targets.
-func SeverityCounts(findings []Finding) map[string]int {
-	out := map[string]int{}
-	for _, f := range findings {
-		out[string(f.Severity)]++
-	}
-	return out
-}
+// SeverityCounts tallies findings per severity label. Shim over
+// scan.SeverityCounts.
+func SeverityCounts(findings []Finding) map[string]int { return scan.SeverityCounts(findings) }
 
-// MergeFindings combines finding lists, deduplicating by check ID
-// (first occurrence wins) and restoring the severity-then-ID order
-// Scan produces. The fleet census uses it to fold a live probe's
-// findings into a target's static posture audit.
-func MergeFindings(lists ...[]Finding) []Finding {
-	seen := map[string]bool{}
-	var out []Finding
-	for _, list := range lists {
-		for _, f := range list {
-			if seen[f.CheckID] {
-				continue
-			}
-			seen[f.CheckID] = true
-			out = append(out, f)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Severity.Rank() != out[j].Severity.Rank() {
-			return out[i].Severity.Rank() > out[j].Severity.Rank()
-		}
-		return out[i].CheckID < out[j].CheckID
-	})
-	return out
-}
+// MergeFindings combines finding lists, deduplicating (first
+// occurrence wins) and restoring canonical order. Shim over
+// scan.Merge.
+func MergeFindings(lists ...[]Finding) []Finding { return scan.Merge(lists...) }
 
 // Render prints findings as an aligned report.
 func Render(findings []Finding) string {
@@ -297,7 +248,7 @@ func ProbeCtx(ctx context.Context, addr string, timeout time.Duration) ProbeResu
 	if resp.StatusCode == http.StatusOK {
 		res.OpenAccess = true
 		res.Findings = append(res.Findings, Finding{
-			CheckID: "PRB-001", Title: "API reachable without credentials",
+			Suite: SuiteName, CheckID: "PRB-001", Title: "API reachable without credentials",
 			Severity: rules.SevCritical, Class: rules.ClassMisconfig,
 			Evidence:    "GET /api/status returned 200 unauthenticated",
 			Remediation: "Enable authentication.",
@@ -306,7 +257,7 @@ func ProbeCtx(ctx context.Context, addr string, timeout time.Duration) ProbeResu
 	if ao := resp.Header.Get("Access-Control-Allow-Origin"); ao == "*" {
 		res.WildcardCORS = true
 		res.Findings = append(res.Findings, Finding{
-			CheckID: "PRB-002", Title: "Wildcard CORS on live server",
+			Suite: SuiteName, CheckID: "PRB-002", Title: "Wildcard CORS on live server",
 			Severity: rules.SevHigh, Class: rules.ClassMisconfig,
 			Evidence:    "Access-Control-Allow-Origin: *",
 			Remediation: "Pin allowed origins.",
@@ -326,7 +277,7 @@ func ProbeCtx(ctx context.Context, addr string, timeout time.Duration) ProbeResu
 			if tresp.StatusCode == http.StatusCreated {
 				res.TerminalsEnabled = true
 				res.Findings = append(res.Findings, Finding{
-					CheckID: "PRB-003", Title: "Terminals spawnable by anonymous users",
+					Suite: SuiteName, CheckID: "PRB-003", Title: "Terminals spawnable by anonymous users",
 					Severity: rules.SevCritical, Class: rules.ClassMisconfig,
 					Evidence:    "POST /api/terminals returned 201 unauthenticated",
 					Remediation: "Disable terminals and enable authentication.",

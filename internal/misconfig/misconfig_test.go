@@ -208,8 +208,8 @@ func TestProbeCtxCancelled(t *testing.T) {
 func TestMergeFindings(t *testing.T) {
 	static := Scan(server.SloppyConfig())
 	probe := []Finding{
-		{CheckID: "PRB-001", Title: "open", Severity: rules.SevCritical, Class: rules.ClassMisconfig},
-		{CheckID: "JPY-001", Title: "dup of static", Severity: rules.SevCritical, Class: rules.ClassMisconfig},
+		{Suite: SuiteName, CheckID: "PRB-001", Title: "open", Severity: rules.SevCritical, Class: rules.ClassMisconfig},
+		{Suite: SuiteName, CheckID: "JPY-001", Title: "dup of static", Severity: rules.SevCritical, Class: rules.ClassMisconfig},
 	}
 	merged := MergeFindings(probe, static)
 	if len(merged) != len(static)+1 {

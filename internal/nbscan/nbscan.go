@@ -21,22 +21,23 @@ import (
 	"repro/internal/kernel/minilang"
 	"repro/internal/nbformat"
 	"repro/internal/rules"
+	"repro/internal/scan"
 )
 
-// Finding is one flagged cell.
-type Finding struct {
-	CellID   string         `json:"cell_id"`
-	Severity rules.Severity `json:"severity"`
-	Class    string         `json:"class"`
-	Reason   string         `json:"reason"`
-	Calls    []string       `json:"calls,omitempty"`
-}
+// SuiteName is this scanner's key in the scan suite registry.
+const SuiteName = "nbscan"
+
+// Finding is the unified scan finding; nbscan produces findings with
+// Suite = "nbscan", the flagged cell ID in Target, and the reason in
+// Evidence. The alias is the compatibility shim for callers that
+// predate the scan package.
+type Finding = scan.Finding
 
 var minerStrings = regexp.MustCompile(`(?i)(stratum\+tcp|xmrig|minerd|cryptonight|coinhive)`)
 
 // pattern is one call-combination rule.
 type pattern struct {
-	name     string
+	name     string // check ID suffix: finding CheckID is "NB-" + name
 	class    string
 	severity rules.Severity
 	requires []string // all must be called in the same cell
@@ -81,8 +82,10 @@ func ScanSource(cellID, src string) []Finding {
 	var out []Finding
 	if m := minerStrings.FindString(src); m != "" {
 		out = append(out, Finding{
-			CellID: cellID, Severity: rules.SevCritical, Class: rules.ClassCryptomining,
-			Reason: fmt.Sprintf("miner indicator %q in source", m),
+			Suite: SuiteName, CheckID: "NB-miner-string", Title: "Miner indicator in cell source",
+			Severity: rules.SevCritical, Class: rules.ClassCryptomining, Target: cellID,
+			Evidence:    fmt.Sprintf("miner indicator %q in source", m),
+			Remediation: "Quarantine the notebook; mining payloads indicate compromise.",
 		})
 	}
 	prog, err := minilang.Parse(src)
@@ -90,8 +93,9 @@ func ScanSource(cellID, src string) []Finding {
 		// Unparseable code cells cannot be vetted; surface that fact
 		// at low severity rather than passing them silently.
 		out = append(out, Finding{
-			CellID: cellID, Severity: rules.SevInfo, Class: rules.ClassZeroDay,
-			Reason: fmt.Sprintf("cell does not parse (%v): unscannable", err),
+			Suite: SuiteName, CheckID: "NB-unscannable", Title: "Cell cannot be vetted",
+			Severity: rules.SevInfo, Class: rules.ClassZeroDay, Target: cellID,
+			Evidence: fmt.Sprintf("cell does not parse (%v): unscannable", err),
 		})
 		return out
 	}
@@ -114,8 +118,10 @@ func ScanSource(cellID, src string) []Finding {
 		}
 		if match {
 			out = append(out, Finding{
-				CellID: cellID, Severity: p.severity, Class: p.class,
-				Reason: p.reason, Calls: calls,
+				Suite: SuiteName, CheckID: "NB-" + p.name, Title: "Attack-shaped cell: " + p.name,
+				Severity: p.severity, Class: p.class, Target: cellID,
+				Evidence:    p.reason + " (calls: " + strings.Join(calls, ", ") + ")",
+				Remediation: "Review the cell before execution; do not trust notebooks from unverified sources.",
 			})
 		}
 	}
@@ -132,9 +138,7 @@ func ScanNotebook(nb *nbformat.Notebook) []Finding {
 		}
 		out = append(out, ScanSource(c.ID, string(c.Source))...)
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		return out[i].Severity.Rank() > out[j].Severity.Rank()
-	})
+	scan.Sort(out)
 	return out
 }
 
@@ -158,7 +162,7 @@ func Render(findings []Finding) string {
 	fmt.Fprintf(&b, "notebook scan: %d findings (top severity %s)\n",
 		len(findings), TopSeverity(findings))
 	for _, f := range findings {
-		fmt.Fprintf(&b, "  [%-8s] cell %-12s %-26s %s\n", f.Severity, f.CellID, f.Class, f.Reason)
+		fmt.Fprintf(&b, "  [%-8s] cell %-12s %-26s %s\n", f.Severity, f.Target, f.Class, f.Evidence)
 	}
 	return b.String()
 }

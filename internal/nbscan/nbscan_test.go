@@ -81,8 +81,8 @@ func TestUnparseableCellSurfaced(t *testing.T) {
 	if len(findings) != 1 || findings[0].Severity != rules.SevInfo {
 		t.Fatalf("unparseable cell: %+v", findings)
 	}
-	if !strings.Contains(findings[0].Reason, "unscannable") {
-		t.Fatalf("reason = %q", findings[0].Reason)
+	if !strings.Contains(findings[0].Evidence, "unscannable") {
+		t.Fatalf("evidence = %q", findings[0].Evidence)
 	}
 }
 

@@ -1,0 +1,66 @@
+package nbscan
+
+import (
+	"context"
+	"strings"
+
+	"repro/internal/nbformat"
+	"repro/internal/rules"
+	"repro/internal/scan"
+)
+
+// SweepSuite adapts the notebook scanner to the unified scan suite
+// contract: it deep-scans every .ipynb in the target's content
+// filesystem, so a fleet sweep flags trojan notebooks already resident
+// on an exposed server — the paper's "untrusted cell" vector surfaced
+// by the census, not just at upload time.
+type SweepSuite struct{}
+
+// Name implements scan.Suite.
+func (SweepSuite) Name() string { return SuiteName }
+
+// Description implements scan.Suite.
+func (SweepSuite) Description() string {
+	return "static deep scan of every notebook on the target's filesystem"
+}
+
+// Run implements scan.Suite. A target without a reachable filesystem
+// yields an empty outcome rather than an error: remote-only sweeps
+// simply cannot see notebook contents.
+func (SweepSuite) Run(ctx context.Context, t scan.Target) (scan.Outcome, error) {
+	if t.FS == nil {
+		return scan.Outcome{}, nil
+	}
+	nodes, err := t.FS.Walk("")
+	if err != nil {
+		return scan.Outcome{}, err
+	}
+	var findings []scan.Finding
+	for _, n := range nodes {
+		if ctx.Err() != nil {
+			return scan.Outcome{}, ctx.Err()
+		}
+		if !strings.HasSuffix(n.Path, ".ipynb") {
+			continue
+		}
+		nb, err := nbformat.Parse(n.Content)
+		if err != nil {
+			findings = append(findings, scan.Finding{
+				Suite: SuiteName, CheckID: "NB-bad-format", Title: "Notebook does not parse",
+				Severity: rules.SevInfo, Class: rules.ClassZeroDay, Target: n.Path,
+				Evidence: "unparseable notebook document: " + err.Error(),
+			})
+			continue
+		}
+		for _, f := range ScanNotebook(nb) {
+			// Qualify the cell ID with the notebook path so findings
+			// across files stay distinct.
+			f.Target = n.Path + "#" + f.Target
+			findings = append(findings, f)
+		}
+	}
+	scan.Sort(findings)
+	return scan.Outcome{Findings: findings}, nil
+}
+
+func init() { scan.Register(SweepSuite{}) }

@@ -272,6 +272,45 @@ func BuiltinRules() []*Rule {
 			},
 			Threshold: &Threshold{Count: 200, Window: 10 * time.Second, GroupBy: "src_ip"},
 		},
+
+		// ---- Census / deep-scan findings ----
+		//
+		// Scanner suites project findings onto the event model (kind
+		// scan_finding, see the scan package), so a fleet sweep raises
+		// alerts through this same engine. These rules are stateless
+		// by design: sweep alert counts stay deterministic no matter
+		// how many workers deliver the events.
+		{
+			ID:          "SC-001-critical-exposure",
+			Description: "scanner suite reported a critical exposure on a swept target",
+			Class:       ClassMisconfig,
+			Severity:    SevCritical,
+			Conditions: []Condition{
+				{Field: "kind", Equals: "scan_finding"},
+				{Field: "severity", Equals: "critical"},
+			},
+		},
+		{
+			ID:          "SC-002-trojan-notebook",
+			Description: "deep scan found exfiltration-shaped notebook content on a swept target",
+			Class:       ClassExfiltration,
+			Severity:    SevHigh,
+			Conditions: []Condition{
+				{Field: "kind", Equals: "scan_finding"},
+				{Field: "suite", Equals: "nbscan"},
+				{Field: "class", Equals: ClassExfiltration},
+			},
+		},
+		{
+			ID:          "SC-003-known-indicator",
+			Description: "threat-intel indicator matched an artifact on a swept target",
+			Class:       ClassZeroDay,
+			Severity:    SevHigh,
+			Conditions: []Condition{
+				{Field: "kind", Equals: "scan_finding"},
+				{Field: "suite", Equals: "intel"},
+			},
+		},
 	}
 }
 

@@ -341,8 +341,9 @@ func (en *Engine) shardFor(ruleID, group string) (*stateShard, string) {
 		h ^= uint64(ruleID[i])
 		h *= prime64
 	}
-	h ^= 0
-	h *= prime64
+	// No separator byte is hashed between ruleID and group: a
+	// cross-boundary collision only shares a shard lock, never a
+	// state entry (the map key below uses a real \x00 separator).
 	for i := 0; i < len(group); i++ {
 		h ^= uint64(group[i])
 		h *= prime64

@@ -1,0 +1,146 @@
+// Package scan is the unified assessment layer behind the paper's
+// census: one Finding model shared by every scanner subsystem
+// (misconfiguration audit, live probe, notebook deep scan, crypto
+// inventory, threat-intel enrichment), a Suite interface those
+// subsystems implement, and a pluggable registry the fleet sweep and
+// the jscan CLI resolve suite names against.
+//
+// Findings also project onto the trace event model (Finding.Event),
+// so a wide scan feeds the same rules/alerting pipeline as live
+// monitoring: a census does not just report exposure, it raises
+// alerts through the detection substrate.
+package scan
+
+import (
+	"sort"
+
+	"repro/internal/rules"
+	"repro/internal/trace"
+)
+
+// Finding is one failed check from any suite: a configuration
+// misstep, a live-probe exposure, an attack-shaped notebook cell, a
+// quantum-vulnerable primitive, or a matched threat indicator.
+type Finding struct {
+	// Suite names the scanner subsystem that produced the finding.
+	Suite string `json:"suite"`
+	// CheckID identifies the check within its suite (JPY-*, PRB-*,
+	// NB-*, CRY-*, TI-*). IDs are unique across suites by prefix.
+	CheckID  string         `json:"check_id"`
+	Title    string         `json:"title,omitempty"`
+	Severity rules.Severity `json:"severity"`
+	Class    string         `json:"class,omitempty"` // taxonomy class
+	// Target pinpoints what failed inside the scanned server: a
+	// notebook path and cell, a crypto primitive, an indicator value.
+	// Empty for configuration-level findings.
+	Target      string `json:"target,omitempty"`
+	Evidence    string `json:"evidence,omitempty"`
+	Remediation string `json:"remediation,omitempty"`
+}
+
+// Weight returns the hardening-score penalty for one severity — the
+// single weighting table every suite and the census report share.
+func Weight(sev rules.Severity) float64 {
+	switch sev {
+	case rules.SevCritical:
+		return 30
+	case rules.SevHigh:
+		return 15
+	case rules.SevMedium:
+		return 7
+	case rules.SevLow:
+		return 3
+	}
+	return 0 // info and unknown severities carry no penalty
+}
+
+// Score converts findings into a 0-100 hardening score (100 = clean),
+// summing severity weights and clamping at zero.
+func Score(findings []Finding) float64 {
+	penalty := 0.0
+	for _, f := range findings {
+		penalty += Weight(f.Severity)
+	}
+	if penalty > 100 {
+		penalty = 100
+	}
+	return 100 - penalty
+}
+
+// SeverityCounts tallies findings per severity label — the histogram
+// the fleet census aggregates across targets.
+func SeverityCounts(findings []Finding) map[string]int {
+	out := map[string]int{}
+	for _, f := range findings {
+		out[string(f.Severity)]++
+	}
+	return out
+}
+
+// SuiteCounts tallies findings per producing suite.
+func SuiteCounts(findings []Finding) map[string]int {
+	out := map[string]int{}
+	for _, f := range findings {
+		out[f.Suite]++
+	}
+	return out
+}
+
+// Sort orders findings canonically: severity descending, then suite,
+// check ID, and target — the order every deterministic report walks.
+func Sort(findings []Finding) {
+	sort.SliceStable(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Severity.Rank() != b.Severity.Rank() {
+			return a.Severity.Rank() > b.Severity.Rank()
+		}
+		if a.Suite != b.Suite {
+			return a.Suite < b.Suite
+		}
+		if a.CheckID != b.CheckID {
+			return a.CheckID < b.CheckID
+		}
+		return a.Target < b.Target
+	})
+}
+
+// Merge combines finding lists, deduplicating by (suite, check,
+// target) with the first occurrence winning, and restores canonical
+// order. A sweep uses it to fold a live probe's findings into a
+// target's static posture audit.
+func Merge(lists ...[]Finding) []Finding {
+	seen := map[string]bool{}
+	var out []Finding
+	for _, list := range lists {
+		for _, f := range list {
+			key := f.Suite + "\x00" + f.CheckID + "\x00" + f.Target
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, f)
+		}
+	}
+	Sort(out)
+	return out
+}
+
+// Event projects the finding onto the trace event model, so census
+// findings flow through the same Stage/rules pipeline as live
+// monitoring events. Suite, check, class, severity, and title ride in
+// Fields, where rule conditions reach them by name.
+func (f Finding) Event() trace.Event {
+	return trace.Event{
+		Kind:    trace.KindScanFinding,
+		Target:  f.Target,
+		Detail:  f.Evidence,
+		Success: false,
+		Fields: map[string]string{
+			"suite":    f.Suite,
+			"check_id": f.CheckID,
+			"severity": string(f.Severity),
+			"class":    f.Class,
+			"title":    f.Title,
+		},
+	}
+}

@@ -1,0 +1,177 @@
+package scan
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/rules"
+	"repro/internal/trace"
+)
+
+// TestSeverityWeightsPinned pins the shared severity→weight table.
+// Every suite and the census report score through this one table; a
+// change here silently rescales every historical census, so it must
+// be deliberate.
+func TestSeverityWeightsPinned(t *testing.T) {
+	cases := []struct {
+		sev  rules.Severity
+		want float64
+	}{
+		{rules.SevCritical, 30},
+		{rules.SevHigh, 15},
+		{rules.SevMedium, 7},
+		{rules.SevLow, 3},
+		{rules.SevInfo, 0},
+		{rules.Severity("nonsense"), 0},
+	}
+	for _, c := range cases {
+		if got := Weight(c.sev); got != c.want {
+			t.Errorf("Weight(%s) = %v, want %v", c.sev, got, c.want)
+		}
+	}
+}
+
+func TestScoreClampsAtZero(t *testing.T) {
+	var fs []Finding
+	for i := 0; i < 5; i++ {
+		fs = append(fs, Finding{Severity: rules.SevCritical})
+	}
+	if got := Score(fs); got != 0 {
+		t.Fatalf("Score(5x critical) = %v, want 0 (clamped)", got)
+	}
+	if got := Score(nil); got != 100 {
+		t.Fatalf("Score(nil) = %v, want 100", got)
+	}
+	if got := Score([]Finding{{Severity: rules.SevHigh}, {Severity: rules.SevLow}}); got != 82 {
+		t.Fatalf("Score(high+low) = %v, want 82", got)
+	}
+}
+
+func TestMergeDedupsAcrossSuitesAndTargets(t *testing.T) {
+	a := Finding{Suite: "misconfig", CheckID: "JPY-001", Severity: rules.SevCritical}
+	b := Finding{Suite: "misconfig", CheckID: "JPY-001", Severity: rules.SevCritical, Evidence: "dup"}
+	c := Finding{Suite: "nbscan", CheckID: "JPY-001", Severity: rules.SevLow} // same check id, other suite
+	d := Finding{Suite: "nbscan", CheckID: "NB-x", Target: "a.ipynb", Severity: rules.SevLow}
+	e := Finding{Suite: "nbscan", CheckID: "NB-x", Target: "b.ipynb", Severity: rules.SevLow}
+	merged := Merge([]Finding{a, d}, []Finding{b, c, e})
+	if len(merged) != 4 {
+		t.Fatalf("merged %d findings, want 4: %+v", len(merged), merged)
+	}
+	if merged[0].Evidence == "dup" {
+		t.Fatal("later duplicate overwrote first occurrence")
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].Severity.Rank() > merged[i-1].Severity.Rank() {
+			t.Fatalf("not sorted by severity: %+v", merged)
+		}
+	}
+}
+
+func TestSortCanonicalOrder(t *testing.T) {
+	fs := []Finding{
+		{Suite: "nbscan", CheckID: "NB-b", Severity: rules.SevLow},
+		{Suite: "crypto", CheckID: "CRY-1", Severity: rules.SevLow},
+		{Suite: "crypto", CheckID: "CRY-1", Target: "a", Severity: rules.SevLow},
+		{Suite: "misconfig", CheckID: "JPY-001", Severity: rules.SevCritical},
+	}
+	Sort(fs)
+	want := []string{"JPY-001", "CRY-1", "CRY-1", "NB-b"}
+	for i, f := range fs {
+		if f.CheckID != want[i] {
+			t.Fatalf("order = %+v", fs)
+		}
+	}
+	if fs[1].Target != "" || fs[2].Target != "a" {
+		t.Fatalf("target tiebreak wrong: %+v", fs)
+	}
+}
+
+func TestFindingEventProjection(t *testing.T) {
+	f := Finding{
+		Suite: "nbscan", CheckID: "NB-exfil-shape", Title: "t",
+		Severity: rules.SevHigh, Class: rules.ClassExfiltration,
+		Target: "notebooks/x.ipynb#c1", Evidence: "reads and posts",
+	}
+	e := f.Event()
+	if e.Kind != trace.KindScanFinding {
+		t.Fatalf("kind = %s", e.Kind)
+	}
+	if e.Target != f.Target || e.Detail != f.Evidence {
+		t.Fatalf("event = %+v", e)
+	}
+	for field, want := range map[string]string{
+		"suite": "nbscan", "check_id": "NB-exfil-shape",
+		"severity": "high", "class": rules.ClassExfiltration, "title": "t",
+	} {
+		if got := rules.FieldValue(e, field); got != want {
+			t.Errorf("FieldValue(%s) = %q, want %q", field, got, want)
+		}
+	}
+}
+
+// fakeSuite is a registry test double.
+type fakeSuite struct{ name string }
+
+func (s fakeSuite) Name() string        { return s.name }
+func (s fakeSuite) Description() string { return "fake" }
+func (s fakeSuite) Run(context.Context, Target) (Outcome, error) {
+	return Outcome{}, nil
+}
+
+func TestRegistryResolve(t *testing.T) {
+	Register(fakeSuite{name: "fake-a"})
+	Register(fakeSuite{name: "fake-b"})
+
+	suites, err := Resolve([]string{"fake-b", "fake-a", "fake-b", " "})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suites) != 2 || suites[0].Name() != "fake-b" || suites[1].Name() != "fake-a" {
+		t.Fatalf("resolve order/dedup wrong: %v", suites)
+	}
+
+	if _, err := Resolve([]string{"fake-a", "no-such-suite"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown suite") ||
+		!strings.Contains(err.Error(), "fake-a") {
+		t.Fatalf("unknown suite error = %v (should list known suites)", err)
+	}
+	if _, err := Resolve(nil); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+
+	names := Names()
+	if !sortedContains(names, "fake-a") || !sortedContains(names, "fake-b") {
+		t.Fatalf("Names() = %v", names)
+	}
+	if !reflect.DeepEqual(names, sortedCopy(names)) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(fakeSuite{name: "fake-a"})
+}
+
+func sortedContains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedCopy(xs []string) []string {
+	out := append([]string{}, xs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package scan
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/posture"
+	"repro/internal/vfs"
+)
+
+// Target is one scannable server as a suite sees it: the
+// configuration its knobs imply, the address a live probe reaches it
+// at, and (for in-process fleet members) a handle on its content
+// filesystem for deep scans.
+type Target struct {
+	ID     string
+	Addr   string // host:port; "" when no live endpoint is available
+	Config posture.Config
+	FS     *vfs.FS       // nil when the target's filesystem is unreachable
+	Budget time.Duration // per-target probe budget; 0 = suite default
+}
+
+// Well-known Attrs keys suites use to report probe facts that the
+// census surfaces as typed columns.
+const (
+	AttrReachable     = "reachable"
+	AttrOpenAccess    = "open_access"
+	AttrTerminalsOpen = "terminals_open"
+	AttrWildcardCORS  = "wildcard_cors"
+)
+
+// Outcome is what one suite learned about one target.
+type Outcome struct {
+	Findings []Finding
+	// Attrs carries suite-specific facts ("reachable"="true") folded
+	// into the census result beside the findings.
+	Attrs map[string]string
+}
+
+// Suite is one pluggable scanner subsystem.
+type Suite interface {
+	// Name is the registry key ("misconfig", "nbscan", "crypto",
+	// "intel") users select with jscan --suites.
+	Name() string
+	// Description is one line for usage text and docs.
+	Description() string
+	// Run assesses one target. Implementations must be safe for
+	// concurrent Run calls (sweeps run many targets in parallel) and
+	// deterministic for a fixed target state.
+	Run(ctx context.Context, t Target) (Outcome, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Suite{}
+)
+
+// Register adds a suite to the registry. It panics on a duplicate
+// name: suites self-register from init, so a collision is a
+// programming error, not a runtime condition.
+func Register(s Suite) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	name := s.Name()
+	if name == "" {
+		panic("scan: Register with empty suite name")
+	}
+	if _, dup := registry[name]; dup {
+		panic("scan: duplicate suite " + name)
+	}
+	registry[name] = s
+}
+
+// Lookup returns the registered suite by name.
+func Lookup(name string) (Suite, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns all registered suite names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Resolve maps suite names to suites, deduplicating while preserving
+// the caller's order. An unknown name fails fast with the known set,
+// so a typo in --suites dies before any server is spawned.
+func Resolve(names []string) ([]Suite, error) {
+	var out []Suite
+	seen := map[string]bool{}
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		s, ok := Lookup(n)
+		if !ok {
+			return nil, fmt.Errorf("scan: unknown suite %q (known: %s)",
+				n, strings.Join(Names(), ", "))
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("scan: no suites selected (known: %s)", strings.Join(Names(), ", "))
+	}
+	return out, nil
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/nbformat"
 	"repro/internal/nbscan"
+	"repro/internal/posture"
 	"repro/internal/trace"
 	"repro/internal/vfs"
 	"repro/internal/wsproto"
@@ -34,89 +35,23 @@ import (
 // Version reported by /api/status.
 const Version = "7.0.0-sim"
 
-// Config is the full server configuration.
-type Config struct {
-	// Network posture.
-	BindAddress string // "127.0.0.1" hardened, "0.0.0.0" exposed
-	Port        int    // 0 = ephemeral
-	TLSEnabled  bool   // simulated flag; audited, not enforced
-	BaseURL     string
-
-	// Auth posture.
-	Auth auth.Config
-
-	// CORS / framing posture.
-	AllowOrigin string // "" = same-origin only; "*" is the misconfig
-
-	// Capability posture.
-	EnableTerminals bool
-	AllowRoot       bool
-	ShellInKernel   bool // permit shell() builtin inside kernels
-	// ScanNotebooks statically analyzes every notebook written through
-	// the contents API and surfaces findings as trace events, so
-	// trojan notebooks are flagged on arrival.
-	ScanNotebooks bool
-
-	// Kernel limits and signing.
-	KernelLimits  kernelLimits
-	ConnectionKey string
-
-	// Quota for the content filesystem (bytes, 0 = unlimited).
-	ContentQuota int64
-}
-
-// kernelLimits aliases minilang limits without exporting the import.
-type kernelLimits struct {
-	MaxSteps       int
-	MaxOutputBytes int
-}
+// Config is the full server configuration, defined in the posture
+// package so scanner suites can audit one without importing the
+// server runtime. The alias keeps every existing call site valid.
+type Config = posture.Config
 
 // HardenedConfig returns the secure-by-default configuration the
 // paper's hardening discussion recommends.
-func HardenedConfig(token string) Config {
-	return Config{
-		BindAddress:     "127.0.0.1",
-		TLSEnabled:      true,
-		Auth:            auth.DefaultConfig(token),
-		AllowOrigin:     "",
-		EnableTerminals: false,
-		AllowRoot:       false,
-		ShellInKernel:   false,
-		ScanNotebooks:   true,
-		ConnectionKey:   "k3rn3l-c0nn3ct10n-k3y-0123456789abcdef",
-	}
-}
+func HardenedConfig(token string) Config { return posture.Hardened(token) }
 
 // SloppyConfig returns the exposed configuration seen on internet-
 // scanned Jupyter instances: every knob wrong at once.
-func SloppyConfig() Config {
-	return Config{
-		BindAddress:     "0.0.0.0",
-		TLSEnabled:      false,
-		Auth:            auth.Config{DisableAuth: true, AllowTokenInURL: true},
-		AllowOrigin:     "*",
-		EnableTerminals: true,
-		AllowRoot:       true,
-		ShellInKernel:   true,
-		ConnectionKey:   "",
-	}
-}
+func SloppyConfig() Config { return posture.Sloppy() }
 
 // PresetConfig resolves a named baseline configuration ("hardened" or
 // "sloppy"), so the scanner CLI and the fleet generator share one
-// preset registry. The hardened preset carries a content quota so a
-// fully hardened server audits clean.
-func PresetConfig(name, token string) (Config, bool) {
-	switch name {
-	case "hardened":
-		cfg := HardenedConfig(token)
-		cfg.ContentQuota = 10 << 30
-		return cfg, true
-	case "sloppy":
-		return SloppyConfig(), true
-	}
-	return Config{}, false
-}
+// preset registry.
+func PresetConfig(name, token string) (Config, bool) { return posture.Preset(name, token) }
 
 // Server is a running simulated Jupyter server.
 type Server struct {
@@ -588,7 +523,7 @@ func (s *Server) handleContents(w http.ResponseWriter, r *http.Request, user str
 						Kind: trace.KindFileOp, Op: "nb_scan", Target: p,
 						User: user, SrcIP: srcIP,
 						Bytes: int64(len(findings)), Success: false,
-						Detail: findings[0].Reason,
+						Detail: findings[0].Evidence,
 						Fields: map[string]string{
 							"nb_top_severity": string(nbscan.TopSeverity(findings)),
 							"nb_classes":      strings.Join(classList, ","),

@@ -1,0 +1,110 @@
+package threatintel
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/rules"
+	"repro/internal/scan"
+)
+
+// SuiteName is this scanner's key in the scan suite registry.
+const SuiteName = "intel"
+
+// SweepSuite enriches a census with threat intelligence: every file on
+// the target's filesystem is checked against the store's payload-hash
+// and code-pattern indicators, so a fleet sweep recognizes artifacts
+// that honeypots have already attributed to a campaign.
+type SweepSuite struct {
+	Store *Store
+}
+
+// Name implements scan.Suite.
+func (SweepSuite) Name() string { return SuiteName }
+
+// Description implements scan.Suite.
+func (SweepSuite) Description() string {
+	return "match target filesystem contents against threat-intel indicators"
+}
+
+// Run implements scan.Suite.
+func (s SweepSuite) Run(ctx context.Context, t scan.Target) (scan.Outcome, error) {
+	if s.Store == nil || t.FS == nil {
+		return scan.Outcome{}, nil
+	}
+	now := time.Now()
+	var patterns []Indicator
+	for _, ind := range s.Store.Indicators(now) {
+		if ind.Type == TypeCodePattern {
+			patterns = append(patterns, ind)
+		}
+	}
+	nodes, err := t.FS.Walk("")
+	if err != nil {
+		return scan.Outcome{}, err
+	}
+	var findings []scan.Finding
+	for _, n := range nodes {
+		if ctx.Err() != nil {
+			return scan.Outcome{}, ctx.Err()
+		}
+		if ind, ok := s.Store.Lookup(TypePayloadHash, HashPayload(n.Content), now); ok {
+			findings = append(findings, indicatorFinding("TI-001-payload-hash",
+				"Known-bad payload on disk", n.Path, *ind))
+		}
+		content := string(n.Content)
+		for _, ind := range patterns {
+			if strings.Contains(content, ind.Value) {
+				findings = append(findings, indicatorFinding("TI-002-code-pattern",
+					"Threat-intel code pattern match", n.Path, ind))
+			}
+		}
+	}
+	scan.Sort(findings)
+	return scan.Outcome{Findings: findings}, nil
+}
+
+// indicatorFinding converts one matched indicator into a finding,
+// grading severity by the sharing pipeline's confidence in it.
+func indicatorFinding(checkID, title, path string, ind Indicator) scan.Finding {
+	sev := rules.SevMedium
+	if ind.Confidence >= 0.9 {
+		sev = rules.SevHigh
+	}
+	class := ind.Class
+	if class == "" {
+		class = rules.ClassZeroDay
+	}
+	return scan.Finding{
+		Suite: SuiteName, CheckID: checkID, Title: title,
+		Severity: sev, Class: class, Target: path + "#" + ind.Value,
+		Evidence: fmt.Sprintf("indicator %q (%s, confidence %.2f, source %s) matched %s",
+			ind.Value, ind.Type, ind.Confidence, ind.Source, path),
+		Remediation: "Quarantine the artifact and block the associated campaign infrastructure.",
+	}
+}
+
+// BuiltinSweepIndicators returns the compiled-in indicator set the
+// default intel sweep suite ships with: campaign signatures every
+// census recognizes without a honeypot feed. TTLs are zero so the
+// builtin set never ages out mid-sweep (determinism).
+func BuiltinSweepIndicators() []Indicator {
+	return []Indicator{
+		{Type: TypeCodePattern, Value: "stratum+tcp", Class: rules.ClassCryptomining,
+			Confidence: 0.95, Sightings: 1, Source: "builtin"},
+		{Type: TypeCodePattern, Value: "xmrig", Class: rules.ClassCryptomining,
+			Confidence: 0.9, Sightings: 1, Source: "builtin"},
+		{Type: TypeCodePattern, Value: "exfil.example", Class: rules.ClassExfiltration,
+			Confidence: 0.85, Sightings: 1, Source: "builtin"},
+	}
+}
+
+func init() {
+	store := NewStore()
+	for _, ind := range BuiltinSweepIndicators() {
+		store.Observe(ind)
+	}
+	scan.Register(SweepSuite{Store: store})
+}

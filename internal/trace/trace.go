@@ -35,6 +35,10 @@ const (
 	KindTermCmd Kind = "term_cmd" // terminal command
 	KindAlert   Kind = "alert"    // detector-produced alert
 	KindSysRes  Kind = "sys_res"  // resource usage sample
+	// KindScanFinding is a scanner-suite finding projected onto the
+	// event model, so census sweeps feed the same rules pipeline as
+	// live monitoring (see the scan package).
+	KindScanFinding Kind = "scan_finding"
 )
 
 // Event is one observed occurrence. Only fields relevant to the Kind
