@@ -4,8 +4,13 @@
 // code payloads are reduced to structural features, and a leak scan
 // verifies no requested secret survives in the output.
 //
+// The input is either a JSONL trace file or an event-store directory
+// (jupyterd --log / jscan --events); the shareable output is always
+// flat JSONL, since that is the interchange format the dataset
+// consumers expect.
+//
 //	jdataset --in events.jsonl --out shared.jsonl --key sitekey.txt
-//	jdataset --in events.jsonl --out shared.jsonl --deny alice --deny 10.0.0.5
+//	jdataset --in ./events-store --out shared.jsonl --deny alice --deny 10.0.0.5
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/anonymize"
+	"repro/internal/evstore"
 	"repro/internal/trace"
 )
 
@@ -24,7 +30,7 @@ func (d *denyList) String() string     { return strings.Join(*d, ",") }
 func (d *denyList) Set(s string) error { *d = append(*d, s); return nil }
 
 func main() {
-	in := flag.String("in", "", "input trace JSONL")
+	in := flag.String("in", "", "input trace: JSONL file or event-store directory")
 	out := flag.String("out", "", "output anonymized JSONL")
 	keyFile := flag.String("key", "", "site key file (random key generated if empty)")
 	var deny denyList
@@ -48,15 +54,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "jdataset: warning: ephemeral key; pseudonyms not stable across runs")
 	}
 
-	f, err := os.Open(*in)
+	events, err := readTrace(*in)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "jdataset: %v\n", err)
-		os.Exit(1)
-	}
-	events, err := trace.ReadJSONL(f)
-	f.Close()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "jdataset: parse: %v\n", err)
 		os.Exit(1)
 	}
 
@@ -92,4 +92,45 @@ func main() {
 	rep := anon.Report()
 	fmt.Printf("jdataset: %d events anonymized -> %s (%d pseudonymous users, %d hosts)\n",
 		len(shared), *out, rep.Users, rep.Hosts)
+}
+
+// readTrace loads the whole input trace (the anonymizer and leak scan
+// are whole-dataset passes) from a JSONL file or a store directory.
+// Store corruption is surfaced, never swallowed: a shared dataset
+// that silently dropped events would misrepresent the site's traffic.
+func readTrace(path string) ([]trace.Event, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if st.IsDir() {
+		store, err := evstore.OpenRead(path)
+		if err != nil {
+			return nil, err
+		}
+		var events []trace.Event
+		stats, err := store.Scan(evstore.Filter{}, func(e trace.Event) error {
+			events = append(events, e)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if stats.TailLossBytes > 0 {
+			fmt.Fprintf(os.Stderr,
+				"jdataset: warning: input store has %d corrupt trailing bytes; the shared dataset omits the lost events\n",
+				stats.TailLossBytes)
+		}
+		return events, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, err := trace.ReadJSONL(f)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	return events, nil
 }

@@ -13,7 +13,8 @@
 //	jscan --probe 127.0.0.1:8888
 //	jscan --fleet 64 --workers 8 --seed 1
 //	jscan --fleet 64 --suites misconfig,nbscan,crypto,intel
-//	jscan --fleet 64 --rate 100 --resume sweep.ckpt --jsonl results.jsonl --events events.jsonl
+//	jscan --fleet 64 --rate 100 --resume sweep.ckpt --jsonl results.jsonl --events ./census-store
+//	jscan --fleet 64 --events findings.jsonl   (legacy flat JSONL stream)
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/cryptoaudit"
+	"repro/internal/evstore"
 	"repro/internal/fleet"
 	"repro/internal/misconfig"
 	"repro/internal/nbformat"
@@ -52,7 +54,7 @@ func main() {
 	resume := flag.String("resume", "", "fleet checkpoint file; an interrupted sweep continues where it left off")
 	topK := flag.Int("topk", 5, "worst targets listed in the fleet census")
 	jsonl := flag.String("jsonl", "", "stream per-target fleet results as JSONL to this file ('-' = stdout)")
-	events := flag.String("events", "", "write every fleet finding as a trace-event JSONL stream (replayable with jsentinel --replay)")
+	events := flag.String("events", "", "record every fleet finding as a trace-event stream, replayable with jsentinel --replay: an event-store directory, or legacy JSONL when the path ends in .jsonl")
 	flag.Parse()
 
 	switch {
@@ -155,21 +157,33 @@ func runFleet(n int, seed int64, opts fleet.Options, jsonlPath, eventsPath strin
 		return 1
 	}
 	stage := trace.NewStage(engine, opts.Workers, 4096, trace.Block)
-	var eventsWriter *trace.JSONLWriter
-	var eventsFile *os.File
+	// The finding stream lands in the segmented event store by
+	// default; a .jsonl path keeps the legacy flat file. Either way
+	// the recording's sticky error is checked before exit — a
+	// truncated stream must not look like a clean sweep.
+	var eventsSink *evstore.SinkHandle
 	if eventsPath != "" {
-		f, err := os.Create(eventsPath)
+		// A census is one sweep: refuse a store that already holds a
+		// recorded stream, or the stream would disagree with the
+		// report just printed. A resumed sweep is the exception — it
+		// re-emits resumed findings, so the interrupted run's partial
+		// recording is replaced by the complete stream (exactly what
+		// os.Create truncation did for the legacy .jsonl path).
+		mode := evstore.SinkFresh
+		if opts.CheckpointPath != "" {
+			mode = evstore.SinkReplace
+		}
+		h, err := evstore.OpenSink(eventsPath, mode)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "jscan: %v\n", err)
+			fmt.Fprintf(os.Stderr, "jscan: --events: %v\n", err)
 			return 1
 		}
-		eventsFile = f
-		eventsWriter = trace.NewJSONLWriter(f)
+		eventsSink = h
 	}
 	opts.Events = trace.SinkFunc(func(e trace.Event) {
 		stage.Emit(e)
-		if eventsWriter != nil {
-			eventsWriter.Emit(e)
+		if eventsSink != nil {
+			eventsSink.Emit(e)
 		}
 	})
 
@@ -187,12 +201,9 @@ func runFleet(n int, seed int64, opts fleet.Options, jsonlPath, eventsPath strin
 	defer stop()
 	report, err := fleet.Scan(ctx, fl.Targets(), opts)
 	stage.Close() // drain queued findings before the alert tally
-	if eventsWriter != nil {
-		if ferr := eventsWriter.Flush(); ferr != nil && err == nil {
-			err = ferr
-		}
-		if cerr := eventsFile.Close(); cerr != nil && err == nil {
-			err = cerr
+	if eventsSink != nil {
+		if cerr := eventsSink.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("event stream: %w", cerr)
 		}
 	}
 	if jsonlFile != nil {

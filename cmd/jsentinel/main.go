@@ -1,29 +1,39 @@
 // Command jsentinel is the Jupyter network monitoring tool the paper
-// proposes: it either (a) replays a JSONL trace file through the
+// proposes: it either (a) replays a recorded trace through the
 // detection engine and prints the incident report, or (b) runs a
 // reverse-proxy-style tapped server and streams alerts live.
 //
-// Replay accepts any trace-event stream, including the unified
-// finding stream a fleet census emits (jscan --fleet N --events
-// findings.jsonl): scan_finding events hit the same builtin SC-*
-// rules there, so a recorded sweep re-raises its alerts offline.
+// Replay accepts either a legacy JSONL trace file (streamed one event
+// at a time, never fully buffered) or an event-store directory
+// (internal/evstore) as written by jscan --events or jupyterd --log.
+// Store replay is filtered and segment-parallel: --since/--until/
+// --kinds/--actor prune whole segments via the sidecar indexes, and
+// the survivors feed the actor-sharded detection workers directly
+// from per-segment readers. Any stream works, including the unified
+// finding stream a fleet census emits: scan_finding events hit the
+// same builtin SC-* rules, so a recorded sweep re-raises its alerts
+// offline.
 //
 //	jsentinel --replay events.jsonl
-//	jsentinel --replay census-findings.jsonl
+//	jsentinel --replay ./census-store --kinds scan_finding --workers 8
+//	jsentinel --replay ./store --since 2026-06-01T00:00:00Z --actor mallory-rw
 //	jsentinel --listen 127.0.0.1:9999 --token <tok>   (tapped live server)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/signal"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/evstore"
 	"repro/internal/netmon"
 	"repro/internal/rules"
 	"repro/internal/server"
@@ -32,7 +42,7 @@ import (
 )
 
 func main() {
-	replay := flag.String("replay", "", "JSONL trace file to analyze offline")
+	replay := flag.String("replay", "", "trace to analyze offline: a JSONL file or an event-store directory")
 	listen := flag.String("listen", "", "boot a tapped hardened server on this address and monitor it live")
 	token := flag.String("token", "sentinel-demo-token", "token for the live server")
 	showAlerts := flag.Bool("alerts", true, "print individual alerts")
@@ -40,17 +50,66 @@ func main() {
 	workers := flag.Int("workers", 1, "detection workers: replay shards the trace by actor; live mode drains the tap through an async stage")
 	batch := flag.Int("batch", 256, "events per engine batch during replay")
 	queue := flag.Int("queue", 4096, "live-mode stage queue depth")
+	since := flag.String("since", "", "replay filter: drop events before this RFC3339 time")
+	until := flag.String("until", "", "replay filter: drop events after this RFC3339 time")
+	kinds := flag.String("kinds", "", "replay filter: comma-separated event kinds (e.g. scan_finding,auth)")
+	actor := flag.String("actor", "", "replay filter: only events of this actor key (user, source IP, or kernel)")
 	flag.Parse()
 
 	switch {
 	case *replay != "":
-		replayFile(*replay, *showAlerts, *workers, *batch)
+		filter, err := parseFilter(*since, *until, *kinds, *actor)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jsentinel: %v\n", err)
+			os.Exit(2)
+		}
+		replayTrace(*replay, *showAlerts, *workers, *batch, filter)
 	case *listen != "":
 		live(*listen, *token, *showAlerts, *zeekOut, *workers, *queue)
 	default:
-		fmt.Fprintln(os.Stderr, "jsentinel: need --replay FILE or --listen ADDR")
+		fmt.Fprintln(os.Stderr, "jsentinel: need --replay PATH or --listen ADDR")
 		os.Exit(2)
 	}
+}
+
+// parseFilter assembles the replay filter from the CLI flags.
+func parseFilter(since, until, kinds, actor string) (evstore.Filter, error) {
+	var f evstore.Filter
+	if since != "" {
+		t, err := time.Parse(time.RFC3339, since)
+		if err != nil {
+			return f, fmt.Errorf("bad --since: %v", err)
+		}
+		f.Since = t
+	}
+	if until != "" {
+		t, err := time.Parse(time.RFC3339, until)
+		if err != nil {
+			return f, fmt.Errorf("bad --until: %v", err)
+		}
+		f.Until = t
+	}
+	if kinds != "" {
+		for _, k := range strings.Split(kinds, ",") {
+			k = strings.TrimSpace(k)
+			if k == "" {
+				continue
+			}
+			// A typo here would silently match nothing; fail loudly
+			// with the valid set instead.
+			if !trace.KnownKind(trace.Kind(k)) {
+				known := trace.KnownKinds()
+				names := make([]string, len(known))
+				for i, kk := range known {
+					names[i] = string(kk)
+				}
+				return f, fmt.Errorf("unknown kind %q in --kinds; known kinds: %s", k, strings.Join(names, ","))
+			}
+			f.Kinds = append(f.Kinds, trace.Kind(k))
+		}
+	}
+	f.Actor = actor
+	return f, nil
 }
 
 func newEngine(showAlerts bool) *core.Engine {
@@ -68,31 +127,100 @@ func newEngine(showAlerts bool) *core.Engine {
 	return eng
 }
 
-func replayFile(path string, showAlerts bool, workers, batch int) {
-	f, err := os.Open(path)
+// replayTrace pushes a recorded trace — JSONL file or store directory
+// — through the detection engine and prints the incident report.
+// Sharding by actor keeps every correlation group (threshold windows,
+// sequences) on one worker in time order, so the parallel replay
+// fires the same alerts as a serial one.
+func replayTrace(path string, showAlerts bool, workers, batch int, filter evstore.Filter) {
+	st, err := os.Stat(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "jsentinel: %v\n", err)
 		os.Exit(1)
 	}
-	defer f.Close()
-	events, err := trace.ReadJSONL(f)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "jsentinel: parse: %v\n", err)
-		os.Exit(1)
-	}
 	eng := newEngine(showAlerts)
-	start := time.Now()
-	// Sharding by actor keeps every correlation group (threshold
-	// windows, sequences) on one worker in time order, so the parallel
-	// replay fires the same alerts as a serial one.
-	workload.Replay(events, workers, batch, func(b []trace.Event) {
+	var mu sync.Mutex
+	counts := map[trace.Kind]int{}
+	process := func(b []trace.Event) {
 		eng.ProcessBatch(b)
-	})
+		mu.Lock()
+		for _, e := range b {
+			counts[e.Kind]++
+		}
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	var replayed int64
+	if st.IsDir() {
+		// Read-only open: a replay must never truncate or re-index a
+		// store a live writer may still own.
+		store, err := evstore.OpenRead(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jsentinel: %v\n", err)
+			os.Exit(1)
+		}
+		// The read-only open leaves a torn tail in place, so a replay
+		// that visits the torn segment re-counts the bytes Recovered
+		// already reported. Subtract only losses from segments the
+		// filter actually selects, so bit rot elsewhere still warns
+		// even when the torn segment is pruned.
+		var knownLoss int64
+		indexBySegment := map[string]evstore.Index{}
+		for _, seg := range store.Segments() {
+			indexBySegment[seg.Path] = seg.Index
+		}
+		for _, loss := range store.Recovered() {
+			fmt.Fprintf(os.Stderr, "jsentinel: %s has a torn tail: %d bytes unreadable (%s)\n",
+				loss.Segment, loss.LostBytes, loss.Reason)
+			if filter.MatchIndex(indexBySegment[loss.Segment]) {
+				knownLoss += loss.LostBytes
+			}
+		}
+		stats, err := store.Replay(filter, workers, batch, process)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jsentinel: replay: %v\n", err)
+			os.Exit(1)
+		}
+		replayed = stats.Events
+		if extra := stats.TailLossBytes - knownLoss; extra > 0 {
+			fmt.Fprintf(os.Stderr, "jsentinel: warning: %d corrupt trailing bytes skipped\n", extra)
+		}
+		fmt.Printf("store: %d/%d segments selected, %d frames decoded\n",
+			stats.SegmentsSelected, stats.SegmentsTotal, stats.Decoded)
+	} else {
+		// Legacy JSONL replays as a stream: decode, filter, and route
+		// to the shard workers one event at a time, so trace size is
+		// bounded by the store, not by RAM.
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jsentinel: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dec := trace.NewDecoder(f)
+		next := func() (trace.Event, bool) {
+			for {
+				e, err := dec.Next()
+				if err == io.EOF {
+					return trace.Event{}, false
+				}
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "jsentinel: parse: %v\n", err)
+					os.Exit(1)
+				}
+				if filter.Match(e) {
+					return e, true
+				}
+			}
+		}
+		replayed = int64(workload.ReplayStream(next, workers, batch, process))
+	}
 	elapsed := time.Since(start)
 	fmt.Printf("\nreplayed %d events in %v (%.0f events/sec, workers=%d batch=%d)\n",
-		len(events), elapsed.Round(time.Millisecond),
-		float64(len(events))/elapsed.Seconds(), workers, batch)
-	fmt.Printf("event mix: %s\n\n", renderKindMix(events))
+		replayed, elapsed.Round(time.Millisecond),
+		float64(replayed)/elapsed.Seconds(), workers, batch)
+	fmt.Printf("event mix: %s\n\n", renderKindMix(counts))
 	fmt.Print(eng.Report(time.Now()).Render())
 	for _, inc := range eng.Incidents() {
 		fmt.Println(inc.Summary())
@@ -101,8 +229,7 @@ func replayFile(path string, showAlerts bool, workers, batch int) {
 
 // renderKindMix summarizes the replayed stream's composition, sorted
 // by kind for stable output.
-func renderKindMix(events []trace.Event) string {
-	counts := trace.CountByKind(events)
+func renderKindMix(counts map[trace.Kind]int) string {
 	kinds := make([]string, 0, len(counts))
 	for k := range counts {
 		kinds = append(kinds, string(k))

@@ -4,7 +4,12 @@
 // The --sloppy flag boots the exposed archetype (auth off, terminals
 // on, wildcard CORS) used for attack demonstrations and honeypots.
 //
+// Trace events stream to --log: an event-store directory by default
+// (segmented, indexed, replayable with jsentinel --replay DIR and its
+// filters), or a legacy flat JSONL file when the path ends in .jsonl.
+//
 //	jupyterd --addr 127.0.0.1:8888
+//	jupyterd --sloppy --log ./events-store
 //	jupyterd --sloppy --log events.jsonl
 package main
 
@@ -18,16 +23,16 @@ import (
 	"strings"
 
 	"repro/internal/auth"
+	"repro/internal/evstore"
 	"repro/internal/misconfig"
 	"repro/internal/server"
-	"repro/internal/trace"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "listen address")
 	sloppy := flag.Bool("sloppy", false, "run with every misconfiguration (demo/honeypot mode)")
 	token := flag.String("token", "", "bearer token (generated if empty)")
-	logPath := flag.String("log", "", "write trace events as JSONL to this file")
+	logPath := flag.String("log", "", "record trace events here: an event-store directory, or JSONL when the path ends in .jsonl")
 	terminals := flag.Bool("terminals", false, "enable terminals on hardened config")
 	scan := flag.Bool("scan", false, "print misconfiguration scan of the chosen config and exit")
 	flag.Parse()
@@ -57,16 +62,27 @@ func main() {
 	}
 
 	srv := server.NewServer(cfg)
+	// closeLog flushes the event log on shutdown and returns the first
+	// write error, so a torn log never exits 0.
+	closeLog := func() error { return nil }
 	if *logPath != "" {
-		f, err := os.Create(*logPath)
+		h, err := evstore.OpenSink(*logPath, evstore.SinkAppend)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "jupyterd: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		jw := trace.NewJSONLWriter(f)
-		defer jw.Flush()
-		srv.Bus().Subscribe(jw)
+		for _, loss := range h.Recovered {
+			fmt.Fprintf(os.Stderr, "jupyterd: recovered %s: %d bytes truncated (%s)\n",
+				loss.Segment, loss.LostBytes, loss.Reason)
+		}
+		if h.ExistingEvents > 0 {
+			// A server log legitimately spans restarts; say so rather
+			// than silently growing an old recording.
+			fmt.Fprintf(os.Stderr, "jupyterd: appending to existing event store (%d events recorded)\n",
+				h.ExistingEvents)
+		}
+		srv.Bus().Subscribe(h)
+		closeLog = h.Close
 	}
 
 	bound, err := srv.Start()
@@ -93,6 +109,10 @@ func main() {
 	<-ch
 	fmt.Println("\njupyterd: shutting down")
 	_ = srv.Close()
+	if err := closeLog(); err != nil {
+		fmt.Fprintf(os.Stderr, "jupyterd: event log: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 func indent(s string) string {

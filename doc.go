@@ -37,6 +37,19 @@
 // and keeps parallel alert sets identical to serial ones for the
 // builtin detectors (see DESIGN.md for the exact guarantee).
 //
+// Persistence is the segmented event store (internal/evstore): an
+// append-only log of CRC-checked frames rotated into segments, each
+// with a sidecar index (kinds, actors, sequence and time ranges) that
+// lets jsentinel --replay DIR --since/--until/--kinds/--actor skip
+// non-matching segments outright and feed the actor-sharded detection
+// workers from per-segment readers in parallel — so replay throughput
+// scales with cores instead of being capped by a whole-file JSONL
+// load (BenchmarkStoreReplay). jupyterd --log and jscan --events
+// write store directories (legacy .jsonl paths still stream flat
+// JSONL), Compact enforces retention, and corrupt tails from crashed
+// writers are truncated and surfaced on open, never silently
+// replayed.
+//
 // See README.md for the tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for the per-figure reproduction record. The root
 // bench_test.go regenerates every experiment.

@@ -1,0 +1,260 @@
+package evstore
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Filter selects a slice of the log. The zero Filter matches every
+// event. Time bounds are inclusive; zero times mean unbounded. A
+// segment whose sidecar proves no event can match is skipped without
+// reading it.
+type Filter struct {
+	Since time.Time
+	Until time.Time
+	Kinds []trace.Kind
+	Actor string
+}
+
+// Match reports whether one event passes the filter.
+func (f Filter) Match(e trace.Event) bool {
+	if !f.Since.IsZero() && e.Time.Before(f.Since) {
+		return false
+	}
+	if !f.Until.IsZero() && e.Time.After(f.Until) {
+		return false
+	}
+	if len(f.Kinds) > 0 {
+		ok := false
+		for _, k := range f.Kinds {
+			if e.Kind == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if f.Actor != "" && trace.ActorKey(e) != f.Actor {
+		return false
+	}
+	return true
+}
+
+// MatchIndex reports whether a segment with the given sidecar could
+// contain matching events. Unknown index facets (zero time range,
+// overflowed actor list) fail open: the segment is read and per-event
+// Match decides. Exported so callers correlating per-segment metadata
+// (e.g. open-time recovery reports) with a filtered replay can tell
+// which segments the replay actually visited.
+func (f Filter) MatchIndex(ix Index) bool {
+	if !f.Since.IsZero() && !ix.MaxTime.IsZero() && ix.MaxTime.Before(f.Since) {
+		return false
+	}
+	if !f.Until.IsZero() && !ix.MinTime.IsZero() && ix.MinTime.After(f.Until) {
+		return false
+	}
+	if len(f.Kinds) > 0 && len(ix.Kinds) > 0 {
+		ok := false
+		for _, k := range f.Kinds {
+			if ix.Kinds[k] > 0 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if f.Actor != "" && !ix.ActorsOverflow && len(ix.Actors) > 0 {
+		ok := false
+		for _, a := range ix.Actors {
+			if a == f.Actor {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ReplayStats summarizes one replay pass.
+type ReplayStats struct {
+	SegmentsTotal    int   // sealed segments in the store
+	SegmentsSelected int   // segments the index could not rule out
+	Decoded          int64 // frames decoded across selected segments
+	Events           int64 // events delivered after per-event filtering
+	TailLossBytes    int64 // corrupt trailing bytes skipped during the pass
+}
+
+// Scan streams matching events in log order through fn — the serial
+// consumer path (export, conversion). Corrupt segment tails are
+// skipped and counted, mirroring Replay. A non-nil error from fn
+// aborts the scan.
+func (s *Store) Scan(f Filter, fn func(trace.Event) error) (ReplayStats, error) {
+	segs := s.Segments()
+	stats := ReplayStats{SegmentsTotal: len(segs)}
+	for _, seg := range segs {
+		if !f.MatchIndex(seg.Index) {
+			continue
+		}
+		stats.SegmentsSelected++
+		res, err := scanSegment(seg.Path, func(e trace.Event) error {
+			stats.Decoded++
+			if !f.Match(e) {
+				return nil
+			}
+			stats.Events++
+			return fn(e)
+		})
+		stats.TailLossBytes += res.TailLossBytes
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// Replay feeds matching events to process in batches, sharded by
+// actor across `workers` goroutines — the store-native equivalent of
+// workload.Replay, without ever materializing the trace.
+//
+// Parallelism is two-level: segments decode concurrently (bounded
+// look-ahead), and each decoded segment is split into per-shard
+// buckets that shard workers consume strictly in segment order. One
+// actor's events therefore arrive at its single shard worker in
+// append order even though decoding overlaps — the same per-group
+// serial-equivalence contract as workload.Replay — while segments the
+// sidecar index rules out (wrong kinds, disjoint time window, absent
+// actor) are never read at all. The batch slice passed to process is
+// reused; process must not retain it.
+func (s *Store) Replay(f Filter, workers, batch int, process func([]trace.Event)) (ReplayStats, error) {
+	if workers <= 0 {
+		workers = 1
+	}
+	if batch <= 0 {
+		batch = 256
+	}
+	if workers == 1 {
+		buf := make([]trace.Event, 0, batch)
+		stats, err := s.Scan(f, func(e trace.Event) error {
+			buf = append(buf, e)
+			if len(buf) == batch {
+				process(buf)
+				buf = buf[:0]
+			}
+			return nil
+		})
+		if len(buf) > 0 {
+			process(buf)
+		}
+		return stats, err
+	}
+
+	all := s.Segments()
+	stats := ReplayStats{SegmentsTotal: len(all)}
+	var segs []SegmentInfo
+	for _, seg := range all {
+		if f.MatchIndex(seg.Index) {
+			segs = append(segs, seg)
+		}
+	}
+	stats.SegmentsSelected = len(segs)
+	if len(segs) == 0 {
+		return stats, nil
+	}
+
+	var decoded, matched, tailLoss atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+
+	type segState struct {
+		buckets [][]trace.Event // per shard; valid once done is closed
+		done    chan struct{}
+		readers atomic.Int32 // shard workers yet to finish with it
+	}
+	states := make([]*segState, len(segs))
+	for i := range states {
+		st := &segState{done: make(chan struct{})}
+		st.readers.Store(int32(workers))
+		states[i] = st
+	}
+
+	// Bounded decode look-ahead keeps at most workers+2 segments'
+	// filtered events in memory at once.
+	ahead := workers + 2
+	if ahead > len(segs) {
+		ahead = len(segs)
+	}
+	slots := make(chan struct{}, ahead)
+
+	go func() {
+		for i := range segs {
+			slots <- struct{}{} // released when every shard is done with segment i
+			go func(i int) {
+				st := states[i]
+				buckets := make([][]trace.Event, workers)
+				res, err := scanSegment(segs[i].Path, func(e trace.Event) error {
+					decoded.Add(1)
+					if !f.Match(e) {
+						return nil
+					}
+					matched.Add(1)
+					w := trace.ShardIndex(trace.ActorKey(e), workers)
+					buckets[w] = append(buckets[w], e)
+					return nil
+				})
+				tailLoss.Add(res.TailLossBytes)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+				st.buckets = buckets
+				close(st.done)
+			}(i)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]trace.Event, 0, batch)
+			for i := range segs {
+				st := states[i]
+				<-st.done
+				for _, e := range st.buckets[w] {
+					buf = append(buf, e)
+					if len(buf) == batch {
+						process(buf)
+						buf = buf[:0]
+					}
+				}
+				if st.readers.Add(-1) == 0 {
+					st.buckets = nil
+					<-slots
+				}
+			}
+			if len(buf) > 0 {
+				process(buf)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	stats.Decoded = decoded.Load()
+	stats.Events = matched.Load()
+	stats.TailLossBytes = tailLoss.Load()
+	return stats, firstErr
+}

@@ -1,0 +1,248 @@
+package evstore
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// writeMixed fills a store with a deterministic multi-actor,
+// multi-kind stream in two time phases: phase one is exec/file_op
+// traffic, phase two is auth/scan_finding traffic, so kind and time
+// filters can each prune whole segments.
+func writeMixed(t *testing.T, dir string, perPhase int) {
+	t.Helper()
+	s, err := Open(dir, Options{SegmentBytes: 4096, FlushEvery: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 6, 1, 9, 0, 0, 0, time.UTC)
+	seq := uint64(0)
+	stamp := func(e trace.Event, at time.Time) trace.Event {
+		seq++
+		e.Seq = seq
+		e.Time = at
+		return e
+	}
+	for i := 0; i < perPhase; i++ {
+		at := base.Add(time.Duration(i) * time.Second)
+		kind := trace.KindExec
+		if i%3 == 0 {
+			kind = trace.KindFileOp
+		}
+		if err := s.Append(stamp(trace.Event{
+			Kind: kind, User: fmt.Sprintf("user%d", i%5), Op: "write",
+		}, at)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	phase2 := base.Add(24 * time.Hour)
+	for i := 0; i < perPhase; i++ {
+		at := phase2.Add(time.Duration(i) * time.Second)
+		e := trace.Event{Kind: trace.KindAuth, SrcIP: fmt.Sprintf("10.0.0.%d", i%5), Op: "deny"}
+		if i%4 == 0 {
+			e = trace.Event{Kind: trace.KindScanFinding, User: fmt.Sprintf("target%d", i%5),
+				Fields: map[string]string{"check": "JPY-001"}}
+		}
+		if err := s.Append(stamp(e, at)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func scanFiltered(t *testing.T, s *Store, f Filter) []trace.Event {
+	t.Helper()
+	var out []trace.Event
+	if _, err := s.Scan(f, func(e trace.Event) error {
+		out = append(out, e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestFilterMatch(t *testing.T) {
+	at := time.Date(2026, 6, 1, 12, 0, 0, 0, time.UTC)
+	e := trace.Event{Kind: trace.KindAuth, SrcIP: "10.0.0.9", User: "alice", Time: at}
+	cases := []struct {
+		name string
+		f    Filter
+		want bool
+	}{
+		{"zero filter", Filter{}, true},
+		{"kind hit", Filter{Kinds: []trace.Kind{trace.KindExec, trace.KindAuth}}, true},
+		{"kind miss", Filter{Kinds: []trace.Kind{trace.KindExec}}, false},
+		// Auth events shard by source address, not user — the actor
+		// filter must agree with trace.ActorKey.
+		{"actor hit", Filter{Actor: "10.0.0.9"}, true},
+		{"actor miss", Filter{Actor: "alice"}, false},
+		{"since inclusive", Filter{Since: at}, true},
+		{"since after", Filter{Since: at.Add(time.Second)}, false},
+		{"until inclusive", Filter{Until: at}, true},
+		{"until before", Filter{Until: at.Add(-time.Second)}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.f.Match(e); got != tc.want {
+			t.Errorf("%s: Match = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestIndexPrunesSegments(t *testing.T) {
+	dir := t.TempDir()
+	writeMixed(t, dir, 400)
+	s, err := OpenRead(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(s.Segments())
+	if total < 4 {
+		t.Fatalf("need several segments, got %d", total)
+	}
+
+	// Phase-two kinds live only in later segments: the index must rule
+	// the phase-one segments out without decoding them.
+	var n int
+	stats, err := s.Scan(Filter{Kinds: []trace.Kind{trace.KindScanFinding}}, func(trace.Event) error {
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Fatalf("kind filter matched %d events, want 100", n)
+	}
+	if stats.SegmentsSelected >= total {
+		t.Fatalf("kind filter selected all %d segments; index pruned nothing", total)
+	}
+	if stats.Decoded >= 800 {
+		t.Fatalf("kind filter decoded %d of 800 frames; segment skip ineffective", stats.Decoded)
+	}
+
+	// A time window over phase one only must skip phase-two segments.
+	stats, err = s.Scan(Filter{
+		Until: time.Date(2026, 6, 1, 23, 0, 0, 0, time.UTC),
+	}, func(trace.Event) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events != 400 {
+		t.Fatalf("time filter matched %d, want 400", stats.Events)
+	}
+	if stats.SegmentsSelected >= total {
+		t.Fatal("time filter selected every segment; index pruned nothing")
+	}
+
+	// An actor filter prunes segments whose actor index misses it.
+	stats, err = s.Scan(Filter{Actor: "10.0.0.1"}, func(trace.Event) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events == 0 {
+		t.Fatal("actor filter matched nothing")
+	}
+	if stats.SegmentsSelected >= total {
+		t.Fatal("actor filter selected every segment; index pruned nothing")
+	}
+}
+
+// TestReplayShardedMatchesScan pins the replay contract: any worker
+// count delivers exactly the filtered event set, and each actor's
+// events arrive at one worker in append order.
+func TestReplayShardedMatchesScan(t *testing.T) {
+	dir := t.TempDir()
+	writeMixed(t, dir, 500)
+	s, err := OpenRead(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filters := []Filter{
+		{},
+		{Kinds: []trace.Kind{trace.KindAuth, trace.KindScanFinding}},
+		{Actor: "user2"},
+		{Since: time.Date(2026, 6, 2, 0, 0, 0, 0, time.UTC)},
+	}
+	for fi, f := range filters {
+		want := scanFiltered(t, s, f)
+		for _, workers := range []int{2, 4, 8} {
+			var mu sync.Mutex
+			perActor := map[string][]uint64{}
+			total := 0
+			stats, err := s.Replay(f, workers, 64, func(batch []trace.Event) {
+				mu.Lock()
+				defer mu.Unlock()
+				total += len(batch)
+				for _, e := range batch {
+					a := trace.ActorKey(e)
+					perActor[a] = append(perActor[a], e.Seq)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if total != len(want) {
+				t.Fatalf("filter %d workers=%d: replayed %d events, scan found %d", fi, workers, total, len(want))
+			}
+			if stats.Events != int64(len(want)) {
+				t.Fatalf("filter %d workers=%d: stats.Events=%d, want %d", fi, workers, stats.Events, len(want))
+			}
+			for actor, seqs := range perActor {
+				for i := 1; i < len(seqs); i++ {
+					if seqs[i] <= seqs[i-1] {
+						t.Fatalf("filter %d workers=%d: actor %s replayed out of order: %v", fi, workers, actor, seqs)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReplayReportsTailLoss(t *testing.T) {
+	dir := t.TempDir()
+	writeMixed(t, dir, 200)
+	s, err := OpenRead(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := s.Segments()
+	// Graft garbage onto a sealed middle segment: replay must still
+	// deliver every indexed event and report the corrupt tail instead
+	// of erroring out or looping.
+	victim := segs[len(segs)/2]
+	f, err := os.OpenFile(victim.Path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("XXXXXXXXXXXXXXXX")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	for _, workers := range []int{1, 4} {
+		n := 0
+		var mu sync.Mutex
+		stats, err := s.Replay(Filter{}, workers, 64, func(b []trace.Event) {
+			mu.Lock()
+			n += len(b)
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 400 {
+			t.Fatalf("workers=%d: replayed %d events, want 400", workers, n)
+		}
+		if stats.TailLossBytes != 16 {
+			t.Fatalf("workers=%d: tail loss %d bytes, want 16", workers, stats.TailLossBytes)
+		}
+	}
+}

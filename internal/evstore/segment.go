@@ -1,0 +1,228 @@
+package evstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Segment file layout: an 8-byte magic followed by frames of
+//
+//	uint32le payload length | uint32le CRC32-IEEE(payload) | payload
+//
+// where the payload is one JSON-encoded trace.Event. Anything that
+// fails the length bound, the checksum, or the decode marks the end
+// of the valid prefix: readers stop there and report the remainder as
+// tail loss, and the writer truncates it away on open so appends
+// never land after garbage.
+const (
+	segMagic = "EVSEG001"
+	// maxFrame bounds a frame payload, matching trace.Decoder's line
+	// bound; a larger length prefix is corruption, not a big event.
+	maxFrame = 16 << 20
+
+	frameHeaderLen = 8
+)
+
+// IndexVersion is the sidecar schema version this build writes.
+// Unknown versions are rebuilt from the segment data, never trusted.
+const IndexVersion = 1
+
+// Index is the per-segment sidecar: enough metadata to decide, without
+// touching the segment data, whether a filtered replay can skip the
+// segment entirely. Invariants: it is written only after the segment's
+// frames are flushed (so a present sidecar describes a cleanly sealed
+// segment), counts cover exactly the valid frame prefix, and the actor
+// list is either exact or marked overflowed (never silently partial).
+type Index struct {
+	Version int   `json:"version"`
+	Events  int   `json:"events"`
+	Bytes   int64 `json:"bytes"` // valid file length including magic
+
+	// Sequence range: not a replay-filter facet (Filter has no seq
+	// bounds), but the cheap cross-segment ordering witness — tests
+	// and diagnostics verify segments don't overlap, and Compact's
+	// survivors can be sanity-checked against the dropped range.
+	MinSeq  uint64    `json:"min_seq"`
+	MaxSeq  uint64    `json:"max_seq"`
+	MinTime time.Time `json:"min_time"`
+	MaxTime time.Time `json:"max_time"`
+
+	// Kinds counts events per kind; a filtered replay skips the
+	// segment when no requested kind appears.
+	Kinds map[trace.Kind]int `json:"kinds,omitempty"`
+
+	// Actors lists the distinct actor keys (trace.ActorKey) seen, up
+	// to the store's MaxActors cap; past the cap ActorsOverflow is set
+	// and the list cleared, meaning "could contain anyone".
+	Actors         []string `json:"actors,omitempty"`
+	ActorsOverflow bool     `json:"actors_overflow,omitempty"`
+}
+
+// observe folds one event into the index.
+func (ix *Index) observe(e trace.Event, frameBytes int64, actors map[string]struct{}, maxActors int) {
+	if ix.Events == 0 || e.Seq < ix.MinSeq {
+		ix.MinSeq = e.Seq
+	}
+	if e.Seq > ix.MaxSeq {
+		ix.MaxSeq = e.Seq
+	}
+	if !e.Time.IsZero() {
+		if ix.MinTime.IsZero() || e.Time.Before(ix.MinTime) {
+			ix.MinTime = e.Time
+		}
+		if e.Time.After(ix.MaxTime) {
+			ix.MaxTime = e.Time
+		}
+	}
+	if ix.Kinds == nil {
+		ix.Kinds = map[trace.Kind]int{}
+	}
+	ix.Kinds[e.Kind]++
+	ix.Events++
+	ix.Bytes += frameBytes
+	if !ix.ActorsOverflow {
+		actors[trace.ActorKey(e)] = struct{}{}
+		if len(actors) > maxActors {
+			ix.ActorsOverflow = true
+			for k := range actors {
+				delete(actors, k)
+			}
+		}
+	}
+}
+
+// seal finalizes the actor list for writing.
+func (ix *Index) seal(actors map[string]struct{}) {
+	if ix.ActorsOverflow {
+		ix.Actors = nil
+		return
+	}
+	ix.Actors = make([]string, 0, len(actors))
+	for a := range actors {
+		ix.Actors = append(ix.Actors, a)
+	}
+	sort.Strings(ix.Actors)
+}
+
+// DecodeResult reports what a segment scan found: how much of the
+// file was a valid frame sequence and how much trailing corruption
+// (if any) was cut off.
+type DecodeResult struct {
+	Events     int
+	ValidBytes int64 // length of the valid prefix including magic
+	// TailLossBytes is how many trailing bytes were unreadable —
+	// non-zero only when Truncated is set.
+	TailLossBytes int64
+	Truncated     bool
+	// Reason describes the first bad frame when Truncated.
+	Reason string
+}
+
+// DecodeFrames scans a segment byte stream, invoking fn for every
+// valid event in order. Corruption — bad magic, an absurd length, a
+// checksum or JSON decode failure, a short final frame — never
+// returns an error: the scan stops at the first bad frame and the
+// result records the clean prefix and the reason. A non-nil error
+// from fn aborts the scan and is returned as-is. size is the total
+// stream length if known (for tail-loss accounting), or -1.
+func DecodeFrames(r io.Reader, size int64, fn func(trace.Event) error) (DecodeResult, error) {
+	var res DecodeResult
+	br := bufio.NewReaderSize(r, 256<<10)
+	truncate := func(reason string) (DecodeResult, error) {
+		res.Truncated = true
+		res.Reason = reason
+		if size >= 0 {
+			res.TailLossBytes = size - res.ValidBytes
+		}
+		return res, nil
+	}
+
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return truncate("missing magic")
+	}
+	if string(magic) != segMagic {
+		return truncate("bad magic")
+	}
+	res.ValidBytes = int64(len(segMagic))
+
+	var hdr [frameHeaderLen]byte
+	// One grow-on-demand scratch buffer serves every frame:
+	// json.Unmarshal copies whatever it keeps, so the payload never
+	// escapes the loop and the hot replay path stays allocation-free
+	// per event.
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return res, nil // clean end of segment
+			}
+			return truncate("short frame header")
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > maxFrame {
+			return truncate("implausible frame length")
+		}
+		if uint32(cap(payload)) < length {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return truncate("short frame payload")
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return truncate("checksum mismatch")
+		}
+		var e trace.Event
+		if err := json.Unmarshal(payload, &e); err != nil {
+			return truncate("frame not an event")
+		}
+		res.ValidBytes += frameHeaderLen + int64(length)
+		res.Events++
+		if err := fn(e); err != nil {
+			return res, err
+		}
+	}
+}
+
+// scanSegment decodes a segment file from disk.
+func scanSegment(path string, fn func(trace.Event) error) (DecodeResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return DecodeResult{}, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return DecodeResult{}, err
+	}
+	return DecodeFrames(f, st.Size(), fn)
+}
+
+// rebuildIndex reconstructs a sidecar by scanning the segment data —
+// the recovery path for a segment whose writer died before sealing.
+func rebuildIndex(path string, maxActors int) (Index, DecodeResult, error) {
+	ix := Index{Version: IndexVersion}
+	actors := map[string]struct{}{}
+	res, err := scanSegment(path, func(e trace.Event) error {
+		// Frame size is re-derived from the marshalled form below via
+		// ValidBytes, so observe with zero and fix Bytes afterwards.
+		ix.observe(e, 0, actors, maxActors)
+		return nil
+	})
+	if err != nil {
+		return Index{}, res, err
+	}
+	ix.seal(actors)
+	ix.Bytes = res.ValidBytes
+	return ix, res, nil
+}

@@ -20,9 +20,9 @@ func FuzzParseNotebook(f *testing.F) {
 		validJSON,
 		[]byte(`{}`),
 		[]byte(`{"nbformat":4,"nbformat_minor":5,"cells":[],"metadata":{}}`),
-		[]byte(`{"nbformat":3,"cells":[]}`),                               // wrong major version
-		[]byte(`{"nbformat":4,"cells":[{"id":"","cell_type":"code"}]}`),   // empty cell id
-		[]byte(`{"nbformat":4,"cells":[{"id":"a","cell_type":"exec"}]}`),  // bad cell type
+		[]byte(`{"nbformat":3,"cells":[]}`),                              // wrong major version
+		[]byte(`{"nbformat":4,"cells":[{"id":"","cell_type":"code"}]}`),  // empty cell id
+		[]byte(`{"nbformat":4,"cells":[{"id":"a","cell_type":"exec"}]}`), // bad cell type
 		[]byte(`{"nbformat":4,"cells":[{"id":"a","cell_type":"markdown","outputs":[{"output_type":"stream"}]}]}`),
 		[]byte(`{"nbformat":4,"cells":[{"id":"a","cell_type":"code","source":["line1\n","line2"]}]}`),
 		[]byte(`{"nbformat":4,"cells":[{"id":"a","cell_type":"code","source":"x","outputs":[{"output_type":"execute_result"}]}]}`),

@@ -1,0 +1,98 @@
+package posture
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestPresetDeterminism pins that resolving the same preset twice
+// yields identical configurations — the property fleet generation and
+// checkpoint signatures rely on.
+func TestPresetDeterminism(t *testing.T) {
+	for _, name := range []string{"hardened", "sloppy"} {
+		a, ok := Preset(name, "tok-a")
+		if !ok {
+			t.Fatalf("preset %q not found", name)
+		}
+		b, ok := Preset(name, "tok-a")
+		if !ok {
+			t.Fatalf("preset %q not found on second resolve", name)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("preset %q not deterministic:\n%+v\nvs\n%+v", name, a, b)
+		}
+	}
+	if _, ok := Preset("bogus", "tok"); ok {
+		t.Error("unknown preset resolved")
+	}
+}
+
+// TestPresetPostures pins the security-relevant knob values of the two
+// archetypes: hardened must close what sloppy opens.
+func TestPresetPostures(t *testing.T) {
+	h, _ := Preset("hardened", "secret-token")
+	s, _ := Preset("sloppy", "ignored")
+
+	if h.BindAddress != "127.0.0.1" || s.BindAddress != "0.0.0.0" {
+		t.Errorf("bind addresses: hardened %q, sloppy %q", h.BindAddress, s.BindAddress)
+	}
+	if !h.TLSEnabled || s.TLSEnabled {
+		t.Error("TLS posture inverted")
+	}
+	if h.Auth.DisableAuth || !s.Auth.DisableAuth {
+		t.Error("auth posture inverted")
+	}
+	if h.Auth.Token != "secret-token" {
+		t.Errorf("hardened preset dropped the token: %q", h.Auth.Token)
+	}
+	if h.AllowOrigin != "" || s.AllowOrigin != "*" {
+		t.Errorf("CORS posture: hardened %q, sloppy %q", h.AllowOrigin, s.AllowOrigin)
+	}
+	for _, knob := range []struct {
+		name             string
+		hardened, sloppy bool
+	}{
+		{"EnableTerminals", h.EnableTerminals, s.EnableTerminals},
+		{"AllowRoot", h.AllowRoot, s.AllowRoot},
+		{"ShellInKernel", h.ShellInKernel, s.ShellInKernel},
+	} {
+		if knob.hardened || !knob.sloppy {
+			t.Errorf("%s: hardened=%v sloppy=%v, want false/true", knob.name, knob.hardened, knob.sloppy)
+		}
+	}
+	if h.ConnectionKey == "" || s.ConnectionKey != "" {
+		t.Error("connection-key posture inverted")
+	}
+	if h.ContentQuota == 0 {
+		t.Error("hardened preset carries no content quota (would not audit clean)")
+	}
+	if !h.ScanNotebooks || s.ScanNotebooks {
+		t.Error("notebook-scanning posture inverted")
+	}
+}
+
+// TestConfigKnobRoundTrip marshals every knob through JSON and back —
+// the path fleet checkpoints persist target knobs over — and demands
+// nothing is lost or defaulted away.
+func TestConfigKnobRoundTrip(t *testing.T) {
+	for _, name := range []string{"hardened", "sloppy"} {
+		cfg, _ := Preset(name, "round-trip-token")
+		// Exercise the non-preset knobs too.
+		cfg.Port = 8888
+		cfg.BaseURL = "/jupyter"
+		cfg.KernelLimits = Limits{MaxSteps: 1000, MaxOutputBytes: 4096}
+
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		var back Config
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		if !reflect.DeepEqual(cfg, back) {
+			t.Errorf("%s: config knob round-trip lost data:\n%+v\nvs\n%+v", name, cfg, back)
+		}
+	}
+}

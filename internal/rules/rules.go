@@ -300,8 +300,8 @@ type Engine struct {
 	// byKind maps an event kind to its candidate rules — rules pinned
 	// to that kind plus kind-agnostic rules — in registration order.
 	// Kinds absent from the map fall back to the wildcard list.
-	byKind map[trace.Kind][]*Rule
-	wild   []*Rule
+	byKind  map[trace.Kind][]*Rule
+	wild    []*Rule
 	onAlert func(Alert)
 
 	shards [stateShards]stateShard

@@ -41,6 +41,30 @@ const (
 	KindScanFinding Kind = "scan_finding"
 )
 
+// knownKinds lists every kind this build defines, in declaration
+// order. Kind is an open string type — stored events with foreign
+// kinds still decode and match — but CLI filters validate against
+// this set so a typo fails loudly instead of matching nothing.
+var knownKinds = []Kind{
+	KindConn, KindHTTP, KindWSFrame, KindKernMsg, KindExec, KindFileOp,
+	KindNetOp, KindAuth, KindTermCmd, KindAlert, KindSysRes, KindScanFinding,
+}
+
+// KnownKinds returns every kind this build defines.
+func KnownKinds() []Kind {
+	return append([]Kind(nil), knownKinds...)
+}
+
+// KnownKind reports whether k is one of the defined kinds.
+func KnownKind(k Kind) bool {
+	for _, kk := range knownKinds {
+		if k == kk {
+			return true
+		}
+	}
+	return false
+}
+
 // Event is one observed occurrence. Only fields relevant to the Kind
 // are populated; Fields carries free-form extras.
 type Event struct {
@@ -354,23 +378,69 @@ func (jw *JSONLWriter) Flush() error {
 	return jw.err
 }
 
-// ReadJSONL parses a JSONL stream of events.
-func ReadJSONL(r io.Reader) ([]Event, error) {
-	var out []Event
+// Err returns the first encode or write error the writer hit, or nil.
+// Emit is a fire-and-forget Sink method, so callers that care about
+// durability must check Err (or Flush, which also returns it) before
+// treating the output as complete.
+func (jw *JSONLWriter) Err() error {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	return jw.err
+}
+
+// Decoder reads a JSONL event stream one event at a time, so a replay
+// can process arbitrarily long traces without buffering them.
+type Decoder struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewDecoder wraps r. Lines up to 16 MiB are accepted, matching what
+// JSONLWriter can produce for a maximally stuffed event.
+func NewDecoder(r io.Reader) *Decoder {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
+	return &Decoder{sc: sc}
+}
+
+// Next returns the next event. It returns io.EOF at end of stream and
+// a line-numbered parse error on malformed input; blank lines are
+// skipped.
+func (d *Decoder) Next() (Event, error) {
+	for d.sc.Scan() {
+		d.line++
+		line := d.sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
 		var e Event
 		if err := json.Unmarshal(line, &e); err != nil {
-			return out, fmt.Errorf("trace: line %d: %w", len(out)+1, err)
+			return Event{}, fmt.Errorf("trace: line %d: %w", d.line, err)
+		}
+		return e, nil
+	}
+	if err := d.sc.Err(); err != nil {
+		return Event{}, err
+	}
+	return Event{}, io.EOF
+}
+
+// ReadJSONL parses a JSONL stream of events into memory. It is a thin
+// wrapper over Decoder; streaming consumers should use Decoder
+// directly.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	d := NewDecoder(r)
+	for {
+		e, err := d.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
 		}
 		out = append(out, e)
 	}
-	return out, sc.Err()
 }
 
 // CountByKind tallies events by kind.

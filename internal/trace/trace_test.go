@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"strings"
 	"sync"
 	"testing"
@@ -194,3 +196,72 @@ func TestEventString(t *testing.T) {
 		t.Fatalf("alert string = %q", alert.String())
 	}
 }
+
+func TestDecoderStreams(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	events := []Event{
+		{Seq: 1, Kind: KindHTTP, Path: "/api/status", Time: t0},
+		{Seq: 2, Kind: KindExec, User: "alice", Code: "print(1)", Time: t0.Add(time.Second)},
+		{Seq: 3, Kind: KindAuth, SrcIP: "10.0.0.9", Time: t0.Add(2 * time.Second)},
+	}
+	for _, e := range events {
+		w.Emit(e)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder(strings.NewReader("\n" + buf.String() + "\n"))
+	for i, want := range events {
+		got, err := d.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if got.Seq != want.Seq || got.Kind != want.Kind || !got.Time.Equal(want.Time) {
+			t.Fatalf("event %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("after last event: err = %v, want io.EOF", err)
+	}
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("repeated Next: err = %v, want io.EOF", err)
+	}
+}
+
+func TestDecoderBadLineNumbered(t *testing.T) {
+	d := NewDecoder(strings.NewReader(`{"kind":"http"}` + "\n" + `{nope` + "\n"))
+	if _, err := d.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := d.Next()
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line-2 parse error", err)
+	}
+}
+
+func TestJSONLWriterErrSticky(t *testing.T) {
+	w := NewJSONLWriter(failWriter{})
+	if w.Err() != nil {
+		t.Fatal("fresh writer reports an error")
+	}
+	// The bufio layer absorbs small writes; fill past its buffer so
+	// the underlying failure surfaces through Emit.
+	big := Event{Kind: KindExec, Code: strings.Repeat("x", 128<<10)}
+	w.Emit(big)
+	if w.Err() == nil {
+		t.Fatal("write failure not recorded")
+	}
+	first := w.Err()
+	w.Emit(Event{Kind: KindHTTP})
+	if w.Err() != first {
+		t.Fatal("sticky error replaced")
+	}
+	if w.Flush() != first {
+		t.Fatal("Flush did not return the sticky error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }

