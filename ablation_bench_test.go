@@ -69,7 +69,7 @@ func BenchmarkAblationDetectorSuites(b *testing.B) {
 	b.Run("anomaly-only", func(b *testing.B) {
 		opts := core.DefaultOptions()
 		opts.Rules = nil
-		opts.Detectors = anomaly.Suite()
+		opts.Detectors = anomaly.SuiteFactories()
 		measure(b, opts)
 	})
 	b.Run("both", func(b *testing.B) {

@@ -6,8 +6,6 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
-	"regexp"
-	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -100,7 +98,8 @@ func TestCLITools(t *testing.T) {
 		if census(out1) != census(out2) {
 			t.Fatalf("fleet census not deterministic:\n%s\nvs\n%s", out1, out2)
 		}
-		for _, want := range []string{"Fleet census: 64 targets, 64 scanned", "findings by check", "worst targets"} {
+		for _, want := range []string{"Fleet census: 64 targets, 64 scanned", "findings by check", "worst targets",
+			"OSCRP incident summary", "incidents by risk"} {
 			if !strings.Contains(out1, want) {
 				t.Errorf("census missing %q:\n%s", want, out1)
 			}
@@ -156,7 +155,8 @@ func TestCLITools(t *testing.T) {
 			t.Fatalf("deep census not deterministic:\n%s\nvs\n%s", out1, out2)
 		}
 		for _, want := range []string{"findings by suite", "nbscan", "crypto", "intel",
-			"alerts raised through the rules pipeline", "SC-001-critical-exposure"} {
+			"alerts raised through the rules pipeline", "SC-001-critical-exposure",
+			"OSCRP incident summary", "incidents by risk"} {
 			if !strings.Contains(out1, want) {
 				t.Errorf("deep census missing %q:\n%s", want, out1)
 			}
@@ -239,27 +239,22 @@ func TestCLITools(t *testing.T) {
 			return append([]string{"--replay", storeDir, "--alerts=false"}, extra...)
 		}
 		// Census report must be identical between serial and sharded
-		// filtered replay. Timing lines differ by run, and incident
-		// IDs are assigned in alert-arrival order (nondeterministic
-		// under sharding), so IDs are masked and incident lines
-		// compared as a sorted set.
-		incID := regexp.MustCompile(`INC-\d+`)
+		// filtered replay — incident lines included: since the core
+		// sharding refactor, incident IDs are assigned canonically at
+		// snapshot time (first-seen, actor, class), never from alert
+		// arrival order, so only wall-clock timing lines are excluded.
 		stable := func(out string) string {
-			var keep, incidents []string
+			var keep []string
 			for _, line := range strings.Split(out, "\n") {
 				switch {
 				case strings.HasPrefix(line, "store:"),
 					strings.HasPrefix(line, "replayed "),
 					strings.HasPrefix(line, "Detection report @"):
 					continue
-				case strings.Contains(line, "INC-"):
-					incidents = append(incidents, incID.ReplaceAllString(line, "INC-x"))
-					continue
 				}
 				keep = append(keep, line)
 			}
-			sort.Strings(incidents)
-			return strings.Join(append(keep, incidents...), "\n")
+			return strings.Join(keep, "\n")
 		}
 		serial, err := runTool(t, filepath.Join(bin, "jsentinel"),
 			replayArgs("--kinds", "scan_finding", "--workers", "1")...)

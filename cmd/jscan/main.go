@@ -5,8 +5,10 @@
 // taxonomy and deep-scanning them through a bounded, rate-limited
 // worker pool with any set of scanner suites (config posture, live
 // probe, notebook deep scan, crypto inventory, threat-intel
-// enrichment). Census findings are also pushed through the rules
-// engine, so a sweep alerts exactly like live monitoring.
+// enrichment). Census findings are also pushed through the full core
+// detection engine — signatures, incident correlation, OSCRP risk
+// scoring — so a sweep does not just alert like live monitoring, it
+// produces per-target incidents and a risk-ranked summary.
 //
 //	jscan --preset sloppy
 //	jscan --preset hardened
@@ -29,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/cryptoaudit"
 	"repro/internal/evstore"
 	"repro/internal/fleet"
@@ -52,7 +55,7 @@ func main() {
 	rate := flag.Float64("rate", 0, "fleet sweep probe rate limit in targets/sec (0 = unlimited)")
 	seed := flag.Int64("seed", 1, "fleet preset generator seed (same seed -> identical census)")
 	resume := flag.String("resume", "", "fleet checkpoint file; an interrupted sweep continues where it left off")
-	topK := flag.Int("topk", 5, "worst targets listed in the fleet census")
+	topK := flag.Int("topk", 5, "rows in the fleet census's worst-targets list and top-incidents-by-risk table")
 	jsonl := flag.String("jsonl", "", "stream per-target fleet results as JSONL to this file ('-' = stdout)")
 	events := flag.String("events", "", "record every fleet finding as a trace-event stream, replayable with jsentinel --replay: an event-store directory, or legacy JSONL when the path ends in .jsonl")
 	flag.Parse()
@@ -126,9 +129,9 @@ func main() {
 // runFleet spawns the simulated fleet, sweeps it with the selected
 // suites, and prints the census to stdout (performance stats go to
 // stderr so the census stays byte-identical run to run). Every
-// finding also flows through a bounded stage into the rules engine;
-// the resulting alert tally is part of the census. Returns the
-// process exit code.
+// finding also flows through a bounded stage into the core detection
+// engine; the resulting alert tally and the OSCRP incident/risk
+// summary are part of the census. Returns the process exit code.
 func runFleet(n int, seed int64, opts fleet.Options, jsonlPath, eventsPath string) int {
 	var stream io.Writer
 	var jsonlFile *os.File
@@ -148,10 +151,15 @@ func runFleet(n int, seed int64, opts fleet.Options, jsonlPath, eventsPath strin
 	opts.Stream = stream
 
 	// Findings feed the detection pipeline: a bounded async stage
-	// drains into the rules engine, exactly like live monitoring. The
-	// builtin scan rules are stateless, so the alert tally below is
-	// deterministic regardless of worker count or delivery order.
-	engine, err := rules.NewEngine(rules.BuiltinRules())
+	// drains into the full core engine (signatures + incident
+	// correlation + OSCRP risk scoring), exactly like live monitoring.
+	// The builtin scan rules are stateless and findings attribute to
+	// stable target IDs, so the alert tally and the incident summary
+	// below are deterministic regardless of worker count or delivery
+	// order — a multi-worker stage may reorder findings, but every
+	// incident aggregate (count, top severity, risk) is
+	// order-independent.
+	engine, err := core.NewEngine(core.DefaultOptions())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "jscan: %v\n", err)
 		return 1
@@ -222,12 +230,26 @@ func runFleet(n int, seed int64, opts fleet.Options, jsonlPath, eventsPath strin
 	if report != nil {
 		fmt.Print(report.Render())
 		fmt.Print(renderAlerts(engine.Alerts()))
+		fmt.Print(renderIncidents(engine, opts.TopK))
 		fmt.Fprintln(os.Stderr, report.Stats.Render())
 	}
 	if err != nil {
 		return 1
 	}
 	return 0
+}
+
+// renderIncidents renders the OSCRP incident/risk summary the core
+// engine correlated from the census finding stream: per-target
+// incidents ranked by risk score. No IDs or timestamps appear, so the
+// census stays byte-identical across runs and worker counts.
+func renderIncidents(eng *core.Engine, topK int) string {
+	var b strings.Builder
+	st := eng.Stats()
+	fmt.Fprintf(&b, "OSCRP incident summary: %d incidents correlated from %d findings\n",
+		st.Incidents, st.Events)
+	b.WriteString(core.RenderTopIncidents(eng.Incidents(), topK))
+	return b.String()
 }
 
 // renderAlerts tallies pipeline alerts per rule, sorted by rule ID so

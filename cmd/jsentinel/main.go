@@ -1,7 +1,12 @@
 // Command jsentinel is the Jupyter network monitoring tool the paper
 // proposes: it either (a) replays a recorded trace through the
 // detection engine and prints the incident report, or (b) runs a
-// reverse-proxy-style tapped server and streams alerts live.
+// reverse-proxy-style tapped server and streams alerts live. Both
+// modes run the sharded core engine — signature rules, per-shard
+// anomaly detectors, actor-keyed incident correlation, OSCRP risk
+// scoring — and close with a deterministic top-K incidents-by-risk
+// table (--topk): the incident set and its rendering are identical
+// for any --workers value.
 //
 // Replay accepts either a legacy JSONL trace file (streamed one event
 // at a time, never fully buffered) or an event-store directory
@@ -54,6 +59,7 @@ func main() {
 	until := flag.String("until", "", "replay filter: drop events after this RFC3339 time")
 	kinds := flag.String("kinds", "", "replay filter: comma-separated event kinds (e.g. scan_finding,auth)")
 	actor := flag.String("actor", "", "replay filter: only events of this actor key (user, source IP, or kernel)")
+	topK := flag.Int("topk", 5, "incidents listed in the top-incidents-by-risk table")
 	flag.Parse()
 
 	switch {
@@ -63,9 +69,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "jsentinel: %v\n", err)
 			os.Exit(2)
 		}
-		replayTrace(*replay, *showAlerts, *workers, *batch, filter)
+		replayTrace(*replay, *showAlerts, *workers, *batch, *topK, filter)
 	case *listen != "":
-		live(*listen, *token, *showAlerts, *zeekOut, *workers, *queue)
+		live(*listen, *token, *showAlerts, *zeekOut, *workers, *queue, *topK)
 	default:
 		fmt.Fprintln(os.Stderr, "jsentinel: need --replay PATH or --listen ADDR")
 		os.Exit(2)
@@ -132,7 +138,7 @@ func newEngine(showAlerts bool) *core.Engine {
 // Sharding by actor keeps every correlation group (threshold windows,
 // sequences) on one worker in time order, so the parallel replay
 // fires the same alerts as a serial one.
-func replayTrace(path string, showAlerts bool, workers, batch int, filter evstore.Filter) {
+func replayTrace(path string, showAlerts bool, workers, batch, topK int, filter evstore.Filter) {
 	st, err := os.Stat(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "jsentinel: %v\n", err)
@@ -222,9 +228,18 @@ func replayTrace(path string, showAlerts bool, workers, batch int, filter evstor
 		float64(replayed)/elapsed.Seconds(), workers, batch)
 	fmt.Printf("event mix: %s\n\n", renderKindMix(counts))
 	fmt.Print(eng.Report(time.Now()).Render())
-	for _, inc := range eng.Incidents() {
+	incs := eng.Incidents()
+	fmt.Print(renderTopIncidents(incs, topK))
+	for _, inc := range incs {
 		fmt.Println(inc.Summary())
 	}
+}
+
+// renderTopIncidents prints the risk-ranked incident table from an
+// Incidents() snapshot via the shared core rendering, so jsentinel
+// and jscan can never drift apart on the table format.
+func renderTopIncidents(incs []*core.Incident, topK int) string {
+	return core.RenderTopIncidents(incs, topK)
 }
 
 // renderKindMix summarizes the replayed stream's composition, sorted
@@ -242,7 +257,7 @@ func renderKindMix(counts map[trace.Kind]int) string {
 	return strings.Join(parts, " ")
 }
 
-func live(addr, token string, showAlerts bool, zeekOut string, workers, queue int) {
+func live(addr, token string, showAlerts bool, zeekOut string, workers, queue, topK int) {
 	cfg := server.HardenedConfig(token)
 	srv := server.NewServer(cfg)
 	mon := netmon.NewMonitor(netmon.FullVisibility(), nil)
@@ -291,6 +306,7 @@ func live(addr, token string, showAlerts bool, zeekOut string, workers, queue in
 	fmt.Printf("\nwire visibility: conns=%d bytes=%d http=%d ws_frames=%d jupyter_msgs=%d\n",
 		vis.Conns, vis.BytesTotal, vis.HTTPRequests, vis.WSFrames, vis.JupyterMessages)
 	fmt.Print(eng.Report(time.Now()).Render())
+	fmt.Print(renderTopIncidents(eng.Incidents(), topK))
 
 	if zeekOut != "" {
 		f, err := os.Create(zeekOut)

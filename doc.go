@@ -21,9 +21,10 @@
 // — with streaming JSONL output and a versioned, signature-checked,
 // resumable checkpoint (jscan --fleet N --suites ...). Every finding
 // is also projected as a scan_finding trace event through a bounded
-// stage into the rules engine, so a wide scan alerts through the
-// same pipeline as live monitoring and its finding stream replays
-// with jsentinel --replay.
+// stage into the full core detection engine, so a wide scan does not
+// just alert through the live pipeline — it correlates per-target
+// incidents and closes the census with an OSCRP risk summary, and
+// its finding stream replays with jsentinel --replay.
 //
 // The detection substrate is a sharded streaming pipeline ("pipeline
 // v2"): the trace.Bus stamps sequence numbers atomically and fans out
@@ -32,10 +33,17 @@
 // accounting; and the rules.Engine indexes signatures by event kind,
 // matches statelessly without locks, and shards threshold/sequence
 // correlation state per group, so detection throughput scales with
-// cores (jsentinel --workers N, BenchmarkEngineParallel). Replays
-// shard the event stream by actor, which preserves per-group ordering
-// and keeps parallel alert sets identical to serial ones for the
-// builtin detectors (see DESIGN.md for the exact guarantee).
+// cores (jsentinel --workers N, BenchmarkEngineParallel). The core
+// engine follows the same contract end to end: anomaly detectors are
+// instantiated per actor shard (anomaly.SuiteFactories) and incident
+// correlation lives in actor-keyed shards with snapshot-time incident
+// IDs, so N workers drive the full brain — signatures, detectors,
+// incidents, OSCRP risk — and still produce the exact alert and
+// incident sets of a serial run (BenchmarkCoreParallel,
+// TestShardedCoreMatchesSerial). Replays shard the event stream by
+// actor, which preserves per-group ordering and keeps parallel alert
+// sets identical to serial ones for the builtin detectors (see
+// DESIGN.md for the exact guarantee).
 //
 // Persistence is the segmented event store (internal/evstore): an
 // append-only log of CRC-checked frames rotated into segments, each

@@ -6,6 +6,19 @@
 //
 // Each detector consumes trace events and produces rules.Alert values
 // so the core engine treats signature and anomaly findings uniformly.
+//
+// Detectors key all correlation state by trace.ActorKey of the
+// trigger event — exactly the key sharded consumers route events by
+// (user for file and net operations, kernel for resource samples,
+// source address for transport probes, with the same fallbacks when
+// a field is empty). That confinement is what lets the sharded core
+// engine instantiate one detector set per actor shard — via Factory /
+// SuiteFactories — and still fire exactly the alerts one global
+// instance fires: an event can never consult another shard's state,
+// because its state key IS its shard key. Individual detectors remain
+// safe for concurrent use on their own (each guards its maps with a
+// mutex), so embedding one directly in a serial pipeline keeps
+// working.
 package anomaly
 
 import (
@@ -25,6 +38,39 @@ type Detector interface {
 	Name() string
 	// Process evaluates one event, returning zero or more alerts.
 	Process(e trace.Event) []rules.Alert
+}
+
+// Factory builds fresh detector instances. Sharded engines (the core
+// package) instantiate one detector set per actor shard, so each
+// shard's instance only ever sees the in-order event stream of the
+// actors hashed to it; because detector state is keyed per actor, the
+// union of per-shard alerts equals a single global instance's alerts.
+type Factory struct {
+	// Name identifies the detector family (matches Detector.Name of
+	// the instances New returns).
+	Name string
+	// New returns a fresh, stateless-start instance.
+	New func() Detector
+}
+
+// SuiteFactories returns factories for the default detector suite, in
+// the same order Suite instantiates it.
+func SuiteFactories() []Factory {
+	return []Factory{
+		{Name: "anomaly.ransomware", New: func() Detector { return NewRansomware(DefaultRansomwareConfig()) }},
+		{Name: "anomaly.exfil", New: func() Detector { return NewExfil(DefaultExfilConfig()) }},
+		{Name: "anomaly.miner", New: func() Detector { return NewMiner(DefaultMinerConfig()) }},
+		{Name: "anomaly.lowslow", New: func() Detector { return NewLowSlow(DefaultLowSlowConfig()) }},
+	}
+}
+
+// Build instantiates one detector per factory.
+func Build(factories []Factory) []Detector {
+	out := make([]Detector, len(factories))
+	for i, f := range factories {
+		out[i] = f.New()
+	}
+	return out
 }
 
 // ---- EWMA baseline ----
@@ -95,9 +141,13 @@ func DefaultRansomwareConfig() RansomwareConfig {
 type Ransomware struct {
 	cfg RansomwareConfig
 
-	mu          sync.Mutex
-	writeTimes  map[string][]time.Time // user -> encrypted-looking write times
-	lastEntropy map[string]float64     // path -> last observed write entropy
+	mu         sync.Mutex
+	writeTimes map[string][]time.Time // actor key -> encrypted-looking write times
+	// lastEntropy is keyed by actor+path, not bare path: entropy
+	// history must stay confined to one actor or per-shard instances
+	// (each seeing only its own actors' writes) would diverge from a
+	// global one when two users touch the same file.
+	lastEntropy map[string]float64
 }
 
 // NewRansomware returns a ransomware detector.
@@ -123,24 +173,26 @@ func (d *Ransomware) Process(e trace.Event) []rules.Alert {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	var alerts []rules.Alert
+	actor := trace.ActorKey(e)
 
 	// Per-file entropy jump: a notebook that was text suddenly
 	// becomes ciphertext.
-	prev, seen := d.lastEntropy[e.Target]
-	d.lastEntropy[e.Target] = e.Entropy
+	entKey := actor + "\x00" + e.Target
+	prev, seen := d.lastEntropy[entKey]
+	d.lastEntropy[entKey] = e.Entropy
 	if seen && e.Entropy-prev >= d.cfg.EntropyJump && e.Entropy >= d.cfg.EntropyThreshold {
 		alerts = append(alerts, rules.Alert{
 			RuleID: "ANOM-RW-entropy-jump", Class: rules.ClassRansomware,
 			Severity: rules.SevHigh,
 			Description: fmt.Sprintf("entropy of %s jumped %.1f -> %.1f bits/byte",
 				e.Target, prev, e.Entropy),
-			Time: e.Time, Group: e.User, Trigger: e.Clone(), Count: 1,
+			Time: e.Time, Group: actor, Trigger: e.Clone(), Count: 1,
 		})
 	}
 
 	// Burst of encrypted-looking writes.
 	if e.Entropy >= d.cfg.EntropyThreshold {
-		times := d.writeTimes[e.User]
+		times := d.writeTimes[actor]
 		fresh := times[:0]
 		for _, t := range times {
 			if e.Time.Sub(t) <= d.cfg.BurstWindow {
@@ -148,15 +200,15 @@ func (d *Ransomware) Process(e trace.Event) []rules.Alert {
 			}
 		}
 		fresh = append(fresh, e.Time)
-		d.writeTimes[e.User] = fresh
+		d.writeTimes[actor] = fresh
 		if len(fresh) >= d.cfg.BurstCount {
-			d.writeTimes[e.User] = nil
+			d.writeTimes[actor] = nil
 			alerts = append(alerts, rules.Alert{
 				RuleID: "ANOM-RW-write-burst", Class: rules.ClassRansomware,
 				Severity: rules.SevCritical,
 				Description: fmt.Sprintf("%d high-entropy overwrites by %q within %s",
-					len(fresh), e.User, d.cfg.BurstWindow),
-				Time: e.Time, Group: e.User, Trigger: e.Clone(), Count: len(fresh),
+					len(fresh), actor, d.cfg.BurstWindow),
+				Time: e.Time, Group: actor, Trigger: e.Clone(), Count: len(fresh),
 			})
 		}
 	}
@@ -196,7 +248,7 @@ type Exfil struct {
 	cfg ExfilConfig
 
 	mu        sync.Mutex
-	baselines map[string]*EWMA // user -> outbound bytes baseline
+	baselines map[string]*EWMA // actor key -> outbound bytes baseline
 }
 
 // NewExfil returns an exfiltration detector.
@@ -218,12 +270,13 @@ func (d *Exfil) Process(e trace.Event) []rules.Alert {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	var alerts []rules.Alert
+	actor := trace.ActorKey(e)
 	if e.Bytes >= d.cfg.AbsoluteBytes {
 		alerts = append(alerts, rules.Alert{
 			RuleID: "ANOM-EX-volume-abs", Class: rules.ClassExfiltration,
 			Severity:    rules.SevCritical,
 			Description: fmt.Sprintf("outbound transfer of %d bytes to %s", e.Bytes, e.Target),
-			Time:        e.Time, Group: e.User, Trigger: e.Clone(), Count: 1,
+			Time:        e.Time, Group: actor, Trigger: e.Clone(), Count: 1,
 		})
 	}
 	if e.Entropy >= d.cfg.EntropyThreshold && e.Bytes >= 256 {
@@ -232,13 +285,13 @@ func (d *Exfil) Process(e trace.Event) []rules.Alert {
 			Severity: rules.SevHigh,
 			Description: fmt.Sprintf("outbound payload entropy %.2f bits/byte (%d bytes) to %s",
 				e.Entropy, e.Bytes, e.Target),
-			Time: e.Time, Group: e.User, Trigger: e.Clone(), Count: 1,
+			Time: e.Time, Group: actor, Trigger: e.Clone(), Count: 1,
 		})
 	}
-	b := d.baselines[e.User]
+	b := d.baselines[actor]
 	if b == nil {
 		b = &EWMA{Alpha: 0.2}
-		d.baselines[e.User] = b
+		d.baselines[actor] = b
 	}
 	if z := b.Update(float64(e.Bytes)); z >= d.cfg.VolumeZ {
 		alerts = append(alerts, rules.Alert{
@@ -246,7 +299,7 @@ func (d *Exfil) Process(e trace.Event) []rules.Alert {
 			Severity: rules.SevHigh,
 			Description: fmt.Sprintf("outbound volume z-score %.1f (bytes=%d, baseline=%.0f)",
 				z, e.Bytes, b.Mean()),
-			Time: e.Time, Group: e.User, Trigger: e.Clone(), Count: 1,
+			Time: e.Time, Group: actor, Trigger: e.Clone(), Count: 1,
 		})
 	}
 	return alerts
@@ -278,7 +331,7 @@ type Miner struct {
 	cfg MinerConfig
 
 	mu    sync.Mutex
-	usage map[string][]cpuSample // kernel -> samples
+	usage map[string][]cpuSample // actor key (the kernel) -> samples
 }
 
 type cpuSample struct {
@@ -305,15 +358,16 @@ func (d *Miner) Process(e trace.Event) []rules.Alert {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	var alerts []rules.Alert
+	actor := trace.ActorKey(e)
 	if e.CPUMillis >= d.cfg.CPUMillisPerExec {
 		alerts = append(alerts, rules.Alert{
 			RuleID: "ANOM-CM-single-burn", Class: rules.ClassCryptomining,
 			Severity:    rules.SevHigh,
 			Description: fmt.Sprintf("one execution burned %dms CPU on %s", e.CPUMillis, e.KernelID),
-			Time:        e.Time, Group: e.KernelID, Trigger: e.Clone(), Count: 1,
+			Time:        e.Time, Group: actor, Trigger: e.Clone(), Count: 1,
 		})
 	}
-	samples := append(d.usage[e.KernelID], cpuSample{t: e.Time, ms: e.CPUMillis})
+	samples := append(d.usage[actor], cpuSample{t: e.Time, ms: e.CPUMillis})
 	fresh := samples[:0]
 	var burned int64
 	for _, s := range samples {
@@ -322,19 +376,19 @@ func (d *Miner) Process(e trace.Event) []rules.Alert {
 			burned += s.ms
 		}
 	}
-	d.usage[e.KernelID] = fresh
+	d.usage[actor] = fresh
 	if len(fresh) >= 3 {
 		span := e.Time.Sub(fresh[0].t)
 		if span > 0 {
 			duty := float64(burned) / float64(span.Milliseconds())
 			if duty >= d.cfg.DutyCycle {
-				d.usage[e.KernelID] = nil
+				d.usage[actor] = nil
 				alerts = append(alerts, rules.Alert{
 					RuleID: "ANOM-CM-duty-cycle", Class: rules.ClassCryptomining,
 					Severity: rules.SevCritical,
 					Description: fmt.Sprintf("kernel %s CPU duty cycle %.0f%% over %s",
 						e.KernelID, duty*100, span.Round(time.Second)),
-					Time: e.Time, Group: e.KernelID, Trigger: e.Clone(), Count: len(fresh),
+					Time: e.Time, Group: actor, Trigger: e.Clone(), Count: len(fresh),
 				})
 			}
 		}
@@ -375,7 +429,7 @@ type LowSlow struct {
 	cfg LowSlowConfig
 
 	mu      sync.Mutex
-	sources map[string]*lowSlowState
+	sources map[string]*lowSlowState // actor key: SrcIP, which ActorKey yields for http/auth
 }
 
 type lowSlowState struct {
@@ -471,14 +525,11 @@ func coefficientOfVariation(xs []float64) float64 {
 
 // ---- Composite ----
 
-// Suite bundles the default detector set.
+// Suite bundles one instance of the default detector set. Serial
+// pipelines embed it directly; sharded ones use SuiteFactories so
+// every shard gets its own instances.
 func Suite() []Detector {
-	return []Detector{
-		NewRansomware(DefaultRansomwareConfig()),
-		NewExfil(DefaultExfilConfig()),
-		NewMiner(DefaultMinerConfig()),
-		NewLowSlow(DefaultLowSlowConfig()),
-	}
+	return Build(SuiteFactories())
 }
 
 // Describe returns a one-line description per detector, for reports.

@@ -1,0 +1,232 @@
+// 16-goroutine serial-equivalence race tests for every detector
+// family, mirroring internal/rules/race_test.go: each goroutine is
+// one actor's in-order stream, and the concurrent alert set must
+// equal a serial run's — the confinement contract that lets the core
+// engine shard detectors per actor.
+package anomaly
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rules"
+	"repro/internal/trace"
+)
+
+var raceBase = time.Date(2026, 6, 1, 9, 0, 0, 0, time.UTC)
+
+func raceAlertKey(a rules.Alert) string {
+	return fmt.Sprintf("%s|%s|%d|%s", a.RuleID, a.Group, a.Count, a.Time.UTC().Format(time.RFC3339Nano))
+}
+
+// runDetectorRace replays the per-actor streams through a fresh
+// detector serially and through another concurrently (16 goroutines,
+// one per actor), then compares sorted alert sets.
+func runDetectorRace(t *testing.T, mk func() Detector, streams [][]trace.Event) {
+	t.Helper()
+	serial := mk()
+	var want []string
+	for _, st := range streams {
+		for _, e := range st {
+			for _, a := range serial.Process(e) {
+				want = append(want, raceAlertKey(a))
+			}
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("serial run fired no alerts; streams too tame to prove anything")
+	}
+	sort.Strings(want)
+
+	concurrent := mk()
+	var mu sync.Mutex
+	var got []string
+	var wg sync.WaitGroup
+	for i := range streams {
+		wg.Add(1)
+		go func(st []trace.Event) {
+			defer wg.Done()
+			var local []string
+			for _, e := range st {
+				for _, a := range concurrent.Process(e) {
+					local = append(local, raceAlertKey(a))
+				}
+			}
+			mu.Lock()
+			got = append(got, local...)
+			mu.Unlock()
+		}(streams[i])
+	}
+	wg.Wait()
+	sort.Strings(got)
+
+	if len(got) != len(want) {
+		t.Fatalf("concurrent fired %d alerts, serial %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("alert sets diverge at %d:\nserial     %s\nconcurrent %s", i, want[i], got[i])
+		}
+	}
+}
+
+// perActor builds 16 streams from one template function.
+func perActor(gen func(actor string) []trace.Event) [][]trace.Event {
+	streams := make([][]trace.Event, 16)
+	for i := range streams {
+		streams[i] = gen(fmt.Sprintf("actor-%02d", i))
+	}
+	return streams
+}
+
+// TestRansomwareWriteBurstRace covers the write-burst + entropy-jump
+// family: each actor rewrites a text file as ciphertext (jump) and
+// bursts high-entropy writes (burst).
+func TestRansomwareWriteBurstRace(t *testing.T) {
+	streams := perActor(func(actor string) []trace.Event {
+		at := func(j int) time.Time { return raceBase.Add(time.Duration(j) * time.Second) }
+		evs := []trace.Event{
+			{Time: at(0), Kind: trace.KindFileOp, Op: "write", User: actor,
+				Target: "nb-" + actor + ".ipynb", Entropy: 4.0, Success: true},
+			{Time: at(1), Kind: trace.KindFileOp, Op: "write", User: actor,
+				Target: "nb-" + actor + ".ipynb", Entropy: 7.95, Success: true},
+		}
+		for j := 0; j < 6; j++ {
+			evs = append(evs, trace.Event{Time: at(2 + j), Kind: trace.KindFileOp, Op: "write",
+				User: actor, Target: fmt.Sprintf("f-%s-%d", actor, j), Entropy: 7.9, Success: true})
+		}
+		return evs
+	})
+	runDetectorRace(t, func() Detector { return NewRansomware(DefaultRansomwareConfig()) }, streams)
+}
+
+// TestExfilEntropyRace covers the entropy-exfil family: packed
+// outbound payloads per actor.
+func TestExfilEntropyRace(t *testing.T) {
+	streams := perActor(func(actor string) []trace.Event {
+		at := func(j int) time.Time { return raceBase.Add(time.Duration(j) * time.Second) }
+		var evs []trace.Event
+		for j := 0; j < 4; j++ {
+			evs = append(evs, trace.Event{Time: at(j), Kind: trace.KindNetOp, Op: "POST",
+				User: actor, Target: "http://collector.evil.example/drop",
+				Bytes: 4096, Entropy: 7.8, Success: true})
+		}
+		return evs
+	})
+	runDetectorRace(t, func() Detector { return NewExfil(DefaultExfilConfig()) }, streams)
+}
+
+// TestEWMARateRace covers the EWMA rate-baseline family: a quiet
+// per-actor outbound baseline followed by a volume spike whose
+// z-score detection depends on that actor's own EWMA state.
+func TestEWMARateRace(t *testing.T) {
+	streams := perActor(func(actor string) []trace.Event {
+		at := func(j int) time.Time { return raceBase.Add(time.Duration(j) * time.Second) }
+		var evs []trace.Event
+		for j := 0; j < 20; j++ {
+			evs = append(evs, trace.Event{Time: at(j), Kind: trace.KindNetOp, Op: "GET",
+				User: actor, Target: "http://conda.internal/repodata.json",
+				Bytes: int64(500 + j%7), Entropy: 4.0, Success: true})
+		}
+		evs = append(evs, trace.Event{Time: at(20), Kind: trace.KindNetOp, Op: "POST",
+			User: actor, Target: "http://collector.evil.example/drop",
+			Bytes: 512 << 10, Entropy: 4.0, Success: true})
+		return evs
+	})
+	runDetectorRace(t, func() Detector { return NewExfil(DefaultExfilConfig()) }, streams)
+}
+
+// TestMinerSustainedCPURace covers the sustained-CPU mining family:
+// duty-cycled resource samples per kernel.
+func TestMinerSustainedCPURace(t *testing.T) {
+	streams := perActor(func(actor string) []trace.Event {
+		kern := "kern-" + actor
+		var evs []trace.Event
+		tm := raceBase
+		for j := 0; j < 6; j++ {
+			tm = tm.Add(45 * time.Second)
+			evs = append(evs, trace.Event{Time: tm, Kind: trace.KindSysRes,
+				KernelID: kern, CPUMillis: 45_000, Success: true})
+			tm = tm.Add(15 * time.Second)
+		}
+		return evs
+	})
+	runDetectorRace(t, func() Detector { return NewMiner(DefaultMinerConfig()) }, streams)
+}
+
+// TestLowSlowRace covers the low-and-slow family: machine-regular
+// failing probe trains per source address.
+func TestLowSlowRace(t *testing.T) {
+	streams := make([][]trace.Event, 16)
+	for i := range streams {
+		ip := fmt.Sprintf("203.0.113.%d", 10+i)
+		var evs []trace.Event
+		for j := 0; j < 20; j++ {
+			evs = append(evs, trace.Event{
+				Time: raceBase.Add(time.Duration(j) * 30 * time.Second),
+				Kind: trace.KindHTTP, Method: "GET", Path: "/api/kernels",
+				Status: 403, SrcIP: ip, Success: false,
+			})
+		}
+		streams[i] = evs
+	}
+	runDetectorRace(t, func() Detector { return NewLowSlow(DefaultLowSlowConfig()) }, streams)
+}
+
+// TestPerShardInstancesMatchGlobal pins the factory contract itself:
+// routing each actor's stream to one of 8 per-shard instances (by
+// trace.ActorKey) must fire exactly the alerts one shared instance
+// fires, for every factory in the default suite.
+func TestPerShardInstancesMatchGlobal(t *testing.T) {
+	// One mixed stream per actor touching every detector family.
+	streams := perActor(func(actor string) []trace.Event {
+		at := func(j int) time.Time { return raceBase.Add(time.Duration(j) * time.Second) }
+		var evs []trace.Event
+		evs = append(evs,
+			trace.Event{Time: at(0), Kind: trace.KindFileOp, Op: "write", User: actor,
+				Target: "nb-" + actor, Entropy: 4.0, Success: true},
+			trace.Event{Time: at(1), Kind: trace.KindFileOp, Op: "write", User: actor,
+				Target: "nb-" + actor, Entropy: 7.9, Success: true},
+			trace.Event{Time: at(2), Kind: trace.KindNetOp, Op: "POST", User: actor,
+				Target: "http://collector.evil.example/drop", Bytes: 2 << 20, Entropy: 7.9, Success: true},
+		)
+		return evs
+	})
+	for _, f := range SuiteFactories() {
+		global := f.New()
+		var want []string
+		for _, st := range streams {
+			for _, e := range st {
+				for _, a := range global.Process(e) {
+					want = append(want, raceAlertKey(a))
+				}
+			}
+		}
+		shards := make([]Detector, 8)
+		for i := range shards {
+			shards[i] = f.New()
+		}
+		var got []string
+		for _, st := range streams {
+			for _, e := range st {
+				d := shards[trace.ShardIndex(trace.ActorKey(e), len(shards))]
+				for _, a := range d.Process(e) {
+					got = append(got, raceAlertKey(a))
+				}
+			}
+		}
+		sort.Strings(want)
+		sort.Strings(got)
+		if len(got) != len(want) {
+			t.Fatalf("%s: sharded fired %d, global %d", f.Name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s diverges at %d:\nglobal  %s\nsharded %s", f.Name, i, want[i], got[i])
+			}
+		}
+	}
+}

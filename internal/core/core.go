@@ -4,6 +4,14 @@
 // detectors, correlates alerts into incidents per actor, and scores
 // incidents against the OSCRP risk profile.
 //
+// The engine follows the pipeline-v2 sharding contract (DESIGN.md):
+// the signature path rides the lock-free rules.Engine, anomaly
+// detectors and incident-correlation state live in actor-keyed shards
+// with per-shard locks, and counters are atomic — so N replay or
+// ingest workers scale with cores instead of convoying on one engine
+// mutex, while per-actor serial equivalence keeps the alert and
+// incident sets identical to a serial run.
+//
 // A deployment embeds an Engine by subscribing it to the server's (or
 // the network monitor's) trace bus:
 //
@@ -18,25 +26,36 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/anomaly"
 	"repro/internal/oscrp"
 	"repro/internal/rules"
-	"repro/internal/taxonomy"
 	"repro/internal/trace"
 )
 
-// Options configures an Engine.
+// Options configures an Engine. Options are copied at construction
+// and never mutated afterwards, so an Engine is safe for concurrent
+// use without option locks; the OnAlert callback can be swapped later
+// via Engine.SetOnAlert (copy-on-write).
 type Options struct {
-	Rules     []*rules.Rule
-	Detectors []anomaly.Detector
+	Rules []*rules.Rule
+	// Detectors are anomaly-detector factories; the engine
+	// instantiates one detector set per actor shard so detector state
+	// never crosses a shard lock.
+	Detectors []anomaly.Factory
 	Profile   *oscrp.Profile
-	Taxonomy  *taxonomy.Registry
 	// IncidentGap closes an incident after this much quiet time from
 	// the same actor (default 10 minutes).
 	IncidentGap time.Duration
-	// OnAlert, if set, is invoked synchronously per alert.
+	// Shards is the number of actor shards for detector and
+	// correlation state (default 32). Alert and incident sets are
+	// independent of the shard count; it only tunes lock granularity.
+	Shards int
+	// OnAlert, if set, is invoked synchronously per alert, always
+	// outside every engine lock: a callback may re-enter the engine
+	// (Stats, Incidents, Process) without deadlocking.
 	OnAlert func(rules.Alert)
 }
 
@@ -45,9 +64,8 @@ type Options struct {
 func DefaultOptions() Options {
 	return Options{
 		Rules:       rules.BuiltinRules(),
-		Detectors:   anomaly.Suite(),
+		Detectors:   anomaly.SuiteFactories(),
 		Profile:     oscrp.Default(),
-		Taxonomy:    taxonomy.Default(),
 		IncidentGap: 10 * time.Minute,
 	}
 }
@@ -71,15 +89,45 @@ func (inc *Incident) Summary() string {
 		inc.ID, inc.Class, inc.Actor, len(inc.Alerts), inc.Severity, inc.RiskScore)
 }
 
-// Engine is the composed detection pipeline. It implements trace.Sink.
+// snapshot deep-copies the incident so callers never share slices
+// with the live correlation state.
+func (inc *Incident) snapshot() *Incident {
+	out := *inc
+	out.Alerts = append([]rules.Alert(nil), inc.Alerts...)
+	return &out
+}
+
+// defaultShards is the stock actor-shard count: like the rules
+// engine's 32 correlation shards, enough that 16 workers rarely
+// contend while staying cache-friendly.
+const defaultShards = 32
+
+// coreShard owns the detector instances and open/closed incidents for
+// the actors hashed to it. Detector state is touched under the shard
+// lock of the *event's* actor key; correlation state under the shard
+// lock of the *alert's* attributed actor (the two usually coincide
+// but are acquired separately, never nested).
+type coreShard struct {
+	mu   sync.Mutex
+	dets []anomaly.Detector
+	open map[string]*Incident // actor|class -> open incident
+	done []*Incident
+}
+
+// Engine is the composed detection pipeline. It implements trace.Sink
+// and is safe for concurrent use from many goroutines. Construction
+// copies what it needs out of Options; the Options value is not
+// retained.
 type Engine struct {
-	opts  Options
-	sig   *rules.Engine
-	mu    sync.Mutex
-	open  map[string]*Incident // actor|class -> open incident
-	done  []*Incident
-	seq   int
-	stats Stats
+	sig     *rules.Engine
+	profile *oscrp.Profile
+	gap     time.Duration
+	onAlert atomic.Pointer[func(rules.Alert)]
+	shards  []coreShard
+
+	events atomic.Uint64
+	alerts atomic.Uint64
+	opened atomic.Int64
 }
 
 // Stats counts engine activity.
@@ -95,17 +143,28 @@ func NewEngine(opts Options) (*Engine, error) {
 	if opts.Profile == nil {
 		opts.Profile = oscrp.Default()
 	}
-	if opts.Taxonomy == nil {
-		opts.Taxonomy = taxonomy.Default()
-	}
 	if opts.IncidentGap == 0 {
 		opts.IncidentGap = 10 * time.Minute
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = defaultShards
 	}
 	sig, err := rules.NewEngine(opts.Rules)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{opts: opts, sig: sig, open: map[string]*Incident{}}, nil
+	e := &Engine{
+		sig:     sig,
+		profile: opts.Profile,
+		gap:     opts.IncidentGap,
+		shards:  make([]coreShard, opts.Shards),
+	}
+	for i := range e.shards {
+		e.shards[i].dets = anomaly.Build(opts.Detectors)
+		e.shards[i].open = map[string]*Incident{}
+	}
+	e.SetOnAlert(opts.OnAlert)
+	return e, nil
 }
 
 // MustEngine builds an Engine with DefaultOptions, panicking on error
@@ -116,6 +175,16 @@ func MustEngine() *Engine {
 		panic("core: default engine: " + err.Error())
 	}
 	return e
+}
+
+// SetOnAlert swaps the per-alert callback (copy-on-write; nil
+// disables it). The callback always runs outside every engine lock.
+func (e *Engine) SetOnAlert(fn func(rules.Alert)) {
+	if fn == nil {
+		e.onAlert.Store(nil)
+		return
+	}
+	e.onAlert.Store(&fn)
 }
 
 // Emit implements trace.Sink.
@@ -136,22 +205,28 @@ func (e *Engine) ProcessBatch(events []trace.Event) []rules.Alert {
 }
 
 // Process evaluates one event through signatures and detectors and
-// returns the alerts fired.
+// returns the alerts fired. Concurrent callers scale: the signature
+// path is lock-free, and only the event's actor shard (detectors) and
+// each alert's actor shard (correlation) are locked, briefly and
+// never nested. OnAlert runs after every lock is released.
 func (e *Engine) Process(ev trace.Event) []rules.Alert {
 	fired := e.sig.Process(ev)
-	for _, d := range e.opts.Detectors {
+	sh := &e.shards[trace.ShardIndex(trace.ActorKey(ev), len(e.shards))]
+	sh.mu.Lock()
+	for _, d := range sh.dets {
 		fired = append(fired, d.Process(ev)...)
 	}
-	e.mu.Lock()
-	e.stats.Events++
-	e.stats.Alerts += uint64(len(fired))
-	for _, a := range fired {
-		e.correlateLocked(a)
-	}
-	e.mu.Unlock()
-	if e.opts.OnAlert != nil {
-		for _, a := range fired {
-			e.opts.OnAlert(a)
+	sh.mu.Unlock()
+	e.events.Add(1)
+	if len(fired) > 0 {
+		e.alerts.Add(uint64(len(fired)))
+		for i := range fired {
+			e.correlate(fired[i])
+		}
+		if cb := e.onAlert.Load(); cb != nil {
+			for _, a := range fired {
+				(*cb)(a)
+			}
 		}
 	}
 	return fired
@@ -180,63 +255,93 @@ func actorOf(a rules.Alert) string {
 	}
 }
 
-func (e *Engine) correlateLocked(a rules.Alert) {
+// correlate folds one alert into its actor's incident state, under
+// that actor's shard lock only.
+func (e *Engine) correlate(a rules.Alert) {
 	actor := actorOf(a)
+	sh := &e.shards[trace.ShardIndex(actor, len(e.shards))]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	key := actor + "|" + a.Class
-	inc := e.open[key]
-	if inc != nil && a.Time.Sub(inc.LastAlert) > e.opts.IncidentGap {
-		e.done = append(e.done, inc)
-		delete(e.open, key)
+	inc := sh.open[key]
+	if inc != nil && a.Time.Sub(inc.LastAlert) > e.gap {
+		sh.done = append(sh.done, inc)
+		delete(sh.open, key)
 		inc = nil
 	}
 	if inc == nil {
-		e.seq++
 		inc = &Incident{
-			ID:     fmt.Sprintf("INC-%04d", e.seq),
-			Actor:  actor,
-			Class:  a.Class,
-			Opened: a.Time,
+			Actor:     actor,
+			Class:     a.Class,
+			Opened:    a.Time,
+			LastAlert: a.Time,
 		}
-		e.open[key] = inc
-		e.stats.Incidents++
+		sh.open[key] = inc
+		e.opened.Add(1)
 	}
 	inc.Alerts = append(inc.Alerts, a)
-	inc.LastAlert = a.Time
+	// Opened/LastAlert track the min/max alert time rather than
+	// arrival order, so an actor whose alerts arrive from two event
+	// shards still snapshots identically to a serial run.
+	if a.Time.Before(inc.Opened) {
+		inc.Opened = a.Time
+	}
+	if a.Time.After(inc.LastAlert) {
+		inc.LastAlert = a.Time
+	}
 	if a.Severity.Rank() > inc.Severity.Rank() {
 		inc.Severity = a.Severity
 	}
 	if av, ok := oscrp.AvenueForClass(a.Class); ok {
-		inc.RiskScore = e.opts.Profile.RiskScore(av, len(inc.Alerts), inc.Severity.Rank())
+		inc.RiskScore = e.profile.RiskScore(av, len(inc.Alerts), inc.Severity.Rank())
 	}
 }
 
 // Alerts returns all alerts fired so far (signature engine first;
-// incident records carry anomaly alerts too).
+// incident records carry anomaly alerts too), sorted for stable
+// output.
 func (e *Engine) Alerts() []rules.Alert {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	var out []rules.Alert
-	for _, inc := range e.allIncidentsLocked() {
+	for _, inc := range e.Incidents() {
 		out = append(out, inc.Alerts...)
 	}
 	rules.SortAlerts(out)
 	return out
 }
 
-// Incidents returns all incidents, open and closed, ordered by id.
+// Incidents returns a snapshot of all incidents, open and closed, in
+// canonical order: first-seen time, then actor, then class. IDs are
+// assigned from that order at snapshot time (INC-0001, INC-0002, …),
+// so they are deterministic no matter how many workers fed the engine
+// or in which order alerts arrived.
 func (e *Engine) Incidents() []*Incident {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := e.allIncidentsLocked()
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
-}
-
-func (e *Engine) allIncidentsLocked() []*Incident {
-	out := make([]*Incident, 0, len(e.done)+len(e.open))
-	out = append(out, e.done...)
-	for _, inc := range e.open {
-		out = append(out, inc)
+	var out []*Incident
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		for _, inc := range sh.done {
+			out = append(out, inc.snapshot())
+		}
+		for _, inc := range sh.open {
+			out = append(out, inc.snapshot())
+		}
+		sh.mu.Unlock()
+	}
+	for _, inc := range out {
+		rules.SortAlerts(inc.Alerts)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if !a.Opened.Equal(b.Opened) {
+			return a.Opened.Before(b.Opened)
+		}
+		if a.Actor != b.Actor {
+			return a.Actor < b.Actor
+		}
+		return a.Class < b.Class
+	})
+	for i, inc := range out {
+		inc.ID = fmt.Sprintf("INC-%04d", i+1)
 	}
 	return out
 }
@@ -250,11 +355,48 @@ func (e *Engine) IncidentsByClass() map[string][]*Incident {
 	return m
 }
 
-// Stats returns engine counters.
+// TopByRisk returns up to k incidents (none for k <= 0) in a total,
+// deterministic order: risk score descending, then actor, then
+// first-seen, then class — the order the CLI incident tables render.
+func (e *Engine) TopByRisk(k int) []*Incident {
+	return TopIncidents(e.Incidents(), k)
+}
+
+// TopIncidents sorts an incident snapshot by (risk desc, actor,
+// first-seen, class) and truncates it to k entries (none for k <= 0).
+// It mutates the given slice's order; callers holding an Incidents()
+// snapshot can rank it without taking a second snapshot.
+func TopIncidents(incs []*Incident, k int) []*Incident {
+	sort.Slice(incs, func(i, j int) bool {
+		a, b := incs[i], incs[j]
+		if a.RiskScore != b.RiskScore {
+			return a.RiskScore > b.RiskScore
+		}
+		if a.Actor != b.Actor {
+			return a.Actor < b.Actor
+		}
+		if !a.Opened.Equal(b.Opened) {
+			return a.Opened.Before(b.Opened)
+		}
+		return a.Class < b.Class
+	})
+	if k <= 0 {
+		return nil
+	}
+	if k < len(incs) {
+		incs = incs[:k]
+	}
+	return incs
+}
+
+// Stats returns engine counters. It takes no locks (the counters are
+// atomic), so it is safe to call from inside an OnAlert callback.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	return Stats{
+		Events:    e.events.Load(),
+		Alerts:    e.alerts.Load(),
+		Incidents: int(e.opened.Load()),
+	}
 }
 
 // AddRule hot-loads a signature (the threat-intel path).
@@ -317,5 +459,34 @@ func (r Report) Render() string {
 	for _, c := range r.Classes {
 		fmt.Fprintf(&b, "%-28s %10d %8d %6.0f %10s\n", c.Class, c.Incidents, c.Alerts, c.TopRisk, c.Severity)
 	}
+	return b.String()
+}
+
+// RenderIncidentTable renders incidents as an aligned table of actor,
+// class, alert count, severity, and risk — no IDs or timestamps, so
+// two runs that fed the same events (under any worker count) print
+// byte-identical tables. Pair with TopByRisk for the canonical order.
+func RenderIncidentTable(incs []*Incident) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %-28s %7s %10s %6s\n", "ACTOR", "CLASS", "ALERTS", "SEVERITY", "RISK")
+	for _, inc := range incs {
+		fmt.Fprintf(&b, "%-20s %-28s %7d %10s %6.0f\n",
+			inc.Actor, inc.Class, len(inc.Alerts), inc.Severity, inc.RiskScore)
+	}
+	return b.String()
+}
+
+// RenderTopIncidents is the one "top N incidents by risk" rendering
+// both CLIs share: it ranks a copy of the snapshot (the caller's
+// order — e.g. canonical ID order — survives) and renders the header
+// plus table, or nothing when no incident makes the cut.
+func RenderTopIncidents(incs []*Incident, k int) string {
+	top := TopIncidents(append([]*Incident(nil), incs...), k)
+	if len(top) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "top %d incidents by risk:\n", len(top))
+	b.WriteString(RenderIncidentTable(top))
 	return b.String()
 }

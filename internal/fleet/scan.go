@@ -385,12 +385,17 @@ func scanOne(ctx context.Context, t Target, suites []scan.Suite, canonical []str
 }
 
 // emitFindings projects one fresh result's findings into the event
-// pipeline, tagging each event with the target it came from.
+// pipeline, tagging each event with the target it came from. The
+// target ID rides in User so trace.ActorKey — and hence incident
+// attribution and store actor indexes — resolve to the stable target
+// identity instead of the sweep's ephemeral listen address: a census
+// replayed or re-run always names the same actors.
 func emitFindings(sink trace.Sink, r Result) {
 	for _, f := range r.Findings {
 		e := f.Event()
 		e.Time = time.Now()
 		e.SrcIP = r.Addr
+		e.User = r.TargetID
 		e.Fields["target_id"] = r.TargetID
 		e.Fields["preset"] = r.Preset
 		sink.Emit(e)

@@ -72,7 +72,12 @@ type Mapping struct {
 	Weight float64
 }
 
-// Profile is the complete Fig. 3 model.
+// Profile is the complete Fig. 3 model. A Profile is immutable after
+// construction — every method (RiskScore, ByAvenue, Table, Render,
+// Validate) only reads Mappings and keeps no lazy caches — so one
+// Profile is safe for concurrent use from every shard of the core
+// engine without locking. Callers must not mutate Mappings once the
+// Profile is shared.
 type Profile struct {
 	Mappings []Mapping
 }
