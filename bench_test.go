@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sync"
@@ -18,11 +19,13 @@ import (
 
 	"repro/internal/anomaly"
 	"repro/internal/audit"
+	"repro/internal/auth"
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/cryptoaudit"
 	"repro/internal/evstore"
 	"repro/internal/fleet"
+	"repro/internal/ingest"
 	"repro/internal/jmsg"
 	"repro/internal/kernel/minilang"
 	"repro/internal/misconfig"
@@ -892,4 +895,174 @@ func BenchmarkStoreReplay(b *testing.B) {
 		}
 		b.ReportMetric(float64(selected), "segments-read/op")
 	})
+}
+
+// ---- Ingest front-end under sustained multi-tenant load ----
+
+// BenchmarkIngestSustained drives the multi-tenant ingest service
+// with 1024 concurrent WebSocket connections across 16 tenants over
+// real TCP, then drains and audits the books: for every tenant the
+// identity submitted == accepted + dropped + denied must hold to the
+// event, with processed == accepted after the drain. Sub-benchmarks
+// cover both backpressure policies and the recorded (engine + event
+// store) configuration.
+func BenchmarkIngestSustained(b *testing.B) {
+	const (
+		tenantCount = 16
+		connCount   = 1024
+		batchSize   = 16 // events per WebSocket message
+	)
+
+	run := func(b *testing.B, policy trace.DropPolicy, withStore bool) {
+		kr := auth.NewKeyring()
+		names := make([]string, tenantCount)
+		for i := range names {
+			names[i] = fmt.Sprintf("tenant-%02d", i)
+			if err := kr.AddTenant(names[i], []byte("secret-"+names[i])); err != nil {
+				b.Fatal(err)
+			}
+		}
+		eng := core.MustEngine()
+		sink := trace.Sink(eng)
+		var store *evstore.Store
+		if withStore {
+			var err error
+			store, err = evstore.Open(b.TempDir(), evstore.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink = trace.Tee(eng, store)
+		}
+		svc := ingest.New(ingest.Config{
+			Keyring:  kr,
+			MaxConns: 2 * connCount,
+			Queue:    4096,
+			Policy:   policy,
+		}, sink)
+		addr, err := svc.Start("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		// One pre-encoded message per connection: batchSize events
+		// with a per-connection source address so actors spread over
+		// the engine shards.
+		conns := make([]*wsproto.Conn, connCount)
+		msgs := make([][]byte, connCount)
+		for i := range conns {
+			name := names[i%tenantCount]
+			tok, ok := kr.Mint(name)
+			if !ok {
+				b.Fatal("mint failed")
+			}
+			raw, err := net.Dial("tcp", addr)
+			if err != nil {
+				b.Fatalf("conn %d: %v", i, err)
+			}
+			hdr := http.Header{}
+			hdr.Set("X-Tenant", name)
+			hdr.Set("Authorization", "Bearer "+tok)
+			conns[i], err = wsproto.Dial(raw, addr, "/ingest/ws", hdr)
+			if err != nil {
+				b.Fatalf("ws dial %d: %v", i, err)
+			}
+			var msg []byte
+			for j := 0; j < batchSize; j++ {
+				msg = append(msg, fmt.Sprintf(
+					`{"kind":"http","src_ip":"10.%d.%d.7","method":"GET","path":"/api/contents/%d","status":200,"success":true}`+"\n",
+					i/256, i%256, j)...)
+			}
+			msgs[i] = msg
+		}
+
+		// Each connection sends the same share of b.N, rounded up to
+		// whole messages, so the submitted count per tenant is exact.
+		perConn := (b.N + connCount - 1) / connCount
+		msgsPerConn := (perConn + batchSize - 1) / batchSize
+		sentPerConn := msgsPerConn * batchSize
+		total := uint64(connCount * sentPerConn)
+		sentPerTenant := uint64(connCount / tenantCount * sentPerConn)
+
+		b.ResetTimer()
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i := range conns {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for m := 0; m < msgsPerConn; m++ {
+					if err := conns[i].WriteMessage(wsproto.OpText, msgs[i]); err != nil {
+						b.Errorf("conn %d write: %v", i, err)
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		// The writes are async from the server's perspective: wait
+		// until every submitted event is accounted for before closing.
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			var seen uint64
+			for _, ts := range svc.Stats().Tenants {
+				seen += ts.Accepted + ts.Dropped + ts.Denied
+			}
+			if seen >= total {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatalf("server accounted %d of %d events within 60s", seen, total)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		elapsed := time.Since(start)
+		b.StopTimer()
+		b.ReportMetric(float64(total)/elapsed.Seconds(), "events/sec")
+
+		for i := range conns {
+			_ = conns[i].Close(wsproto.CloseNormal, "")
+		}
+		svc.Drain()
+
+		// The books must balance exactly, tenant by tenant.
+		snap := svc.Stats()
+		if len(snap.Tenants) != tenantCount {
+			b.Fatalf("%d tenants in stats, want %d", len(snap.Tenants), tenantCount)
+		}
+		var accepted uint64
+		for _, ts := range snap.Tenants {
+			if got := ts.Accepted + ts.Dropped + ts.Denied; got != sentPerTenant {
+				b.Fatalf("tenant %s: accepted %d + dropped %d + denied %d = %d, want %d submitted",
+					ts.Tenant, ts.Accepted, ts.Dropped, ts.Denied, got, sentPerTenant)
+			}
+			if ts.Processed != ts.Accepted {
+				b.Fatalf("tenant %s: processed %d != accepted %d after drain",
+					ts.Tenant, ts.Processed, ts.Accepted)
+			}
+			if policy == trace.Block && (ts.Dropped != 0 || ts.Denied != 0) {
+				b.Fatalf("tenant %s: lost %d+%d events under Block",
+					ts.Tenant, ts.Dropped, ts.Denied)
+			}
+			accepted += ts.Accepted
+		}
+		if withStore {
+			if err := store.Close(); err != nil {
+				b.Fatal(err)
+			}
+			ro, err := evstore.OpenRead(store.Dir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if loss := ro.Recovered(); len(loss) != 0 {
+				b.Fatalf("tail loss after drain: %+v", loss)
+			}
+			if got := uint64(ro.Events()); got != accepted {
+				b.Fatalf("store recorded %d events, want %d accepted", got, accepted)
+			}
+		}
+	}
+
+	b.Run("block-engine", func(b *testing.B) { run(b, trace.Block, false) })
+	b.Run("drop-engine", func(b *testing.B) { run(b, trace.DropNewest, false) })
+	b.Run("block-engine-store", func(b *testing.B) { run(b, trace.Block, true) })
 }

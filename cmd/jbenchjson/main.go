@@ -1,0 +1,139 @@
+// Command jbenchjson converts `go test -bench` text output into a
+// machine-readable JSON document, so CI can publish benchmark numbers
+// (ns/op plus any custom metrics like events/sec) as a build artifact
+// instead of burying them in a log.
+//
+//	go test -bench . -benchtime=1x . | jbenchjson --out BENCH.json
+//
+// The parser keeps every value-unit pair a benchmark line reports:
+// ns/op, B/op, allocs/op, and b.ReportMetric extras all land in the
+// same metrics map. Context lines (goos, goarch, pkg, cpu) become
+// document metadata. Exits non-zero if no benchmark lines were found,
+// so a silently-skipped bench step fails loudly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the emitted artifact.
+type Document struct {
+	Meta       map[string]string `json:"meta,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	doc, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jbenchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "jbenchjson: no benchmark lines in input")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jbenchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "jbenchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("jbenchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+func parse(sc *bufio.Scanner) (Document, error) {
+	doc := Document{Meta: map[string]string{}}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "", line == "PASS", strings.HasPrefix(line, "ok "), strings.HasPrefix(line, "--- "):
+			continue
+		}
+		if key, val, ok := strings.Cut(line, ": "); ok && !strings.HasPrefix(line, "Benchmark") {
+			switch key {
+			case "goos", "goarch", "pkg", "cpu":
+				doc.Meta[key] = val
+			}
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, err := parseBenchLine(line)
+		if err != nil {
+			return doc, err
+		}
+		doc.Benchmarks = append(doc.Benchmarks, b)
+	}
+	return doc, sc.Err()
+}
+
+// parseBenchLine decodes "BenchmarkName-8  100  123 ns/op  45 extra/unit".
+func parseBenchLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, fmt.Errorf("short benchmark line %q", line)
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("bad iteration count in %q: %v", line, err)
+	}
+	b := Benchmark{
+		// Strip the -GOMAXPROCS suffix so names are stable across
+		// runner shapes.
+		Name:       trimProcsSuffix(fields[0]),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("bad metric value in %q: %v", line, err)
+		}
+		unit := fields[i+1]
+		b.Metrics[unit] = val
+		if unit == "ns/op" {
+			b.NsPerOp = val
+		}
+	}
+	if _, ok := b.Metrics["ns/op"]; !ok {
+		return Benchmark{}, fmt.Errorf("no ns/op in %q", line)
+	}
+	return b, nil
+}
+
+func trimProcsSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

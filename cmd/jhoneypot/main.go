@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/honeypot"
@@ -29,7 +30,7 @@ func main() {
 	fmt.Println("jhoneypot: Ctrl-C to stop and publish intel")
 
 	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
 	_ = hp.Close()
 

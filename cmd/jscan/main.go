@@ -29,6 +29,7 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -205,7 +206,7 @@ func runFleet(n int, seed int64, opts fleet.Options, jsonlPath, eventsPath strin
 
 	// Ctrl-C cancels the sweep; completed targets are already in the
 	// checkpoint, so rerunning with --resume picks up the remainder.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	report, err := fleet.Scan(ctx, fl.Targets(), opts)
 	stage.Close() // drain queued findings before the alert tally

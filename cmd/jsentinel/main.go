@@ -17,7 +17,12 @@
 // from per-segment readers. Any stream works, including the unified
 // finding stream a fleet census emits: scan_finding events hit the
 // same builtin SC-* rules, so a recorded sweep re-raises its alerts
-// offline.
+// offline. A store recorded by the jingestd multi-tenant ingest
+// front-end replays to a byte-identical top-incidents table as its
+// live run — tenant-namespaced actors shard the same way offline.
+//
+// Live mode drains cleanly on SIGINT or SIGTERM: queued stage events
+// are processed before the final report renders.
 //
 //	jsentinel --replay events.jsonl
 //	jsentinel --replay ./census-store --kinds scan_finding --workers 8
@@ -35,6 +40,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -295,7 +301,7 @@ func live(addr, token string, showAlerts bool, zeekOut string, workers, queue, t
 	fmt.Println("jsentinel: streaming alerts; Ctrl-C for final report")
 
 	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
 	_ = srv.Close()
 	for _, st := range stages {

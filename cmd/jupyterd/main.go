@@ -7,6 +7,9 @@
 // Trace events stream to --log: an event-store directory by default
 // (segmented, indexed, replayable with jsentinel --replay DIR and its
 // filters), or a legacy flat JSONL file when the path ends in .jsonl.
+// On SIGINT or SIGTERM the server shuts down cleanly and flushes the
+// log's buffered writes before exiting — a signal never tears the
+// recording's tail.
 //
 //	jupyterd --addr 127.0.0.1:8888
 //	jupyterd --sloppy --log ./events-store
@@ -21,6 +24,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/auth"
 	"repro/internal/evstore"
@@ -105,7 +109,7 @@ func main() {
 	}
 
 	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
 	fmt.Println("\njupyterd: shutting down")
 	_ = srv.Close()

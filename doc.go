@@ -58,6 +58,26 @@
 // writers are truncated and surfaced on open, never silently
 // replayed.
 //
+// The ingest front-end (internal/ingest, jingestd) runs that pipeline
+// as a multi-tenant service: agents stream events over HTTP batches
+// or wsproto WebSockets, each connection authenticated with a
+// per-tenant HMAC-SHA256 token (auth.Keyring, compared via the
+// length-independent auth.DigestEqual), admitted under a global
+// connection cap and per-tenant token-bucket quotas, and routed
+// through one bounded single-worker trace.Stage per tenant into the
+// engine and/or an event store. Identity fields are namespaced
+// "tenant/..." so actor keys never cross tenants — one slow or
+// abusive tenant can never convoy the rest, the per-actor
+// serial-equivalence contract survives any number of connections,
+// and a recorded session replays to a byte-identical incident table
+// (cli_test.go pins this through the real binaries). Backpressure is
+// an explicit per-tenant policy (Block = lossless stalls, DropNewest
+// = counted sheds; submitted == accepted + dropped + denied holds
+// exactly, BenchmarkIngestSustained). SIGINT/SIGTERM triggers a
+// drain, not a drop: stop admitting, empty every stage, flush and
+// close the store — the daemons (jupyterd, jsentinel, jhoneypot,
+// jscan, jingestd) all honor both signals.
+//
 // See README.md for the tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for the per-figure reproduction record. The root
 // bench_test.go regenerates every experiment.

@@ -223,7 +223,7 @@ func (a *Authenticator) CheckToken(source, token string, fromURL bool) (Decision
 		a.emit(source, "", DecisionDeny, "token in URL rejected")
 		return DecisionDeny, ErrBadCredentials
 	}
-	if hmac.Equal([]byte(token), []byte(a.cfg.Token)) {
+	if DigestEqual(token, a.cfg.Token) {
 		a.emit(source, "", DecisionAllow, "token")
 		return DecisionAllow, nil
 	}
@@ -323,6 +323,19 @@ func (a *Authenticator) FailureCount(source string) int {
 	defer a.mu.Unlock()
 	a.throttledLocked(source) // prune
 	return len(a.failures[source])
+}
+
+// DigestEqual reports whether two secrets are equal without leaking
+// their lengths through timing. hmac.Equal (subtle.ConstantTimeCompare
+// underneath) returns immediately on a length mismatch, so comparing
+// raw tokens lets an attacker binary-search the token length from
+// response latency. Reducing both sides to fixed-length SHA-256
+// digests first means every comparison hashes and compares the same
+// number of bytes no matter what the candidate looks like.
+func DigestEqual(a, b string) bool {
+	da := sha256.Sum256([]byte(a))
+	db := sha256.Sum256([]byte(b))
+	return hmac.Equal(da[:], db[:])
 }
 
 // GenerateToken returns a random 48-hex-char bearer token, matching

@@ -198,3 +198,102 @@ func TestUnknownUserDenied(t *testing.T) {
 		t.Fatalf("unknown user: %v", d)
 	}
 }
+
+// TestDigestEqualLengthIndependent pins the timing-leak fix: token
+// comparison must go through fixed-length digests, so unequal-length
+// candidates take the exact same path as equal-length ones (hmac.Equal
+// on two 32-byte digests) instead of hmac.Equal's length short-circuit
+// on the raw bytes.
+func TestDigestEqualLengthIndependent(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"secret-token", "secret-token", true},
+		{"", "", true},
+		{"secret-token", "secret-tokeX", false}, // same length, differs
+		{"secret-token", "secret", false},       // prefix probe
+		{"secret-token", "secret-token-and-more", false},
+		{"", "x", false},
+	}
+	for _, c := range cases {
+		if got := DigestEqual(c.a, c.b); got != c.want {
+			t.Errorf("DigestEqual(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestCheckTokenLengthProbeDenied exercises the classic probe the
+// timing leak enabled: candidates of every length other than the real
+// token's must be denied through the digest path (DigestEqual), and a
+// truncated prefix of the real token must not pass.
+func TestCheckTokenLengthProbeDenied(t *testing.T) {
+	const tok = "real-token-value"
+	a, _, _ := newAuth(Config{Token: tok})
+	for _, cand := range []string{"", "r", tok[:len(tok)-1], tok + "x", tok[:4]} {
+		if d, err := a.CheckToken("1.2.3.4", cand, false); d != DecisionDeny || err == nil {
+			t.Fatalf("candidate %q: decision %v err %v", cand, d, err)
+		}
+	}
+	if d, err := a.CheckToken("1.2.3.4", tok, false); d != DecisionAllow || err != nil {
+		t.Fatalf("real token: decision %v err %v", d, err)
+	}
+}
+
+func TestKeyringMintVerify(t *testing.T) {
+	k := NewKeyring()
+	if err := k.AddTenant("alpha", []byte("s3cret")); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AddTenant("beta", []byte("hunter2")); err != nil {
+		t.Fatal(err)
+	}
+	tokA, ok := k.Mint("alpha")
+	if !ok || len(tokA) != 64 {
+		t.Fatalf("mint alpha: %q ok=%v", tokA, ok)
+	}
+	// Deterministic: both ends derive the same token from the secret.
+	if tok2, _ := k.Mint("alpha"); tok2 != tokA {
+		t.Fatal("mint is not deterministic")
+	}
+	if !k.Verify("alpha", tokA) {
+		t.Fatal("valid token rejected")
+	}
+	// A token never authenticates a different tenant.
+	if k.Verify("beta", tokA) {
+		t.Fatal("cross-tenant token accepted")
+	}
+	if k.Verify("alpha", tokA[:63]) || k.Verify("alpha", tokA+"0") {
+		t.Fatal("wrong-length token accepted")
+	}
+	if k.Verify("nosuch", tokA) {
+		t.Fatal("unknown tenant verified")
+	}
+	// Rotating the secret rotates the token.
+	if err := k.AddTenant("alpha", []byte("rotated")); err != nil {
+		t.Fatal(err)
+	}
+	if k.Verify("alpha", tokA) {
+		t.Fatal("stale token survived rotation")
+	}
+}
+
+func TestKeyringRejectsBadNames(t *testing.T) {
+	k := NewKeyring()
+	for _, name := range []string{"", "a/b", "a:b", "a,b", "a b", "a\tb"} {
+		if err := k.AddTenant(name, []byte("s")); err == nil {
+			t.Errorf("tenant name %q accepted", name)
+		}
+	}
+	if err := k.AddTenant("ok", nil); err == nil {
+		t.Error("empty secret accepted")
+	}
+	if got := k.Tenants(); len(got) != 0 {
+		t.Errorf("tenants = %v, want empty", got)
+	}
+	_ = k.AddTenant("b", []byte("x"))
+	_ = k.AddTenant("a", []byte("y"))
+	if got := k.Tenants(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("tenants = %v, want sorted [a b]", got)
+	}
+}

@@ -1,0 +1,97 @@
+package auth
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// tenantTokenContext domain-separates ingest tokens from any other
+// HMAC use of the same secret; the version tag lets a future scheme
+// rotate without ambiguity.
+const tenantTokenContext = "jupyterguard-ingest-v1:"
+
+// Keyring holds per-tenant HMAC-SHA256 secrets for the ingest
+// service. A tenant's bearer token is derived deterministically from
+// its secret (Mint), so both sides of a connection can compute it
+// without ever shipping the secret itself, and rotating the secret
+// rotates every outstanding token at once.
+//
+// Verify never compares raw token bytes: candidates are reduced to
+// fixed-length digests (DigestEqual), and unknown tenants still burn
+// one digest comparison so a probe cannot distinguish "no such
+// tenant" from "wrong token" by timing.
+type Keyring struct {
+	mu      sync.RWMutex
+	secrets map[string][]byte
+}
+
+// NewKeyring returns an empty keyring.
+func NewKeyring() *Keyring {
+	return &Keyring{secrets: map[string][]byte{}}
+}
+
+// AddTenant registers (or rotates) a tenant secret. Tenant names
+// become actor-key namespaces and CLI list entries, so the characters
+// those layers use as separators are rejected.
+func (k *Keyring) AddTenant(tenant string, secret []byte) error {
+	if tenant == "" {
+		return fmt.Errorf("auth: empty tenant name")
+	}
+	if strings.ContainsAny(tenant, "/:, \t\n") {
+		return fmt.Errorf("auth: tenant name %q contains a reserved separator", tenant)
+	}
+	if len(secret) == 0 {
+		return fmt.Errorf("auth: empty secret for tenant %q", tenant)
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.secrets[tenant] = append([]byte(nil), secret...)
+	return nil
+}
+
+// Tenants returns the registered tenant names, sorted.
+func (k *Keyring) Tenants() []string {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	out := make([]string, 0, len(k.secrets))
+	for t := range k.secrets {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Mint derives the bearer token for a tenant:
+// hex(HMAC-SHA256(secret, context||tenant)). It reports false for an
+// unregistered tenant.
+func (k *Keyring) Mint(tenant string) (string, bool) {
+	k.mu.RLock()
+	secret, ok := k.secrets[tenant]
+	k.mu.RUnlock()
+	if !ok {
+		return "", false
+	}
+	mac := hmac.New(sha256.New, secret)
+	mac.Write([]byte(tenantTokenContext + tenant))
+	return hex.EncodeToString(mac.Sum(nil)), true
+}
+
+// Verify reports whether token is the current token for tenant, in
+// constant time over the digest comparison and without a timing
+// oracle for tenant existence.
+func (k *Keyring) Verify(tenant, token string) bool {
+	expected, ok := k.Mint(tenant)
+	if !ok {
+		// Burn the same comparison an existing tenant would take. The
+		// compared value can never equal a real token (tokens are
+		// 64 hex chars of HMAC output; this digest input is marked).
+		DigestEqual(token, tenantTokenContext+"unknown-tenant")
+		return false
+	}
+	return DigestEqual(token, expected)
+}

@@ -208,6 +208,31 @@ func (f SinkFunc) Emit(e Event) { f(e) }
 // Discard drops all events.
 var Discard Sink = SinkFunc(func(Event) {})
 
+// Tee fans one Emit out to several sinks, synchronously and in order
+// — the lightweight sibling of Bus for pipeline slots that need "the
+// engine AND the store" without sequence stamping or subscription.
+// Nil sinks are skipped at construction; a single survivor is
+// returned unwrapped.
+func Tee(sinks ...Sink) Sink {
+	kept := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return Discard
+	case 1:
+		return kept[0]
+	}
+	return SinkFunc(func(e Event) {
+		for _, s := range kept {
+			s.Emit(e)
+		}
+	})
+}
+
 // Bus is a thread-safe fan-out of events to subscriber sinks, with a
 // monotonically increasing sequence stamp.
 //

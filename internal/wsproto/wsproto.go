@@ -424,10 +424,38 @@ func (c *Conn) Close(code int, reason string) error {
 
 // ---- Handshakes ----
 
+// CloseCodeForError maps a ReadMessage/ReadFrame error onto the RFC
+// 6455 close code a server should send before dropping the
+// connection: protocol violations (masking, reserved bits, fragment
+// discipline) are 1002, an oversized message is 1009, anything else
+// (I/O, decode) is 1011. Servers that close with the right code give
+// compliant clients an actionable reason instead of a bare TCP reset.
+func CloseCodeForError(err error) int {
+	switch {
+	case errors.Is(err, ErrMessageTooBig):
+		return CloseTooBig
+	case errors.Is(err, ErrReservedBits), errors.Is(err, ErrFragmentedCtl),
+		errors.Is(err, ErrControlTooLong), errors.Is(err, ErrUnmaskedClient),
+		errors.Is(err, ErrMaskedServer), errors.Is(err, ErrUnexpectedOpcode):
+		return CloseProtocolError
+	default:
+		return CloseInternalError
+	}
+}
+
 // Upgrade performs the server side of the opening handshake on an
 // http.ResponseWriter that supports hijacking, returning the
-// WebSocket connection.
+// WebSocket connection with the default 64 MiB message limit.
 func Upgrade(w http.ResponseWriter, r *http.Request) (*Conn, error) {
+	return UpgradeLimit(w, r, 0)
+}
+
+// UpgradeLimit is Upgrade with an explicit per-message size limit
+// (maxMsg <= 0 means the 64 MiB default). Ingest-style endpoints that
+// accept frames from untrusted agents must bound what one message can
+// buffer; ReadMessage fails with ErrMessageTooBig beyond the limit,
+// which CloseCodeForError maps to close code 1009.
+func UpgradeLimit(w http.ResponseWriter, r *http.Request, maxMsg int) (*Conn, error) {
 	if !IsUpgradeRequest(r) {
 		http.Error(w, "not a websocket upgrade", http.StatusBadRequest)
 		return nil, ErrBadHandshake
@@ -458,7 +486,7 @@ func Upgrade(w http.ResponseWriter, r *http.Request) (*Conn, error) {
 		raw.Close()
 		return nil, err
 	}
-	return newConn(raw, false, 0), nil
+	return newConn(raw, false, maxMsg), nil
 }
 
 // IsUpgradeRequest reports whether r is a WebSocket upgrade request.

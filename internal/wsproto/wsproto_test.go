@@ -3,11 +3,13 @@ package wsproto
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -326,5 +328,176 @@ func TestOpcodeString(t *testing.T) {
 	}
 	if !OpPing.Control() || OpBinary.Control() {
 		t.Fatal("control classification wrong")
+	}
+}
+
+func TestCloseCodeForError(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{ErrMessageTooBig, CloseTooBig},
+		{ErrUnmaskedClient, CloseProtocolError},
+		{ErrMaskedServer, CloseProtocolError},
+		{ErrReservedBits, CloseProtocolError},
+		{ErrFragmentedCtl, CloseProtocolError},
+		{ErrControlTooLong, CloseProtocolError},
+		{ErrUnexpectedOpcode, CloseProtocolError},
+		{io.ErrUnexpectedEOF, CloseInternalError},
+	}
+	for _, c := range cases {
+		if got := CloseCodeForError(c.err); got != c.want {
+			t.Errorf("CloseCodeForError(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// TestUpgradeLimitBoundsMessages pins that the server-side limit from
+// UpgradeLimit reaches the frame reader: a client message over the
+// limit fails with ErrMessageTooBig (close code 1009 territory), and
+// one under it passes.
+func TestUpgradeLimitBoundsMessages(t *testing.T) {
+	serverErr := make(chan error, 1)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, err := UpgradeLimit(w, r, 1024)
+		if err != nil {
+			return
+		}
+		for {
+			if _, _, err := conn.ReadMessage(); err != nil {
+				serverErr <- err
+				_ = conn.Close(CloseCodeForError(err), "")
+				return
+			}
+		}
+	}))
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := Dial(raw, addr, "/ingest/ws", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close(CloseNormal, "")
+	if err := conn.WriteMessage(OpBinary, make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.WriteMessage(OpBinary, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serverErr; !errors.Is(err, ErrMessageTooBig) {
+		t.Fatalf("server err = %v, want ErrMessageTooBig", err)
+	}
+	if _, _, err := conn.ReadMessage(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("client err = %v, want ErrClosed", err)
+	}
+	if conn.CloseCode != CloseTooBig {
+		t.Fatalf("close code = %d, want %d", conn.CloseCode, CloseTooBig)
+	}
+}
+
+// maskedFrame hand-encodes one client-side frame so tests can place
+// control frames *between* fragments of a data message — something the
+// Conn API deliberately never does on its own.
+func maskedFrame(fin bool, op Opcode, payload []byte) []byte {
+	return EncodeFrame(fin, op, payload, []byte{5, 6, 7, 8})
+}
+
+// TestReadMessageFragmentedInterleavedConcurrent drives ReadMessage on
+// 128 concurrent server conns, each fed a stream of fragmented data
+// messages with ping frames interleaved between the fragments (legal
+// per RFC 6455 §5.5: control frames may be injected mid-fragmentation
+// and must not corrupt reassembly). Run under -race this also proves
+// independent conns share no mutable state.
+func TestReadMessageFragmentedInterleavedConcurrent(t *testing.T) {
+	const conns = 128
+	const msgsPerConn = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c1, c2 := net.Pipe()
+			defer c1.Close()
+			server := newConn(c2, false, 0)
+			defer c2.Close()
+
+			want := bytes.Repeat([]byte{byte('a' + id%26)}, 700)
+			go func() {
+				// Drain the pongs the server's ReadMessage answers;
+				// net.Pipe writes block until read.
+				fr := NewFrameReader(c1, 0)
+				for {
+					if _, err := fr.ReadFrame(); err != nil {
+						return
+					}
+				}
+			}()
+			go func() {
+				for m := 0; m < msgsPerConn; m++ {
+					var stream []byte
+					stream = append(stream, maskedFrame(false, OpText, want[:100])...)
+					stream = append(stream, maskedFrame(true, OpPing, []byte("mid1"))...)
+					stream = append(stream, maskedFrame(false, OpContinuation, want[100:400])...)
+					stream = append(stream, maskedFrame(true, OpPing, []byte("mid2"))...)
+					stream = append(stream, maskedFrame(true, OpContinuation, want[400:])...)
+					if _, err := c1.Write(stream); err != nil {
+						return
+					}
+				}
+				_, _ = c1.Write(maskedFrame(true, OpClose, ClosePayload(CloseNormal, "done")))
+			}()
+
+			for m := 0; m < msgsPerConn; m++ {
+				op, got, err := server.ReadMessage()
+				if err != nil {
+					errs <- fmt.Errorf("conn %d msg %d: %v", id, m, err)
+					return
+				}
+				if op != OpText || !bytes.Equal(got, want) {
+					errs <- fmt.Errorf("conn %d msg %d: op=%v len=%d", id, m, op, len(got))
+					return
+				}
+			}
+			if _, _, err := server.ReadMessage(); !errors.Is(err, ErrClosed) {
+				errs <- fmt.Errorf("conn %d: final err = %v, want ErrClosed", id, err)
+				return
+			}
+			if server.CloseCode != CloseNormal {
+				errs <- fmt.Errorf("conn %d: close code %d", id, server.CloseCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestServerRejectsInterleavedDataMessage pins the fragment discipline
+// on the server read path: a second data frame opened before the first
+// message finishes is ErrUnexpectedOpcode (close 1002), not silent
+// interleaving.
+func TestServerRejectsInterleavedDataMessage(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	server := newConn(c2, false, 0)
+	go func() {
+		var stream []byte
+		stream = append(stream, maskedFrame(false, OpText, []byte("first"))...)
+		stream = append(stream, maskedFrame(true, OpText, []byte("second"))...)
+		_, _ = c1.Write(stream)
+	}()
+	_, _, err := server.ReadMessage()
+	if !errors.Is(err, ErrUnexpectedOpcode) {
+		t.Fatalf("err = %v, want ErrUnexpectedOpcode", err)
+	}
+	if code := CloseCodeForError(err); code != CloseProtocolError {
+		t.Fatalf("close code = %d, want %d", code, CloseProtocolError)
 	}
 }
