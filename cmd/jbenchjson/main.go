@@ -10,6 +10,21 @@
 // same metrics map. Context lines (goos, goarch, pkg, cpu) become
 // document metadata. Exits non-zero if no benchmark lines were found,
 // so a silently-skipped bench step fails loudly.
+//
+// Compare mode diffs two artifacts and gates on slowdowns:
+//
+//	jbenchjson --in BENCH_NEW.json --compare BENCH_OLD.json \
+//	    --max-regress 20 --allow StoreAppend,FleetScan
+//
+// Every benchmark present in both documents is printed with old/new
+// ns/op, the percent delta, and any custom metrics the two runs
+// share. A benchmark whose ns/op grew more than --max-regress percent
+// is a regression; if any regression's name matches no --allow
+// substring the exit status is 2, which fails the CI gate. Benchmarks
+// only present on one side are reported but never gate (they are
+// additions or removals, not slowdowns). Without --in, compare mode
+// parses bench text from stdin first, so one invocation can both
+// publish and gate.
 package main
 
 import (
@@ -18,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -38,32 +54,163 @@ type Document struct {
 
 func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
+	in := flag.String("in", "", "read the new document from this JSON artifact instead of parsing bench text from stdin")
+	compareWith := flag.String("compare", "", "diff against this older JSON artifact and gate on regressions")
+	maxRegress := flag.Float64("max-regress", 20, "percent ns/op growth tolerated before a benchmark counts as regressed")
+	allow := flag.String("allow", "", "comma-separated benchmark-name substrings exempt from the regression gate")
 	flag.Parse()
 
-	doc, err := parse(bufio.NewScanner(os.Stdin))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "jbenchjson: %v\n", err)
-		os.Exit(1)
+	var doc Document
+	if *in != "" {
+		var err error
+		doc, err = readDoc(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jbenchjson: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		var err error
+		doc, err = parse(bufio.NewScanner(os.Stdin))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jbenchjson: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if len(doc.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "jbenchjson: no benchmark lines in input")
 		os.Exit(1)
 	}
-	data, err := json.MarshalIndent(doc, "", "  ")
+
+	if *out != "" || *compareWith == "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jbenchjson: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if *out == "" {
+			os.Stdout.Write(data)
+		} else {
+			if err := os.WriteFile(*out, data, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "jbenchjson: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("jbenchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+		}
+	}
+
+	if *compareWith == "" {
+		return
+	}
+	old, err := readDoc(*compareWith)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "jbenchjson: %v\n", err)
 		os.Exit(1)
 	}
-	data = append(data, '\n')
-	if *out == "" {
-		os.Stdout.Write(data)
-		return
+	report, regressed := compare(old, doc, *maxRegress, splitAllow(*allow))
+	os.Stdout.WriteString(report)
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "jbenchjson: %d benchmark(s) regressed more than %.0f%%: %s\n",
+			len(regressed), *maxRegress, strings.Join(regressed, ", "))
+		os.Exit(2)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "jbenchjson: %v\n", err)
-		os.Exit(1)
+}
+
+func readDoc(path string) (Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Document{}, err
 	}
-	fmt.Printf("jbenchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return Document{}, fmt.Errorf("%s: %v", path, err)
+	}
+	return doc, nil
+}
+
+func splitAllow(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// compare diffs two documents benchmark-by-benchmark. It returns a
+// human-readable report and the names of benchmarks whose ns/op grew
+// more than maxRegress percent and match no allow substring. Only
+// ns/op gates: custom metrics have no universal better-direction
+// (events/op up is good, disk-B/event down is good), so they are
+// reported for the reader but never fail the build.
+func compare(old, cur Document, maxRegress float64, allow []string) (string, []string) {
+	oldBy := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	allowed := func(name string) bool {
+		for _, a := range allow {
+			if strings.Contains(name, a) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var sb strings.Builder
+	var regressed []string
+	seen := make(map[string]bool, len(cur.Benchmarks))
+	for _, nb := range cur.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(&sb, "new       %-60s %14.0f ns/op\n", nb.Name, nb.NsPerOp)
+			continue
+		}
+		delta := 0.0
+		if ob.NsPerOp > 0 {
+			delta = (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
+		}
+		verdict := "ok"
+		switch {
+		case delta > maxRegress && allowed(nb.Name):
+			verdict = "allowed"
+		case delta > maxRegress:
+			verdict = "REGRESSED"
+			regressed = append(regressed, nb.Name)
+		case delta < -maxRegress:
+			verdict = "improved"
+		}
+		fmt.Fprintf(&sb, "%-9s %-60s %14.0f -> %14.0f ns/op  %+7.1f%%\n",
+			verdict, nb.Name, ob.NsPerOp, nb.NsPerOp, delta)
+		for _, unit := range sharedMetricUnits(ob, nb) {
+			fmt.Fprintf(&sb, "          %-60s %14.2f -> %14.2f %s\n",
+				"", ob.Metrics[unit], nb.Metrics[unit], unit)
+		}
+	}
+	for _, ob := range old.Benchmarks {
+		if !seen[ob.Name] {
+			fmt.Fprintf(&sb, "removed   %-60s %14.0f ns/op\n", ob.Name, ob.NsPerOp)
+		}
+	}
+	return sb.String(), regressed
+}
+
+// sharedMetricUnits lists custom metrics both runs report, in stable
+// order, excluding ns/op (already on the headline row).
+func sharedMetricUnits(a, b Benchmark) []string {
+	var units []string
+	for unit := range a.Metrics {
+		if unit == "ns/op" {
+			continue
+		}
+		if _, ok := b.Metrics[unit]; ok {
+			units = append(units, unit)
+		}
+	}
+	sort.Strings(units)
+	return units
 }
 
 func parse(sc *bufio.Scanner) (Document, error) {

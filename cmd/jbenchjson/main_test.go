@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func mkDoc(benches ...Benchmark) Document {
+	return Document{Benchmarks: benches}
+}
+
+func bench(name string, ns float64, metrics map[string]float64) Benchmark {
+	if metrics == nil {
+		metrics = map[string]float64{}
+	}
+	metrics["ns/op"] = ns
+	return Benchmark{Name: name, Iterations: 1, NsPerOp: ns, Metrics: metrics}
+}
+
+func TestParseBenchText(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R)
+BenchmarkStoreReplay/store-full/json-v1         	      10	 398402086 ns/op	     97322 events/op
+BenchmarkStoreReplay/store-full/binary-v2-8     	      10	 138055277 ns/op	     97322 events/op
+PASS
+ok  	repro	19.013s
+`
+	doc, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	if doc.Meta["goos"] != "linux" || doc.Meta["pkg"] != "repro" {
+		t.Fatalf("meta = %v", doc.Meta)
+	}
+	// -GOMAXPROCS suffix must be stripped so artifact names stay
+	// stable across runner shapes.
+	if got := doc.Benchmarks[1].Name; got != "BenchmarkStoreReplay/store-full/binary-v2" {
+		t.Fatalf("name = %q", got)
+	}
+	if doc.Benchmarks[0].Metrics["events/op"] != 97322 {
+		t.Fatalf("custom metric lost: %v", doc.Benchmarks[0].Metrics)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	old := mkDoc(
+		bench("BenchmarkA", 100, nil),
+		bench("BenchmarkB", 100, nil),
+		bench("BenchmarkC", 100, nil),
+	)
+	cur := mkDoc(
+		bench("BenchmarkA", 115, nil), // +15%: inside the budget
+		bench("BenchmarkB", 150, nil), // +50%: regression
+		bench("BenchmarkC", 60, nil),  // -40%: improvement
+	)
+	report, regressed := compare(old, cur, 20, nil)
+	if len(regressed) != 1 || regressed[0] != "BenchmarkB" {
+		t.Fatalf("regressed = %v, want [BenchmarkB]", regressed)
+	}
+	for _, want := range []string{"ok        BenchmarkA", "REGRESSED BenchmarkB", "improved  BenchmarkC"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestCompareAllowlist(t *testing.T) {
+	old := mkDoc(bench("BenchmarkStoreAppend/json-v1", 100, nil))
+	cur := mkDoc(bench("BenchmarkStoreAppend/json-v1", 300, nil))
+	if _, regressed := compare(old, cur, 20, nil); len(regressed) != 1 {
+		t.Fatalf("without allowlist: regressed = %v, want 1", regressed)
+	}
+	report, regressed := compare(old, cur, 20, []string{"StoreAppend"})
+	if len(regressed) != 0 {
+		t.Fatalf("with allowlist: regressed = %v, want none", regressed)
+	}
+	if !strings.Contains(report, "allowed   BenchmarkStoreAppend/json-v1") {
+		t.Fatalf("report missing allowed verdict:\n%s", report)
+	}
+}
+
+func TestCompareAddedAndRemoved(t *testing.T) {
+	old := mkDoc(bench("BenchmarkGone", 100, nil))
+	cur := mkDoc(bench("BenchmarkFresh", 9999, nil))
+	report, regressed := compare(old, cur, 20, nil)
+	if len(regressed) != 0 {
+		t.Fatalf("additions/removals must not gate: %v", regressed)
+	}
+	if !strings.Contains(report, "new       BenchmarkFresh") ||
+		!strings.Contains(report, "removed   BenchmarkGone") {
+		t.Fatalf("report:\n%s", report)
+	}
+}
+
+func TestCompareShowsSharedCustomMetrics(t *testing.T) {
+	old := mkDoc(bench("BenchmarkStoreAppend", 100,
+		map[string]float64{"disk-B/event": 181.1, "old-only/unit": 1}))
+	cur := mkDoc(bench("BenchmarkStoreAppend", 105,
+		map[string]float64{"disk-B/event": 38.5, "new-only/unit": 2}))
+	report, _ := compare(old, cur, 20, nil)
+	if !strings.Contains(report, "disk-B/event") {
+		t.Fatalf("shared custom metric missing:\n%s", report)
+	}
+	if strings.Contains(report, "old-only/unit") || strings.Contains(report, "new-only/unit") {
+		t.Fatalf("one-sided metrics must be omitted:\n%s", report)
+	}
+}
+
+func TestCompareZeroOldNsDoesNotDivide(t *testing.T) {
+	old := mkDoc(bench("BenchmarkWeird", 0, nil))
+	cur := mkDoc(bench("BenchmarkWeird", 50, nil))
+	if _, regressed := compare(old, cur, 20, nil); len(regressed) != 0 {
+		t.Fatalf("zero baseline must not regress: %v", regressed)
+	}
+}

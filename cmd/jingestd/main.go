@@ -9,8 +9,15 @@
 // startup, or minted offline with --mint for distribution to agents.
 //
 //	jingestd --tenants acme=s3cret,globex=hunter2 --store ./events
+//	jingestd --tenants acme=s3cret --store ./events --codec=json
 //	jingestd --tenants acme=s3cret --policy drop --rate 500 --burst 100
 //	jingestd --tenants acme=s3cret --mint acme
+//
+// New --store segments use the compact binary-v2 codec by default;
+// --codec=json records v1 JSON segments instead. Replay dispatches
+// per segment, so stores that mix codecs across restarts replay
+// identically. The JSONL wire format agents POST is unchanged either
+// way — the codec only affects the on-disk segment frames.
 //
 // Agents POST JSONL event batches to /ingest or stream them over
 // /ingest/ws (one JSONL batch per message) with headers:
@@ -54,9 +61,15 @@ func main() {
 	maxConns := flag.Int("max-conns", 4096, "max concurrently admitted connections across all tenants")
 	queue := flag.Int("queue", 1024, "per-tenant queue depth")
 	topK := flag.Int("top", 10, "incidents to list in the shutdown report")
+	codecFlag := flag.String("codec", "", "segment format for new --store segments: binary (default) or json")
 	flag.Parse()
 
 	keyring, err := parseTenants(*tenantsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jingestd: %v\n", err)
+		os.Exit(2)
+	}
+	codec, err := evstore.ParseCodec(*codecFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "jingestd: %v\n", err)
 		os.Exit(2)
@@ -96,7 +109,7 @@ func main() {
 	}
 	closeStore := func() error { return nil }
 	if *storePath != "" {
-		h, err := evstore.OpenSink(*storePath, evstore.SinkAppend)
+		h, err := evstore.OpenSink(*storePath, evstore.SinkAppend, codec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "jingestd: %v\n", err)
 			os.Exit(1)

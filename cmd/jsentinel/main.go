@@ -10,24 +10,34 @@
 //
 // Replay accepts either a legacy JSONL trace file (streamed one event
 // at a time, never fully buffered) or an event-store directory
-// (internal/evstore) as written by jscan --events or jupyterd --log.
+// (internal/evstore) as written by jscan --events or jupyterd --log —
+// either segment codec, JSON v1 or binary v2, in any mix; the store
+// dispatches per segment, so no flag is needed to read old data.
 // Store replay is filtered and segment-parallel: --since/--until/
 // --kinds/--actor prune whole segments via the sidecar indexes, and
-// the survivors feed the actor-sharded detection workers directly
-// from per-segment readers. Any stream works, including the unified
-// finding stream a fleet census emits: scan_finding events hit the
-// same builtin SC-* rules, so a recorded sweep re-raises its alerts
-// offline. A store recorded by the jingestd multi-tenant ingest
-// front-end replays to a byte-identical top-incidents table as its
-// live run — tenant-namespaced actors shard the same way offline.
+// on binary-v2 segments the kind/actor facets additionally push down
+// into the frame headers, discarding non-matching frames before the
+// payload is ever decoded. The survivors feed the actor-sharded
+// detection workers directly from per-segment readers. Any stream
+// works, including the unified finding stream a fleet census emits:
+// scan_finding events hit the same builtin SC-* rules, so a recorded
+// sweep re-raises its alerts offline. A store recorded by the
+// jingestd multi-tenant ingest front-end replays to a byte-identical
+// top-incidents table as its live run — tenant-namespaced actors
+// shard the same way offline.
 //
-// Live mode drains cleanly on SIGINT or SIGTERM: queued stage events
-// are processed before the final report renders.
+// Live mode can record the tapped stream with --log (a store
+// directory, or legacy JSONL when the path ends in .jsonl); --codec
+// selects the segment format for new store segments (binary by
+// default, --codec=json as the escape hatch). Live mode drains
+// cleanly on SIGINT or SIGTERM: queued stage events are processed
+// before the final report renders.
 //
 //	jsentinel --replay events.jsonl
 //	jsentinel --replay ./census-store --kinds scan_finding --workers 8
 //	jsentinel --replay ./store --since 2026-06-01T00:00:00Z --actor mallory-rw
 //	jsentinel --listen 127.0.0.1:9999 --token <tok>   (tapped live server)
+//	jsentinel --listen 127.0.0.1:9999 --log ./tap-store --codec=binary
 package main
 
 import (
@@ -66,8 +76,15 @@ func main() {
 	kinds := flag.String("kinds", "", "replay filter: comma-separated event kinds (e.g. scan_finding,auth)")
 	actor := flag.String("actor", "", "replay filter: only events of this actor key (user, source IP, or kernel)")
 	topK := flag.Int("topk", 5, "incidents listed in the top-incidents-by-risk table")
+	logPath := flag.String("log", "", "live mode: record the tapped stream here (store directory, or JSONL when the path ends in .jsonl)")
+	codecFlag := flag.String("codec", "", "segment format for new --log store segments: binary (default) or json")
 	flag.Parse()
 
+	codec, err := evstore.ParseCodec(*codecFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jsentinel: %v\n", err)
+		os.Exit(2)
+	}
 	switch {
 	case *replay != "":
 		filter, err := parseFilter(*since, *until, *kinds, *actor)
@@ -77,7 +94,7 @@ func main() {
 		}
 		replayTrace(*replay, *showAlerts, *workers, *batch, *topK, filter)
 	case *listen != "":
-		live(*listen, *token, *showAlerts, *zeekOut, *workers, *queue, *topK)
+		live(*listen, *token, *showAlerts, *zeekOut, *logPath, codec, *workers, *queue, *topK)
 	default:
 		fmt.Fprintln(os.Stderr, "jsentinel: need --replay PATH or --listen ADDR")
 		os.Exit(2)
@@ -198,8 +215,8 @@ func replayTrace(path string, showAlerts bool, workers, batch, topK int, filter 
 		if extra := stats.TailLossBytes - knownLoss; extra > 0 {
 			fmt.Fprintf(os.Stderr, "jsentinel: warning: %d corrupt trailing bytes skipped\n", extra)
 		}
-		fmt.Printf("store: %d/%d segments selected, %d frames decoded\n",
-			stats.SegmentsSelected, stats.SegmentsTotal, stats.Decoded)
+		fmt.Printf("store: %d/%d segments selected, %d frames decoded, %d skipped undecoded\n",
+			stats.SegmentsSelected, stats.SegmentsTotal, stats.Decoded, stats.Skipped)
 	} else {
 		// Legacy JSONL replays as a stream: decode, filter, and route
 		// to the shard workers one event at a time, so trace size is
@@ -263,11 +280,30 @@ func renderKindMix(counts map[trace.Kind]int) string {
 	return strings.Join(parts, " ")
 }
 
-func live(addr, token string, showAlerts bool, zeekOut string, workers, queue, topK int) {
+func live(addr, token string, showAlerts bool, zeekOut, logPath string, codec evstore.Codec, workers, queue, topK int) {
 	cfg := server.HardenedConfig(token)
 	srv := server.NewServer(cfg)
 	mon := netmon.NewMonitor(netmon.FullVisibility(), nil)
 	eng := newEngine(showAlerts)
+
+	// Optional recording of the tapped stream, replayable later with
+	// --replay. SinkAppend: a monitor log spans restarts.
+	var rec *evstore.SinkHandle
+	if logPath != "" {
+		h, err := evstore.OpenSink(logPath, evstore.SinkAppend, codec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jsentinel: %v\n", err)
+			os.Exit(1)
+		}
+		for _, loss := range h.Recovered {
+			fmt.Fprintf(os.Stderr, "jsentinel: %s had a torn tail: %d bytes truncated (%s)\n",
+				loss.Segment, loss.LostBytes, loss.Reason)
+		}
+		if h.ExistingEvents > 0 {
+			fmt.Fprintf(os.Stderr, "jsentinel: appending to %s (%d events already recorded)\n", logPath, h.ExistingEvents)
+		}
+		rec = h
+	}
 	// Decouple request handling from detection: events queue into
 	// bounded stages drained off the serving path. One single-worker
 	// stage per detection worker, routed by actor key — a shared
@@ -282,6 +318,9 @@ func live(addr, token string, showAlerts bool, zeekOut string, workers, queue, t
 		stages[i] = trace.NewStage(eng, 1, queue, trace.Block)
 	}
 	router := trace.SinkFunc(func(e trace.Event) {
+		if rec != nil {
+			rec.Emit(e)
+		}
 		stages[workload.ShardIndex(workload.ActorKey(e), len(stages))].Emit(e)
 	})
 	mon.Bus().Subscribe(router) // wire-derived events
@@ -306,6 +345,13 @@ func live(addr, token string, showAlerts bool, zeekOut string, workers, queue, t
 	_ = srv.Close()
 	for _, st := range stages {
 		st.Close() // drain queued events before the final report
+	}
+	if rec != nil {
+		if err := rec.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "jsentinel: recording: %v\n", err)
+		} else {
+			fmt.Printf("jsentinel: tapped stream recorded to %s\n", logPath)
+		}
 	}
 
 	vis := mon.Visibility()

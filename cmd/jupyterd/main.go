@@ -7,12 +7,16 @@
 // Trace events stream to --log: an event-store directory by default
 // (segmented, indexed, replayable with jsentinel --replay DIR and its
 // filters), or a legacy flat JSONL file when the path ends in .jsonl.
+// New store segments use the compact binary-v2 codec unless
+// --codec=json asks for v1 JSON frames; readers dispatch per segment,
+// so a log that mixes codecs across restarts replays identically.
 // On SIGINT or SIGTERM the server shuts down cleanly and flushes the
 // log's buffered writes before exiting — a signal never tears the
 // recording's tail.
 //
 //	jupyterd --addr 127.0.0.1:8888
 //	jupyterd --sloppy --log ./events-store
+//	jupyterd --sloppy --log ./events-store --codec=json
 //	jupyterd --sloppy --log events.jsonl
 package main
 
@@ -39,7 +43,14 @@ func main() {
 	logPath := flag.String("log", "", "record trace events here: an event-store directory, or JSONL when the path ends in .jsonl")
 	terminals := flag.Bool("terminals", false, "enable terminals on hardened config")
 	scan := flag.Bool("scan", false, "print misconfiguration scan of the chosen config and exit")
+	codecFlag := flag.String("codec", "", "segment format for new --log store segments: binary (default) or json")
 	flag.Parse()
+
+	codec, err := evstore.ParseCodec(*codecFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jupyterd: %v\n", err)
+		os.Exit(2)
+	}
 
 	var cfg server.Config
 	if *sloppy {
@@ -70,7 +81,7 @@ func main() {
 	// write error, so a torn log never exits 0.
 	closeLog := func() error { return nil }
 	if *logPath != "" {
-		h, err := evstore.OpenSink(*logPath, evstore.SinkAppend)
+		h, err := evstore.OpenSink(*logPath, evstore.SinkAppend, codec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "jupyterd: %v\n", err)
 			os.Exit(1)

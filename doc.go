@@ -52,11 +52,20 @@
 // non-matching segments outright and feed the actor-sharded detection
 // workers from per-segment readers in parallel — so replay throughput
 // scales with cores instead of being capped by a whole-file JSONL
-// load (BenchmarkStoreReplay). jupyterd --log and jscan --events
-// write store directories (legacy .jsonl paths still stream flat
-// JSONL), Compact enforces retention, and corrupt tails from crashed
-// writers are truncated and surfaced on open, never silently
-// replayed.
+// load (BenchmarkStoreReplay). Segments come in two wire versions:
+// v1 frames carry JSON event payloads (CRC32-IEEE), v2 frames carry a
+// compact tagged-binary encoding of trace.Event with a per-segment
+// string-interning dictionary (CRC32-Castagnoli) whose frame header
+// exposes kind and actor, so kind/actor-filtered replays discard
+// non-matching frames after the CRC check without decoding their
+// bodies. Writers (jscan --events, jupyterd --log, jingestd,
+// jsentinel --log) default to binary with --codec=json as the
+// interchange escape hatch; readers dispatch on the per-segment magic
+// so mixed-version stores replay identically (JSON stays the
+// interchange format, and .jsonl paths still stream flat JSONL).
+// Compact enforces retention, and corrupt tails from crashed writers
+// are truncated and surfaced on open, never silently replayed —
+// identically for both codecs, with exact tail-loss accounting.
 //
 // The ingest front-end (internal/ingest, jingestd) runs that pipeline
 // as a multi-tenant service: agents stream events over HTTP batches

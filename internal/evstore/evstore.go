@@ -42,6 +42,11 @@ type Options struct {
 	// more distinct actors is marked overflowed and matches any actor
 	// filter. Default 256.
 	MaxActors int
+	// Codec selects the segment format NEW segments are written in:
+	// CodecBinary (v2, the default) or CodecJSON (v1). Reading is
+	// always version-dispatched per segment from its magic, so a
+	// store may freely mix segments of both formats.
+	Codec Codec
 }
 
 func (o Options) withDefaults() Options {
@@ -53,6 +58,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxActors <= 0 {
 		o.MaxActors = 256
+	}
+	if o.Codec == "" {
+		o.Codec = CodecBinary
 	}
 	return o
 }
@@ -91,8 +99,8 @@ type Store struct {
 
 type segmentWriter struct {
 	f         *os.File
-	buf       []byte // frame assembly scratch
-	pending   []byte // buffered frames not yet written through
+	enc       *binEncoder // per-segment binary state; nil for CodecJSON
+	pending   []byte      // buffered frames not yet written through
 	info      SegmentInfo
 	actors    map[string]struct{}
 	unflushed int
@@ -133,6 +141,9 @@ func OpenRead(dir string) (*Store, error) {
 
 func open(dir string, opts Options, readOnly bool) (*Store, error) {
 	opts = opts.withDefaults()
+	if opts.Codec != CodecBinary && opts.Codec != CodecJSON {
+		return nil, fmt.Errorf("evstore: unknown codec %q", opts.Codec)
+	}
 	paths, err := filepath.Glob(filepath.Join(dir, "seg-*.ev"))
 	if err != nil {
 		return nil, fmt.Errorf("evstore: %w", err)
@@ -232,6 +243,25 @@ func (s *Store) Append(e trace.Event) error {
 	return nil
 }
 
+// AppendBatch adds a batch of events under one lock acquisition —
+// the batch-at-a-time write path for replay-to-store conversion and
+// high-rate sinks. Frames are encoded back to back into the shared
+// pending buffer and written through on the usual FlushEvery cadence.
+func (s *Store) AppendBatch(events []trace.Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	for _, e := range events {
+		if err := s.append(e); err != nil {
+			s.err = err
+			return err
+		}
+	}
+	return nil
+}
+
 // Emit implements trace.Sink; the first failure is sticky and
 // reported by Err.
 func (s *Store) Emit(e trace.Event) { _ = s.Append(e) }
@@ -254,20 +284,30 @@ func (s *Store) append(e trace.Event) error {
 		}
 		s.cur = w
 	}
-	payload, err := json.Marshal(e)
-	if err != nil {
-		return fmt.Errorf("evstore: encode: %w", err)
-	}
-	if len(payload) > maxFrame {
-		return fmt.Errorf("evstore: event of %d bytes exceeds frame limit", len(payload))
-	}
 	w := s.cur
-	w.buf = w.buf[:0]
-	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(len(payload)))
-	w.buf = binary.LittleEndian.AppendUint32(w.buf, crc32.ChecksumIEEE(payload))
-	w.buf = append(w.buf, payload...)
-	w.pending = append(w.pending, w.buf...)
-	w.info.Index.observe(e, int64(len(w.buf)), w.actors, s.opts.MaxActors)
+	start := len(w.pending)
+	if w.enc != nil {
+		pending, err := w.enc.appendEvent(w.pending, e)
+		if err != nil {
+			return err
+		}
+		w.pending = pending
+	} else {
+		payload, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("evstore: encode: %w", err)
+		}
+		if len(payload) > maxFrame {
+			return fmt.Errorf("evstore: event of %d bytes exceeds frame limit", len(payload))
+		}
+		w.pending = binary.LittleEndian.AppendUint32(w.pending, uint32(len(payload)))
+		w.pending = binary.LittleEndian.AppendUint32(w.pending, crc32.ChecksumIEEE(payload))
+		w.pending = append(w.pending, payload...)
+	}
+	// frameBytes covers everything this event put on the wire,
+	// including any v2 dictionary frames it introduced, keeping the
+	// Index.Bytes == valid-file-length invariant.
+	w.info.Index.observe(e, int64(len(w.pending)-start), w.actors, s.opts.MaxActors)
 	w.unflushed++
 	if w.unflushed >= s.opts.FlushEvery {
 		if err := s.flushCur(); err != nil {
@@ -287,15 +327,23 @@ func (s *Store) openSegment() (*segmentWriter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("evstore: %w", err)
 	}
-	if _, err := f.Write([]byte(segMagic)); err != nil {
+	magic := segMagic
+	var enc *binEncoder
+	if s.opts.Codec == CodecBinary {
+		magic = segMagicV2
+		enc = newBinEncoder()
+	}
+	if _, err := f.Write([]byte(magic)); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("evstore: %w", err)
 	}
 	s.nextN++
 	return &segmentWriter{
-		f: f,
+		f:   f,
+		enc: enc,
 		info: SegmentInfo{N: n, Path: path, Index: Index{
-			Version: IndexVersion, Bytes: int64(len(segMagic)),
+			Version: IndexVersion, Bytes: int64(len(magic)),
+			Codec: string(s.opts.Codec),
 		}},
 		actors: map[string]struct{}{},
 	}, nil

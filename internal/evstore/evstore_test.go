@@ -389,7 +389,7 @@ func TestOpenSinkDispatch(t *testing.T) {
 	dir := t.TempDir()
 
 	jsonlPath := filepath.Join(dir, "events.jsonl")
-	h, err := OpenSink(jsonlPath, SinkFresh)
+	h, err := OpenSink(jsonlPath, SinkFresh, CodecBinary)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -406,7 +406,7 @@ func TestOpenSinkDispatch(t *testing.T) {
 	}
 
 	storePath := filepath.Join(dir, "store")
-	h, err = OpenSink(storePath, SinkFresh)
+	h, err = OpenSink(storePath, SinkFresh, CodecBinary)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -419,10 +419,10 @@ func TestOpenSinkDispatch(t *testing.T) {
 	if err := h.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenSink(storePath, SinkFresh); err == nil {
+	if _, err := OpenSink(storePath, SinkFresh, CodecBinary); err == nil {
 		t.Fatal("SinkFresh open of a non-empty store accepted")
 	}
-	h, err = OpenSink(storePath, SinkAppend)
+	h, err = OpenSink(storePath, SinkAppend, CodecJSON)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -440,7 +440,7 @@ func TestOpenSinkDispatch(t *testing.T) {
 	// Replace mode drops the old recording — the store analogue of
 	// os.Create truncation, used by resumed sweeps that re-emit the
 	// complete stream.
-	h, err = OpenSink(storePath, SinkReplace)
+	h, err = OpenSink(storePath, SinkReplace, CodecBinary)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,6 +26,22 @@ func buildSegment(events ...trace.Event) []byte {
 	return b.Bytes()
 }
 
+// buildSegmentV2 assembles valid binary-v2 segment bytes — dictionary
+// frames interleaved before their first use, exactly as the writer
+// emits them.
+func buildSegmentV2(events ...trace.Event) []byte {
+	out := []byte(segMagicV2)
+	enc := newBinEncoder()
+	for _, e := range events {
+		var err error
+		out, err = enc.appendEvent(out, e)
+		if err != nil {
+			panic(err)
+		}
+	}
+	return out
+}
+
 // FuzzReadSegment feeds arbitrary bytes through the frame decoder.
 // The contract under attack: never panic, never report more valid
 // bytes than exist, always cut cleanly at the first bad frame (the
@@ -48,6 +64,30 @@ func FuzzReadSegment(f *testing.F) {
 	f.Add([]byte("not a segment at all"))
 	huge := append([]byte(segMagic), 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0) // implausible length
 	f.Add(huge)
+
+	// Binary-v2 seeds: the same torn/corrupt shapes, plus the v2-only
+	// failure modes — a dangling dictionary reference and an unknown
+	// frame type, both CRC-valid so only the payload decode can object.
+	validV2 := buildSegmentV2(
+		trace.Event{Seq: 1, Time: at, Kind: trace.KindExec, User: "alice", Code: "print(1)"},
+		trace.Event{Seq: 2, Time: at.Add(time.Second), Kind: trace.KindExec, User: "alice", Op: "run"},
+		trace.Event{Seq: 3, Time: at.Add(2 * time.Second), Kind: trace.KindAuth, SrcIP: "10.0.0.1"},
+	)
+	f.Add(validV2)
+	f.Add(validV2[:len(validV2)-3])
+	f.Add(append(validV2, 0xde, 0xad, 0xbe))
+	corruptV2 := append([]byte(nil), validV2...)
+	corruptV2[len(corruptV2)-1] ^= 0xff
+	f.Add(corruptV2)
+	appendV2Frame := func(dst, payload []byte) []byte {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+		dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+		return append(dst, payload...)
+	}
+	dangling := appendV2Frame([]byte(segMagicV2), []byte{frameEvent, 0x09}) // kind = dict ref 8, never defined
+	f.Add(dangling)
+	f.Add(appendV2Frame([]byte(segMagicV2), []byte{0x7f, 1, 2, 3})) // unknown frame type
+	f.Add(appendV2Frame([]byte(segMagicV2), []byte{frameDict}))     // empty dictionary entry
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var events int

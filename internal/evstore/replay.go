@@ -1,6 +1,7 @@
 package evstore
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -85,11 +86,40 @@ func (f Filter) MatchIndex(ix Index) bool {
 	return true
 }
 
+// pushDown derives a frame-header skip predicate from the kind and
+// actor facets: v2 frames carry both in the header, so a frame that
+// cannot match is discarded after the CRC check without decoding its
+// body. Time bounds are not in the header and stay with per-event
+// Match — safe, because pushDown only skips frames Match would reject
+// anyway. Returns nil when the filter has no pushable facet, which
+// keeps the unfiltered decode loop branch-free.
+func (f Filter) pushDown() func(kind trace.Kind, actor string) bool {
+	if len(f.Kinds) == 0 && f.Actor == "" {
+		return nil
+	}
+	return func(kind trace.Kind, actor string) bool {
+		if len(f.Kinds) > 0 {
+			ok := false
+			for _, k := range f.Kinds {
+				if kind == k {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return true
+			}
+		}
+		return f.Actor != "" && actor != f.Actor
+	}
+}
+
 // ReplayStats summarizes one replay pass.
 type ReplayStats struct {
 	SegmentsTotal    int   // sealed segments in the store
 	SegmentsSelected int   // segments the index could not rule out
 	Decoded          int64 // frames decoded across selected segments
+	Skipped          int64 // v2 frames discarded by header push-down, undecoded
 	Events           int64 // events delivered after per-event filtering
 	TailLossBytes    int64 // corrupt trailing bytes skipped during the pass
 }
@@ -101,12 +131,13 @@ type ReplayStats struct {
 func (s *Store) Scan(f Filter, fn func(trace.Event) error) (ReplayStats, error) {
 	segs := s.Segments()
 	stats := ReplayStats{SegmentsTotal: len(segs)}
+	skip := f.pushDown()
 	for _, seg := range segs {
 		if !f.MatchIndex(seg.Index) {
 			continue
 		}
 		stats.SegmentsSelected++
-		res, err := scanSegment(seg.Path, func(e trace.Event) error {
+		res, err := scanSegmentFiltered(seg.Path, skip, func(e trace.Event) error {
 			stats.Decoded++
 			if !f.Match(e) {
 				return nil
@@ -114,6 +145,7 @@ func (s *Store) Scan(f Filter, fn func(trace.Event) error) (ReplayStats, error) 
 			stats.Events++
 			return fn(e)
 		})
+		stats.Skipped += int64(res.Skipped)
 		stats.TailLossBytes += res.TailLossBytes
 		if err != nil {
 			return stats, err
@@ -171,12 +203,24 @@ func (s *Store) Replay(f Filter, workers, batch int, process func([]trace.Event)
 		return stats, nil
 	}
 
-	var decoded, matched, tailLoss atomic.Int64
+	skip := f.pushDown()
+	var decoded, skipped, matched, tailLoss atomic.Int64
 	var errMu sync.Mutex
 	var firstErr error
 
+	// Each decoded segment materializes once as a flat event array
+	// plus a parallel shard-tag array; shard worker w walks the tags
+	// and copies out only its events. Flat-plus-tags beats per-shard
+	// buckets because the sidecar records the segment's exact event
+	// count: the array is allocated right-sized and never regrows,
+	// where skewed actor sharding made bucket growth (and the zeroing
+	// of ever-larger backing arrays) the replay's dominant cost.
+	type segBuf struct {
+		events []trace.Event
+		shard  []uint32
+	}
 	type segState struct {
-		buckets [][]trace.Event // per shard; valid once done is closed
+		buf     *segBuf // valid once done is closed
 		done    chan struct{}
 		readers atomic.Int32 // shard workers yet to finish with it
 	}
@@ -187,30 +231,54 @@ func (s *Store) Replay(f Filter, workers, batch int, process func([]trace.Event)
 		states[i] = st
 	}
 
-	// Bounded decode look-ahead keeps at most workers+2 segments'
-	// filtered events in memory at once.
+	// Bounded decode look-ahead keeps at most a few segments'
+	// filtered events in memory at once. Look-ahead past the
+	// machine's parallelism can't speed decoding up — it only holds
+	// more segments live — so the bound also caps at GOMAXPROCS+2,
+	// which is what lets the free list actually recycle buffers
+	// mid-pass on small stores. Drained buffers recycle through that
+	// free list (a channel, not a sync.Pool: mid-pass GC would purge
+	// a pool's warm capacity exactly when it matters).
 	ahead := workers + 2
+	if p := runtime.GOMAXPROCS(0) + 2; ahead > p {
+		ahead = p
+	}
 	if ahead > len(segs) {
 		ahead = len(segs)
 	}
 	slots := make(chan struct{}, ahead)
+	free := make(chan *segBuf, ahead)
 
 	go func() {
 		for i := range segs {
 			slots <- struct{}{} // released when every shard is done with segment i
 			go func(i int) {
 				st := states[i]
-				buckets := make([][]trace.Event, workers)
-				res, err := scanSegment(segs[i].Path, func(e trace.Event) error {
+				var sb *segBuf
+				select {
+				case sb = <-free:
+				default:
+					sb = &segBuf{}
+				}
+				n := segs[i].Index.Events
+				if cap(sb.events) < n {
+					sb.events = make([]trace.Event, 0, n)
+					sb.shard = make([]uint32, 0, n)
+				} else {
+					sb.events = sb.events[:0]
+					sb.shard = sb.shard[:0]
+				}
+				res, err := scanSegmentFiltered(segs[i].Path, skip, func(e trace.Event) error {
 					decoded.Add(1)
 					if !f.Match(e) {
 						return nil
 					}
 					matched.Add(1)
-					w := trace.ShardIndex(trace.ActorKey(e), workers)
-					buckets[w] = append(buckets[w], e)
+					sb.events = append(sb.events, e)
+					sb.shard = append(sb.shard, uint32(trace.ShardIndex(trace.ActorKey(e), workers)))
 					return nil
 				})
+				skipped.Add(int64(res.Skipped))
 				tailLoss.Add(res.TailLossBytes)
 				if err != nil {
 					errMu.Lock()
@@ -219,7 +287,7 @@ func (s *Store) Replay(f Filter, workers, batch int, process func([]trace.Event)
 					}
 					errMu.Unlock()
 				}
-				st.buckets = buckets
+				st.buf = sb
 				close(st.done)
 			}(i)
 		}
@@ -230,19 +298,28 @@ func (s *Store) Replay(f Filter, workers, batch int, process func([]trace.Event)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			mine := uint32(w)
 			buf := make([]trace.Event, 0, batch)
 			for i := range segs {
 				st := states[i]
 				<-st.done
-				for _, e := range st.buckets[w] {
-					buf = append(buf, e)
+				sb := st.buf
+				for j, sh := range sb.shard {
+					if sh != mine {
+						continue
+					}
+					buf = append(buf, sb.events[j])
 					if len(buf) == batch {
 						process(buf)
 						buf = buf[:0]
 					}
 				}
 				if st.readers.Add(-1) == 0 {
-					st.buckets = nil
+					select {
+					case free <- sb:
+					default:
+					}
+					st.buf = nil
 					<-slots
 				}
 			}
@@ -254,6 +331,7 @@ func (s *Store) Replay(f Filter, workers, batch int, process func([]trace.Event)
 	wg.Wait()
 
 	stats.Decoded = decoded.Load()
+	stats.Skipped = skipped.Load()
 	stats.Events = matched.Load()
 	stats.TailLossBytes = tailLoss.Load()
 	return stats, firstErr

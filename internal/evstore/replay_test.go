@@ -16,7 +16,14 @@ import (
 // filters can each prune whole segments.
 func writeMixed(t *testing.T, dir string, perPhase int) {
 	t.Helper()
-	s, err := Open(dir, Options{SegmentBytes: 4096, FlushEvery: 16})
+	writeMixedOpts(t, dir, Options{SegmentBytes: 4096, FlushEvery: 16}, perPhase)
+}
+
+// writeMixedOpts is writeMixed with explicit store options, so codec
+// variants can reuse the same stream shape.
+func writeMixedOpts(t *testing.T, dir string, opts Options, perPhase int) {
+	t.Helper()
+	s, err := Open(dir, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

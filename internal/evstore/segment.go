@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
@@ -15,21 +16,76 @@ import (
 
 // Segment file layout: an 8-byte magic followed by frames of
 //
-//	uint32le payload length | uint32le CRC32-IEEE(payload) | payload
+//	uint32le payload length | uint32le CRC32(payload) | payload
 //
-// where the payload is one JSON-encoded trace.Event. Anything that
-// fails the length bound, the checksum, or the decode marks the end
-// of the valid prefix: readers stop there and report the remainder as
-// tail loss, and the writer truncates it away on open so appends
-// never land after garbage.
+// Two segment versions share that framing and differ in what the
+// payload is:
+//
+//   - EVSEG001 (v1, codec "json"): every payload is one JSON-encoded
+//     trace.Event, checksummed with CRC32-IEEE.
+//   - EVSEG002 (v2, codec "binary"): payloads are typed, checksummed
+//     with hardware-accelerated CRC32-Castagnoli. A dictionary frame
+//     (type 0x01) defines the next sequential string-interning
+//     reference for the segment; an event frame (type 0x02) carries
+//     the event's kind and actor key as dictionary-or-inline strings,
+//     then the compact tagged binary body (trace.AppendBinaryEvent).
+//     Dictionary entries always precede their first use, so any valid
+//     frame prefix is self-contained — truncation recovery works
+//     exactly as in v1. The kind+actor header lets a filtered replay
+//     skip the body decode entirely for non-matching events.
+//
+// Anything that fails the length bound, the checksum, or the decode
+// marks the end of the valid prefix: readers stop there and report
+// the remainder as tail loss, and the writer truncates it away on
+// open so appends never land after garbage.
 const (
-	segMagic = "EVSEG001"
+	segMagic   = "EVSEG001"
+	segMagicV2 = "EVSEG002"
 	// maxFrame bounds a frame payload, matching trace.Decoder's line
 	// bound; a larger length prefix is corruption, not a big event.
 	maxFrame = 16 << 20
 
 	frameHeaderLen = 8
+
+	// v2 frame payload types.
+	frameDict  = 0x01
+	frameEvent = 0x02
+
+	// Interning policy: strings longer than this, or arriving after
+	// the dictionary is full, are inlined instead. The cap bounds the
+	// decoder's per-segment dictionary memory independently of
+	// SegmentBytes.
+	maxInternLen = 128
+	maxDictRefs  = 1 << 16
 )
+
+// castagnoli is the CRC32-Castagnoli table v2 frames use; amd64 and
+// arm64 compute it with the dedicated CRC32 instructions. v1 keeps
+// IEEE for compatibility with every segment already on disk.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Codec names a segment payload encoding.
+type Codec string
+
+const (
+	// CodecBinary writes v2 segments: compact tagged binary events
+	// with a per-segment interning dictionary. The default.
+	CodecBinary Codec = "binary"
+	// CodecJSON writes v1 segments: one JSON event per frame — the
+	// escape hatch for tooling that greps segment files directly.
+	CodecJSON Codec = "json"
+)
+
+// ParseCodec validates a --codec flag value.
+func ParseCodec(s string) (Codec, error) {
+	switch Codec(s) {
+	case CodecBinary, CodecJSON:
+		return Codec(s), nil
+	case "":
+		return CodecBinary, nil
+	}
+	return "", fmt.Errorf("evstore: unknown codec %q: want binary or json", s)
+}
 
 // IndexVersion is the sidecar schema version this build writes.
 // Unknown versions are rebuilt from the segment data, never trusted.
@@ -45,6 +101,10 @@ type Index struct {
 	Version int   `json:"version"`
 	Events  int   `json:"events"`
 	Bytes   int64 `json:"bytes"` // valid file length including magic
+
+	// Codec records the segment's payload encoding ("json" for v1,
+	// "binary" for v2) — diagnostic only; readers trust the magic.
+	Codec string `json:"codec,omitempty"`
 
 	// Sequence range: not a replay-filter facet (Filter has no seq
 	// bounds), but the cheap cross-segment ordering witness — tests
@@ -112,12 +172,76 @@ func (ix *Index) seal(actors map[string]struct{}) {
 	sort.Strings(ix.Actors)
 }
 
+// binEncoder is the per-segment binary-codec write state: the
+// string-interning dictionary and a reused scratch buffer, so the hot
+// append path allocates only for genuinely new dictionary entries.
+type binEncoder struct {
+	dict    map[string]uint64
+	scratch []byte
+}
+
+func newBinEncoder() *binEncoder {
+	return &binEncoder{dict: make(map[string]uint64)}
+}
+
+// appendFrame appends one length+CRC32C framed payload to dst.
+func appendFrameV2(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...)
+}
+
+// appendEvent appends the v2 frames encoding e — any new dictionary
+// entries first, then the event frame — to dst and returns the
+// extended slice. Dictionary entries therefore always precede their
+// first reference, keeping every valid frame prefix self-contained.
+func (enc *binEncoder) appendEvent(dst []byte, e trace.Event) ([]byte, error) {
+	dictStart := uint64(len(enc.dict))
+	intern := func(s string) (uint64, bool) {
+		if ref, ok := enc.dict[s]; ok {
+			return ref, true
+		}
+		if len(s) == 0 || len(s) > maxInternLen || uint64(len(enc.dict)) >= maxDictRefs {
+			return 0, false
+		}
+		ref := uint64(len(enc.dict))
+		enc.dict[s] = ref
+		dst = appendFrameV2(dst, append([]byte{frameDict}, s...))
+		return ref, true
+	}
+	enc.scratch = enc.scratch[:0]
+	enc.scratch = append(enc.scratch, frameEvent)
+	enc.scratch = trace.AppendBinaryString(enc.scratch, string(e.Kind), intern)
+	enc.scratch = trace.AppendBinaryString(enc.scratch, trace.ActorKey(e), intern)
+	enc.scratch = trace.AppendBinaryEvent(enc.scratch, e, intern)
+	if len(enc.scratch) > maxFrame {
+		// The caller discards the returned slice growth on error, so any
+		// dictionary frames staged for this event never reach disk; drop
+		// their map entries too or later events would reference ids the
+		// reader has never seen.
+		for s, ref := range enc.dict {
+			if ref >= dictStart {
+				delete(enc.dict, s)
+			}
+		}
+		return dst, fmt.Errorf("evstore: event of %d bytes exceeds frame limit", len(enc.scratch))
+	}
+	return appendFrameV2(dst, enc.scratch), nil
+}
+
 // DecodeResult reports what a segment scan found: how much of the
 // file was a valid frame sequence and how much trailing corruption
 // (if any) was cut off.
 type DecodeResult struct {
 	Events     int
 	ValidBytes int64 // length of the valid prefix including magic
+	// Skipped counts v2 event frames whose checksum was verified but
+	// whose body was never decoded, because the push-down predicate
+	// ruled them out from the frame header alone.
+	Skipped int
+	// Codec is the segment encoding the magic announced ("json" or
+	// "binary"), or "" when even the magic was unreadable.
+	Codec Codec
 	// TailLossBytes is how many trailing bytes were unreadable —
 	// non-zero only when Truncated is set.
 	TailLossBytes int64
@@ -126,14 +250,24 @@ type DecodeResult struct {
 	Reason string
 }
 
-// DecodeFrames scans a segment byte stream, invoking fn for every
-// valid event in order. Corruption — bad magic, an absurd length, a
-// checksum or JSON decode failure, a short final frame — never
-// returns an error: the scan stops at the first bad frame and the
-// result records the clean prefix and the reason. A non-nil error
+// DecodeFrames scans a segment byte stream of either version,
+// invoking fn for every valid event in order. Corruption — bad magic,
+// an absurd length, a checksum or decode failure, a short final frame
+// — never returns an error: the scan stops at the first bad frame and
+// the result records the clean prefix and the reason. A non-nil error
 // from fn aborts the scan and is returned as-is. size is the total
 // stream length if known (for tail-loss accounting), or -1.
 func DecodeFrames(r io.Reader, size int64, fn func(trace.Event) error) (DecodeResult, error) {
+	return decodeFrames(r, size, nil, fn)
+}
+
+// decodeFrames is DecodeFrames plus the v2 push-down hook: when skip
+// is non-nil it is consulted with each event frame's header kind and
+// actor key, after the checksum verifies but before the body decodes;
+// returning true drops the frame without decoding it. v1 segments
+// have no header to push into, so skip is ignored there and per-event
+// filtering stays with the caller.
+func decodeFrames(r io.Reader, size int64, skip func(kind trace.Kind, actor string) bool, fn func(trace.Event) error) (DecodeResult, error) {
 	var res DecodeResult
 	br := bufio.NewReaderSize(r, 256<<10)
 	truncate := func(reason string) (DecodeResult, error) {
@@ -149,17 +283,40 @@ func DecodeFrames(r io.Reader, size int64, fn func(trace.Event) error) (DecodeRe
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return truncate("missing magic")
 	}
-	if string(magic) != segMagic {
+	var binaryCodec bool
+	switch string(magic) {
+	case segMagic:
+		res.Codec = CodecJSON
+	case segMagicV2:
+		res.Codec = CodecBinary
+		binaryCodec = true
+	default:
 		return truncate("bad magic")
 	}
 	res.ValidBytes = int64(len(segMagic))
 
+	crcTable := crc32.IEEETable
+	if binaryCodec {
+		crcTable = castagnoli
+	}
+	var dict []string
+	lookup := func(ref uint64) (string, bool) {
+		if ref >= uint64(len(dict)) {
+			return "", false
+		}
+		return dict[ref], true
+	}
+
 	var hdr [frameHeaderLen]byte
-	// One grow-on-demand scratch buffer serves every frame:
-	// json.Unmarshal copies whatever it keeps, so the payload never
+	// One scratch buffer serves every frame, grown geometrically so a
+	// run of monotonically larger frames doesn't reallocate per frame.
+	// Decoded events copy whatever they keep, so the payload never
 	// escapes the loop and the hot replay path stays allocation-free
-	// per event.
+	// per event. The event is hoisted too: &e escapes into
+	// json.Unmarshal, so an in-loop declaration would heap-allocate
+	// every event.
 	var payload []byte
+	var e trace.Event
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			if err == io.EOF {
@@ -173,18 +330,54 @@ func DecodeFrames(r io.Reader, size int64, fn func(trace.Event) error) (DecodeRe
 			return truncate("implausible frame length")
 		}
 		if uint32(cap(payload)) < length {
-			payload = make([]byte, length)
+			newCap := 2 * cap(payload)
+			if newCap < int(length) {
+				newCap = int(length)
+			}
+			if newCap < 4096 {
+				newCap = 4096
+			}
+			payload = make([]byte, newCap)
 		}
 		payload = payload[:length]
 		if _, err := io.ReadFull(br, payload); err != nil {
 			return truncate("short frame payload")
 		}
-		if crc32.ChecksumIEEE(payload) != sum {
+		if crc32.Checksum(payload, crcTable) != sum {
 			return truncate("checksum mismatch")
 		}
-		var e trace.Event
-		if err := json.Unmarshal(payload, &e); err != nil {
-			return truncate("frame not an event")
+		e = trace.Event{}
+		if binaryCodec {
+			switch payload[0] {
+			case frameDict:
+				dict = append(dict, string(payload[1:]))
+				res.ValidBytes += frameHeaderLen + int64(length)
+				continue
+			case frameEvent:
+				kind, n1, err := trace.DecodeBinaryString(payload[1:], lookup)
+				if err != nil {
+					return truncate("frame not an event")
+				}
+				actor, n2, err := trace.DecodeBinaryString(payload[1+n1:], lookup)
+				if err != nil {
+					return truncate("frame not an event")
+				}
+				if skip != nil && skip(trace.Kind(kind), actor) {
+					res.ValidBytes += frameHeaderLen + int64(length)
+					res.Skipped++
+					continue
+				}
+				e, err = trace.DecodeBinaryEvent(payload[1+n1+n2:], trace.Kind(kind), lookup)
+				if err != nil {
+					return truncate("frame not an event")
+				}
+			default:
+				return truncate("unknown frame type")
+			}
+		} else {
+			if err := json.Unmarshal(payload, &e); err != nil {
+				return truncate("frame not an event")
+			}
 		}
 		res.ValidBytes += frameHeaderLen + int64(length)
 		res.Events++
@@ -196,6 +389,12 @@ func DecodeFrames(r io.Reader, size int64, fn func(trace.Event) error) (DecodeRe
 
 // scanSegment decodes a segment file from disk.
 func scanSegment(path string, fn func(trace.Event) error) (DecodeResult, error) {
+	return scanSegmentFiltered(path, nil, fn)
+}
+
+// scanSegmentFiltered decodes a segment file with an optional v2
+// push-down predicate.
+func scanSegmentFiltered(path string, skip func(kind trace.Kind, actor string) bool, fn func(trace.Event) error) (DecodeResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return DecodeResult{}, err
@@ -205,7 +404,7 @@ func scanSegment(path string, fn func(trace.Event) error) (DecodeResult, error) 
 	if err != nil {
 		return DecodeResult{}, err
 	}
-	return DecodeFrames(f, st.Size(), fn)
+	return decodeFrames(f, st.Size(), skip, fn)
 }
 
 // rebuildIndex reconstructs a sidecar by scanning the segment data —
@@ -224,5 +423,6 @@ func rebuildIndex(path string, maxActors int) (Index, DecodeResult, error) {
 	}
 	ix.seal(actors)
 	ix.Bytes = res.ValidBytes
+	ix.Codec = string(res.Codec)
 	return ix, res, nil
 }

@@ -59,7 +59,11 @@ const (
 )
 
 // OpenSink opens an event-recording path per the suffix convention.
-func OpenSink(path string, mode SinkMode) (*SinkHandle, error) {
+// codec selects the segment format for store paths (CodecBinary when
+// empty); .jsonl paths are JSON by definition and ignore it. Reading
+// back is always per-segment version-dispatched, so the choice only
+// affects new segments.
+func OpenSink(path string, mode SinkMode, codec Codec) (*SinkHandle, error) {
 	if strings.HasSuffix(path, ".jsonl") {
 		f, err := os.Create(path)
 		if err != nil {
@@ -89,7 +93,7 @@ func OpenSink(path string, mode SinkMode) (*SinkHandle, error) {
 			return nil, fmt.Errorf("evstore: %s already holds a recorded stream (%d events); delete it or record elsewhere", path, existing)
 		}
 	}
-	store, err := Open(path, Options{})
+	store, err := Open(path, Options{Codec: codec})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,181 @@
+package rules
+
+import (
+	"regexp/syntax"
+	"strings"
+	"unicode/utf8"
+)
+
+// Regex conditions dominate the engine's per-event cost: most events
+// are benign, so most MatchString calls walk the backtracker to a
+// miss. Nearly every shipped pattern, however, contains a literal the
+// input must hold for any match to exist ("encrypt", "b64encode",
+// "curl"/"wget", ...), and strings.Contains rejects a candidate an
+// order of magnitude cheaper than the regexp engine. requiredLiterals
+// derives that guard from the parsed pattern at compile time; Match
+// consults it before touching the regexp. The extraction is
+// conservative — when no literal is provably required the condition
+// simply runs the regexp as before — so the guard can only ever skip
+// inputs the regexp would also reject.
+
+// litHint is one alternative of a required-literal set: the input
+// must contain at least one hint's literal (case-insensitively when
+// fold is set) or the regexp cannot match.
+type litHint struct {
+	lit  string
+	fold bool // ASCII case-insensitive containment
+}
+
+// requiredLiterals extracts a required-literal set from a pattern.
+// An empty result means no guard could be proven.
+func requiredLiterals(pattern string) []litHint {
+	re, err := syntax.Parse(pattern, syntax.Perl)
+	if err != nil {
+		return nil
+	}
+	hints, ok := litsOf(re.Simplify())
+	if !ok || minHintLen(hints) < 2 {
+		// One-byte guards reject too little to pay for the scan.
+		return nil
+	}
+	return hints
+}
+
+// litsOf walks the parse tree. The returned set is sound, not
+// complete: ok means "every match of this subexpression contains one
+// of these literals".
+func litsOf(re *syntax.Regexp) ([]litHint, bool) {
+	switch re.Op {
+	case syntax.OpLiteral:
+		return literalHint(re)
+	case syntax.OpConcat:
+		// Every child must match, so any child's requirement is a
+		// requirement of the whole; keep the most selective one.
+		var best []litHint
+		bestLen := 0
+		for _, sub := range re.Sub {
+			if hints, ok := litsOf(sub); ok {
+				if l := minHintLen(hints); l > bestLen {
+					best, bestLen = hints, l
+				}
+			}
+		}
+		return best, bestLen > 0
+	case syntax.OpCapture, syntax.OpPlus:
+		return litsOf(re.Sub[0])
+	case syntax.OpRepeat:
+		if re.Min >= 1 {
+			return litsOf(re.Sub[0])
+		}
+	case syntax.OpAlternate:
+		// Every branch must carry its own requirement or the union
+		// proves nothing.
+		var all []litHint
+		for _, sub := range re.Sub {
+			hints, ok := litsOf(sub)
+			if !ok {
+				return nil, false
+			}
+			all = append(all, hints...)
+		}
+		return all, len(all) > 0
+	}
+	// Star/quest/classes/anchors/empty: nothing required.
+	return nil, false
+}
+
+// literalHint converts an OpLiteral node. Folded literals are kept
+// only when pure ASCII, where a byte-wise case-insensitive scan is
+// exact; non-ASCII folding (Kelvin sign, dotless i) is left to the
+// regexp engine.
+func literalHint(re *syntax.Regexp) ([]litHint, bool) {
+	if len(re.Rune) == 0 {
+		return nil, false
+	}
+	lit := string(re.Rune)
+	if re.Flags&syntax.FoldCase == 0 {
+		return []litHint{{lit: lit}}, true
+	}
+	for _, r := range re.Rune {
+		if r >= utf8.RuneSelf {
+			return nil, false
+		}
+	}
+	return []litHint{{lit: strings.ToLower(lit), fold: true}}, true
+}
+
+func minHintLen(hints []litHint) int {
+	if len(hints) == 0 {
+		return 0
+	}
+	min := len(hints[0].lit)
+	for _, h := range hints[1:] {
+		if len(h.lit) < min {
+			min = len(h.lit)
+		}
+	}
+	return min
+}
+
+// matchHints reports whether v contains at least one required
+// literal. False proves the regexp cannot match v.
+func matchHints(v string, hints []litHint) bool {
+	for _, h := range hints {
+		if h.fold {
+			if containsFoldASCII(v, h.lit) {
+				return true
+			}
+		} else if strings.Contains(v, h.lit) {
+			return true
+		}
+	}
+	return false
+}
+
+// containsFoldASCII is strings.Contains under ASCII case folding
+// without allocating a lowered copy. substr must already be
+// lowercase. Positions that can't start a match are skipped with
+// IndexByte (vectorized memchr) on the first byte's two cases, so
+// the byte-wise compare only runs at genuine candidates.
+func containsFoldASCII(s, substr string) bool {
+	n := len(substr)
+	if n == 0 {
+		return true
+	}
+	c0 := substr[0]
+	u0 := c0
+	if 'a' <= c0 && c0 <= 'z' {
+		u0 = c0 - ('a' - 'A')
+	}
+	for i := 0; i+n <= len(s); {
+		if ch := s[i]; ch != c0 && ch != u0 {
+			rest := s[i+1 : len(s)-n+1]
+			next := strings.IndexByte(rest, c0)
+			if u0 != c0 {
+				if up := strings.IndexByte(rest, u0); up >= 0 && (next < 0 || up < next) {
+					next = up
+				}
+			}
+			if next < 0 {
+				return false
+			}
+			i += 1 + next
+		}
+		j := 1
+		for j < n {
+			ch := s[i+j]
+			if 'A' <= ch && ch <= 'Z' {
+				ch += 'a' - 'A'
+			}
+			if ch != substr[j] {
+				break
+			}
+			j++
+		}
+		if j == n {
+			return true
+		}
+		i++
+	}
+	return false
+}

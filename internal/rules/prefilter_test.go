@@ -1,0 +1,123 @@
+package rules
+
+import (
+	"regexp"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestRequiredLiteralsExtraction checks the guard derived from
+// representative shipped patterns.
+func TestRequiredLiteralsExtraction(t *testing.T) {
+	cases := []struct {
+		pattern string
+		want    []litHint // nil = no guard expected
+	}{
+		{`encrypt\s*\(`, []litHint{{lit: "encrypt"}}},
+		{`b64encode\s*\(`, []litHint{{lit: "b64encode"}}},
+		{`^(create|write)$`, []litHint{{lit: "create"}, {lit: "write"}}},
+		{`(curl|wget).*(\||;|&&).*(sh|bash|python)`, []litHint{{lit: "curl"}, {lit: "wget"}}},
+		{`^/api/`, []litHint{{lit: "/api/"}}},
+		{`\.(locked|enc|crypt|encrypted)$`, []litHint{
+			{lit: "locked"}, {lit: "enc"}, {lit: "crypt"}, {lit: "encrypted"}}},
+		{`(?i)(xmrig|minerd)`, []litHint{{lit: "xmrig", fold: true}, {lit: "minerd", fold: true}}},
+		// No provable literal: class-only, optional-only, or folded
+		// non-ASCII patterns must fall back to the bare regexp.
+		{`[0-9]+`, nil},
+		{`(abc)?`, nil},
+		{`a|[0-9]`, nil},
+		{`(?i)ünïcode`, nil},
+		{`x`, nil}, // below the 2-byte floor
+	}
+	for _, tc := range cases {
+		got := requiredLiterals(tc.pattern)
+		if len(got) != len(tc.want) {
+			t.Errorf("%q: hints %+v, want %+v", tc.pattern, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%q: hint[%d] = %+v, want %+v", tc.pattern, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+// TestPrefilterAgreesWithRegexp runs every guarded pattern against
+// inputs chosen to stress the guard boundary (near-miss literals,
+// case variants, fold edge cases) and demands bit-identical verdicts
+// with the unguarded regexp.
+func TestPrefilterAgreesWithRegexp(t *testing.T) {
+	patterns := []string{
+		`encrypt\s*\(`,
+		`b64encode\s*\(`,
+		`^(create|write)$`,
+		`(?i)(readme.*(ransom|decrypt|restore)|ransom|how_to_recover)`,
+		`\.(locked|enc|crypt|encrypted)$`,
+		`(?i)(stratum\+tcp|xmrig|minerd|cryptonight|pool\.min)`,
+		`^/api/`,
+		`^(whoami|id|uname|nproc|cat /etc/passwd)`,
+		`(curl|wget).*(\||;|&&).*(sh|bash|python)`,
+	}
+	inputs := []string{
+		"",
+		"import pandas as pd",
+		"encrypt(data)",
+		"encrypt (data)",
+		"ENCRYPT(data)", // case miss for case-sensitive pattern
+		"deencrypted",
+		"x = b64encode(body)",
+		"b64decode(body)",
+		"create", "created", "write", "rewrite",
+		"README_RANSOM.txt", "readme how to restore files",
+		"notes.enc", "notes.encrypted", "notes.enc.bak",
+		"stratum+tcp://pool", "XMRig --threads 4", "pool.minexmr.com",
+		"/api/kernels", "/apifront", "prefix/api/",
+		"whoami", "id", "uname -a", "cat /etc/passwd", "guid",
+		"curl http://x | sh", "wget x && bash", "curl x",
+		"results/output-17.csv",
+		"KKelvin xmrig", // Kelvin sign near a folded literal
+	}
+	for _, p := range patterns {
+		re := regexp.MustCompile(p)
+		c := Condition{Field: "code", Regex: p}
+		if err := c.compile(); err != nil {
+			t.Fatalf("%q: %v", p, err)
+		}
+		for _, in := range inputs {
+			e := trace.Event{Kind: trace.KindExec, Code: in}
+			if got, want := c.Match(&e), re.MatchString(in); got != want {
+				t.Errorf("pattern %q input %q: guarded=%v bare=%v (hints %+v)",
+					p, in, got, want, c.hints)
+			}
+		}
+	}
+}
+
+// BenchmarkRegexCondition measures the guard's effect on the benign
+// fast path (no literal present, regexp never consulted).
+func BenchmarkRegexCondition(b *testing.B) {
+	e := trace.Event{Kind: trace.KindExec,
+		Code: "df = pd.read_csv('data.csv'); df.groupby('user').agg({'bytes': 'sum'})"}
+	guarded := Condition{Field: "code", Regex: `(curl|wget).*(\||;|&&).*(sh|bash|python)`}
+	if err := guarded.compile(); err != nil {
+		b.Fatal(err)
+	}
+	bare := guarded
+	bare.hints = nil
+	b.Run("guarded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if guarded.Match(&e) {
+				b.Fatal("unexpected match")
+			}
+		}
+	})
+	b.Run("bare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if bare.Match(&e) {
+				b.Fatal("unexpected match")
+			}
+		}
+	})
+}

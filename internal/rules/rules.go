@@ -70,10 +70,12 @@ type Condition struct {
 	HasGT    bool    `json:"has_gt,omitempty"`
 	HasLT    bool    `json:"has_lt,omitempty"`
 
-	re *regexp.Regexp
+	re    *regexp.Regexp
+	hints []litHint // required-literal guard; empty = none proven
 }
 
-// compile prepares the regex.
+// compile prepares the regex and its required-literal guard (see
+// prefilter.go).
 func (c *Condition) compile() error {
 	if c.Regex != "" {
 		re, err := regexp.Compile(c.Regex)
@@ -81,13 +83,17 @@ func (c *Condition) compile() error {
 			return fmt.Errorf("rules: condition on %q: %w", c.Field, err)
 		}
 		c.re = re
+		c.hints = requiredLiterals(c.Regex)
 	}
 	return nil
 }
 
 // FieldValue extracts a named field from an event as a string. Names
 // mirror the trace.Event JSON tags; unknown names read from Fields.
-func FieldValue(e trace.Event, field string) string {
+// Takes a pointer because it runs once per condition per event on the
+// hot path and trace.Event is a large struct; the event is not
+// modified.
+func FieldValue(e *trace.Event, field string) string {
 	switch field {
 	case "kind":
 		return string(e.Kind)
@@ -130,12 +136,17 @@ func FieldValue(e trace.Event, field string) string {
 	case "detail":
 		return e.Detail
 	default:
-		return e.Field(field)
+		// Inline of e.Field: the value-receiver method would copy the
+		// whole event per lookup.
+		if e.Fields == nil {
+			return ""
+		}
+		return e.Fields[field]
 	}
 }
 
 // numericValue extracts a field as float64 for gt/lt comparisons.
-func numericValue(e trace.Event, field string) (float64, bool) {
+func numericValue(e *trace.Event, field string) (float64, bool) {
 	switch field {
 	case "bytes":
 		return float64(e.Bytes), true
@@ -154,8 +165,9 @@ func numericValue(e trace.Event, field string) (float64, bool) {
 	return 0, false
 }
 
-// Match evaluates the condition against an event.
-func (c *Condition) Match(e trace.Event) bool {
+// Match evaluates the condition against an event. The pointer avoids
+// copying the event once per condition; the event is not modified.
+func (c *Condition) Match(e *trace.Event) bool {
 	if c.HasGT || c.HasLT {
 		v, ok := numericValue(e, c.Field)
 		if !ok {
@@ -176,15 +188,19 @@ func (c *Condition) Match(e trace.Event) bool {
 	case c.Contains != "":
 		return strings.Contains(v, c.Contains)
 	case c.re != nil:
+		if len(c.hints) > 0 && !matchHints(v, c.hints) {
+			return false
+		}
 		return c.re.MatchString(v)
 	case c.Regex != "":
 		// Uncompiled rule used directly; compile lazily.
-		re, err := regexp.Compile(c.Regex)
-		if err != nil {
+		if err := c.compile(); err != nil {
 			return false
 		}
-		c.re = re
-		return re.MatchString(v)
+		if len(c.hints) > 0 && !matchHints(v, c.hints) {
+			return false
+		}
+		return c.re.MatchString(v)
 	}
 	return v != ""
 }
@@ -257,7 +273,7 @@ func (r *Rule) Compile() error {
 	return nil
 }
 
-func matchAll(conds []Condition, e trace.Event) bool {
+func matchAll(conds []Condition, e *trace.Event) bool {
 	for i := range conds {
 		if !conds[i].Match(e) {
 			return false
@@ -483,6 +499,13 @@ func (en *Engine) Emit(e trace.Event) {
 
 // Process evaluates one event and returns any alerts fired.
 func (en *Engine) Process(e trace.Event) []Alert {
+	return en.process(&e)
+}
+
+// process is the pointer-threaded core of Process: one trace.Event
+// copy at the exported boundary (or none, via ProcessBatch) instead
+// of one per rule evaluation.
+func (en *Engine) process(e *trace.Event) []Alert {
 	en.evaluated.Add(1)
 	en.rulesMu.RLock()
 	candidates, ok := en.byKind[e.Kind]
@@ -517,7 +540,7 @@ func (en *Engine) Process(e trace.Event) []Alert {
 func (en *Engine) ProcessBatch(events []trace.Event) []Alert {
 	var fired []Alert
 	for i := range events {
-		fired = append(fired, en.Process(events[i])...)
+		fired = append(fired, en.process(&events[i])...)
 	}
 	return fired
 }
@@ -525,7 +548,7 @@ func (en *Engine) ProcessBatch(events []trace.Event) []Alert {
 // evalRule routes one candidate rule. Stateless matching happens
 // lock-free; only stateful threshold/sequence tracking takes the
 // owning shard's lock.
-func (en *Engine) evalRule(r *Rule, e trace.Event) (Alert, bool) {
+func (en *Engine) evalRule(r *Rule, e *trace.Event) (Alert, bool) {
 	if len(r.Sequence) > 0 {
 		return en.evalSequence(r, e)
 	}
@@ -559,7 +582,7 @@ func (en *Engine) evalRule(r *Rule, e trace.Event) (Alert, bool) {
 	return Alert{}, false
 }
 
-func (en *Engine) evalSequence(r *Rule, e trace.Event) (Alert, bool) {
+func (en *Engine) evalSequence(r *Rule, e *trace.Event) (Alert, bool) {
 	group := ""
 	switch {
 	case r.Threshold != nil && r.Threshold.GroupBy != "":
@@ -601,7 +624,7 @@ func (en *Engine) evalSequence(r *Rule, e trace.Event) (Alert, bool) {
 	return Alert{}, false
 }
 
-func (en *Engine) mkAlert(r *Rule, e trace.Event, group string, count int) Alert {
+func (en *Engine) mkAlert(r *Rule, e *trace.Event, group string, count int) Alert {
 	return Alert{
 		RuleID: r.ID, Class: r.Class, Severity: r.Severity,
 		Description: r.Description, Time: e.Time, Group: group,

@@ -53,7 +53,7 @@ func TestConditionOperators(t *testing.T) {
 		if err := cond.compile(); err != nil {
 			t.Fatalf("case %d: %v", i, err)
 		}
-		if got := cond.Match(e); got != c.want {
+		if got := cond.Match(&e); got != c.want {
 			t.Errorf("case %d: match = %v want %v (%+v)", i, got, c.want, c.cond)
 		}
 	}
@@ -336,7 +336,7 @@ func TestFieldValueCoverage(t *testing.T) {
 		"detail": "d", "cpu_millis": "7",
 	}
 	for f, want := range fields {
-		if got := FieldValue(e, f); got != want {
+		if got := FieldValue(&e, f); got != want {
 			t.Errorf("FieldValue(%s) = %q want %q", f, got, want)
 		}
 	}

@@ -105,7 +105,7 @@ func TestFindingEventProjection(t *testing.T) {
 		"suite": "nbscan", "check_id": "NB-exfil-shape",
 		"severity": "high", "class": rules.ClassExfiltration, "title": "t",
 	} {
-		if got := rules.FieldValue(e, field); got != want {
+		if got := rules.FieldValue(&e, field); got != want {
 			t.Errorf("FieldValue(%s) = %q, want %q", field, got, want)
 		}
 	}
