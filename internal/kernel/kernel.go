@@ -79,6 +79,11 @@ type Config struct {
 	ShellEnabled bool
 	// ConnectionKey signs kernel wire messages; empty disables signing.
 	ConnectionKey string
+	// Engine selects the minilang execution engine: minilang.EngineVM
+	// (the default) or minilang.EngineTree, the reference interpreter
+	// the VM is differentially tested against. Both are observably
+	// equivalent; tree exists as the oracle and as a fallback knob.
+	Engine string
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +101,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FS == nil {
 		c.FS = vfs.New(vfs.WithClock(c.Clock))
+	}
+	if c.Engine == "" {
+		c.Engine = minilang.EngineVM
 	}
 	return c
 }
@@ -214,7 +222,7 @@ type Kernel struct {
 
 	mu        sync.Mutex
 	cfg       Config
-	interp    *minilang.Interp
+	eng       minilang.Engine
 	signer    *jmsg.Signer
 	execCount int
 	state     string
@@ -327,10 +335,10 @@ func (k *Kernel) Execute(code string, parent *jmsg.Message) (*ExecResult, error)
 	if k.cfg.ExecHook != nil {
 		k.cfg.ExecHook(k.ID, user, code)
 	}
-	before := usageSnapshot(k.interp)
-	runErr := k.interp.Run(code)
-	after := usageSnapshot(k.interp)
-	stdout := k.interp.TakeStdout()
+	before := k.eng.Counters()
+	runErr := k.eng.Run(code)
+	after := k.eng.Counters()
+	stdout := k.eng.TakeStdout()
 	k.execCount++
 	res.ExecutionCount = k.execCount
 	res.Stdout = stdout
@@ -339,7 +347,7 @@ func (k *Kernel) Execute(code string, parent *jmsg.Message) (*ExecResult, error)
 		res.IOPub = append(res.IOPub, mk(jmsg.TypeStream, jmsg.StreamContent{Name: "stdout", Text: stdout}))
 	}
 
-	delta := after.sub(before)
+	delta := subCounters(after, before)
 	k.usage.Executions++
 	k.usage.CPUMillis += delta.CPUMillis
 	k.usage.BytesRead += delta.BytesRead
@@ -400,21 +408,10 @@ func (k *Kernel) Execute(code string, parent *jmsg.Message) (*ExecResult, error)
 	return res, nil
 }
 
-type usageCounters struct {
-	CPUMillis, BytesRead, BytesWritten, NetBytes int64
-	NetCalls, ShellCalls                         int
-}
-
-func usageSnapshot(in *minilang.Interp) usageCounters {
-	return usageCounters{
-		CPUMillis: in.CPUMillis, BytesRead: in.BytesRead,
-		BytesWritten: in.BytesWritten, NetBytes: in.NetBytes,
-		NetCalls: in.NetCalls, ShellCalls: in.ShellCalls,
-	}
-}
-
-func (a usageCounters) sub(b usageCounters) usageCounters {
-	return usageCounters{
+// subCounters returns the per-execution delta between two counter
+// snapshots taken from the kernel's engine.
+func subCounters(a, b minilang.Counters) minilang.Counters {
+	return minilang.Counters{
 		CPUMillis: a.CPUMillis - b.CPUMillis, BytesRead: a.BytesRead - b.BytesRead,
 		BytesWritten: a.BytesWritten - b.BytesWritten, NetBytes: a.NetBytes - b.NetBytes,
 		NetCalls: a.NetCalls - b.NetCalls, ShellCalls: a.ShellCalls - b.ShellCalls,
@@ -488,7 +485,7 @@ func (k *Kernel) HandleMessage(msg *jmsg.Message) ([]*jmsg.Message, error) {
 		name := wordAt(req.Code, req.CursorPos)
 		found := false
 		data := map[string]any{}
-		if v, ok := k.interp.Vars()[name]; ok {
+		if v, ok := k.eng.Vars()[name]; ok {
 			found = true
 			data["text/plain"] = fmt.Sprintf("%s = %s", name, minilang.Format(v))
 		}
@@ -538,7 +535,7 @@ func (k *Kernel) complete(code string, cursorPos int) ([]string, int) {
 	}
 	prefix := code[start:cursorPos]
 	var matches []string
-	for name := range k.interp.Vars() {
+	for name := range k.eng.Vars() {
 		if strings.HasPrefix(name, prefix) {
 			matches = append(matches, name)
 		}
@@ -608,7 +605,7 @@ func (m *Manager) Start(name, user string) *Kernel {
 		Name:     name,
 		ConnInfo: jmsg.NewConnectionInfo("127.0.0.1", 50000+m.seq*10, m.cfg.ConnectionKey),
 		cfg:      m.cfg,
-		interp:   minilang.NewInterp(host, m.cfg.Limits),
+		eng:      minilang.NewEngine(m.cfg.Engine, host, m.cfg.Limits),
 		signer:   jmsg.NewSigner([]byte(m.cfg.ConnectionKey)),
 		state:    StateIdle,
 		user:     user,
@@ -644,7 +641,7 @@ func (m *Manager) Restart(id string) error {
 		host = m.cfg.HostWrapper(k.ID, k.user, host)
 	}
 	k.mu.Lock()
-	k.interp = minilang.NewInterp(host, m.cfg.Limits)
+	k.eng = minilang.NewEngine(m.cfg.Engine, host, m.cfg.Limits)
 	k.state = StateIdle
 	k.execCount = 0
 	k.mu.Unlock()

@@ -1,0 +1,76 @@
+package minilang
+
+// Engine is the execution contract shared by the tree-walking
+// interpreter and the bytecode VM. The kernel holds an Engine, not a
+// concrete type, so engine selection is a config knob. Both engines
+// preserve the same observable behavior: Host callbacks in the same
+// order, identical stdout (Format output included), identical
+// RuntimeError/SyntaxError values, equivalent step accounting (the
+// same program hits the same limit error), and a variable namespace
+// that persists across Run calls.
+type Engine interface {
+	// Run parses and executes src. The step budget applies per call.
+	Run(src string) error
+	// RunProgram executes an already parsed program. It does not
+	// mutate prog, so a Program may be shared between engines.
+	RunProgram(prog *Program) error
+	// Vars exposes the variable namespace. The returned map is for
+	// reading; mutations are not guaranteed to be visible to the
+	// engine.
+	Vars() map[string]Value
+	// TakeStdout returns and clears accumulated stdout.
+	TakeStdout() string
+	// Counters returns the cumulative resource-usage counters.
+	Counters() Counters
+}
+
+// Counters is a snapshot of an engine's cumulative resource-usage
+// accounting, read by the kernel before and after each execution to
+// emit per-cell deltas.
+type Counters struct {
+	CPUMillis    int64
+	BytesRead    int64
+	BytesWritten int64
+	NetBytes     int64
+	NetCalls     int
+	ShellCalls   int
+}
+
+// Counters snapshots the usage counters. Promoted onto both engines
+// via rt embedding.
+func (r *rt) Counters() Counters {
+	return Counters{
+		CPUMillis:    r.CPUMillis,
+		BytesRead:    r.BytesRead,
+		BytesWritten: r.BytesWritten,
+		NetBytes:     r.NetBytes,
+		NetCalls:     r.NetCalls,
+		ShellCalls:   r.ShellCalls,
+	}
+}
+
+// Engine names accepted by NewEngine and the kernel's Config.Engine.
+const (
+	EngineTree = "tree" // reference tree-walking interpreter
+	EngineVM   = "vm"   // bytecode VM (default)
+)
+
+// ValidEngine reports whether name selects a known engine. The empty
+// string is valid and means the default (vm).
+func ValidEngine(name string) bool {
+	switch name {
+	case "", EngineTree, EngineVM:
+		return true
+	}
+	return false
+}
+
+// NewEngine constructs the engine selected by name. Unknown names and
+// the empty string fall back to the VM; strict validation belongs at
+// the flag/config boundary (ValidEngine).
+func NewEngine(name string, host Host, limits Limits) Engine {
+	if name == EngineTree {
+		return NewInterp(host, limits)
+	}
+	return NewVM(host, limits)
+}

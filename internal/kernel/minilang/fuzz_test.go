@@ -103,3 +103,39 @@ y = x + x + x`)
 		t.Fatal("oversized value accepted")
 	}
 }
+
+// FuzzVMMatchesInterp is the standing differential harness from the
+// VM work: every generated program runs on both engines, which must
+// agree on error (type, line, message), stdout, final variables,
+// host-call trace, and usage counters. The tree-walking interpreter
+// is the oracle; any divergence is a VM (or compiler/folder) bug.
+// Seeds cover the whole differential corpus plus VM corner cases:
+// folded constants near the step limit, break inside constant-folded
+// branches, and keystream output that is not valid UTF-8.
+func FuzzVMMatchesInterp(f *testing.F) {
+	for _, src := range diffCorpus {
+		f.Add(src)
+	}
+	f.Add("x = " + strings.Repeat("1 + (", 40) + "0" + strings.Repeat(")", 40))
+	f.Add("while 1\nif 1\nbreak\nend\nend\nprint(\"out\")")
+	f.Add("for i in range(3)\nif 1 and 1\nbreak\nend\nend")
+	f.Add("while 1 == 1\nspin(1)\nbreak\nend")
+	f.Add("c = encrypt(\"\\xff\\xfe raw\", \"k\")\nprint(len(c), c == c, c[0])")
+	f.Add("if 0\nbreak\nend\nbreak")
+	f.Add("x = 1/0 and shell(\"id\")")
+	f.Add("print(1 % 0.5, 7 % -0.9)")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			t.Skip()
+		}
+		// Tight budgets keep hostile loops fast and make limit
+		// accounting part of the differential surface.
+		p := newEnginePair(Limits{
+			MaxSteps:       20_000,
+			MaxOutputBytes: 4096,
+			MaxValueBytes:  1 << 16,
+			MaxSpinMillis:  50,
+		})
+		p.runBoth(t, src)
+	})
+}

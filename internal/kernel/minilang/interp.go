@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Value is a minilang runtime value: Str, Number, List, or Nil.
@@ -136,15 +137,19 @@ func (l Limits) withDefaults() Limits {
 	return l
 }
 
-// Interp executes programs against a Host.
-type Interp struct {
+// rt is the runtime substrate shared by both execution engines: the
+// host binding, limits, stdout buffer, step budget, and the usage
+// counters the kernel snapshots for resource-abuse detection. The
+// builtins operate on rt, so the tree-walker and the bytecode VM call
+// the exact same primitive implementations.
+type rt struct {
 	host   Host
 	limits Limits
-	vars   map[string]Value
 	stdout *strings.Builder
 	steps  int
 
-	// Usage accounting for resource-abuse detection.
+	// Usage accounting for resource-abuse detection. Exported via
+	// struct embedding so engine users read them directly.
 	CPUMillis    int64
 	BytesRead    int64
 	BytesWritten int64
@@ -153,13 +158,24 @@ type Interp struct {
 	ShellCalls   int
 }
 
-// NewInterp returns an interpreter bound to host.
+// Interp executes programs against a Host by walking the AST. It is
+// the reference engine: the bytecode VM is differentially tested
+// against it (FuzzVMMatchesInterp) and must match its observable
+// behavior exactly.
+type Interp struct {
+	rt
+	vars map[string]Value
+}
+
+// NewInterp returns a tree-walking interpreter bound to host.
 func NewInterp(host Host, limits Limits) *Interp {
 	return &Interp{
-		host:   host,
-		limits: limits.withDefaults(),
-		vars:   map[string]Value{},
-		stdout: &strings.Builder{},
+		rt: rt{
+			host:   host,
+			limits: limits.withDefaults(),
+			stdout: &strings.Builder{},
+		},
+		vars: map[string]Value{},
 	}
 }
 
@@ -168,9 +184,9 @@ func NewInterp(host Host, limits Limits) *Interp {
 func (in *Interp) Vars() map[string]Value { return in.vars }
 
 // TakeStdout returns and clears accumulated stdout.
-func (in *Interp) TakeStdout() string {
-	s := in.stdout.String()
-	in.stdout.Reset()
+func (r *rt) TakeStdout() string {
+	s := r.stdout.String()
+	r.stdout.Reset()
 	return s
 }
 
@@ -194,10 +210,22 @@ func (in *Interp) RunProgram(prog *Program) error {
 	return err
 }
 
-func (in *Interp) tick(line int) error {
-	in.steps++
-	if in.steps > in.limits.MaxSteps {
-		return rte(line, "ResourceError", "%v (%d)", ErrTooManySteps, in.limits.MaxSteps)
+func (r *rt) tick(line int) error {
+	r.steps++
+	if r.steps > r.limits.MaxSteps {
+		return rte(line, "ResourceError", "%v (%d)", ErrTooManySteps, r.limits.MaxSteps)
+	}
+	return nil
+}
+
+// charge consumes n ticks at once. The VM uses it to account for a
+// whole instruction's worth of interpreter steps; crossing the budget
+// anywhere inside the batch reports the same error the per-tick path
+// would, at the same line.
+func (r *rt) charge(n int, line int) error {
+	r.steps += n
+	if r.steps > r.limits.MaxSteps {
+		return rte(line, "ResourceError", "%v (%d)", ErrTooManySteps, r.limits.MaxSteps)
 	}
 	return nil
 }
@@ -327,31 +355,7 @@ func (in *Interp) eval(e exprNode) (Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		idx, ok := idxV.(Number)
-		if !ok {
-			return nil, rte(t.ln, "TypeError", "index must be a number")
-		}
-		i := int(idx)
-		switch b := base.(type) {
-		case List:
-			if i < 0 {
-				i += len(b)
-			}
-			if i < 0 || i >= len(b) {
-				return nil, rte(t.ln, "IndexError", "index %d out of range (len %d)", int(idx), len(b))
-			}
-			return b[i], nil
-		case Str:
-			if i < 0 {
-				i += len(b)
-			}
-			if i < 0 || i >= len(b) {
-				return nil, rte(t.ln, "IndexError", "index %d out of range (len %d)", int(idx), len(b))
-			}
-			return Str(b[i : i+1]), nil
-		default:
-			return nil, rte(t.ln, "TypeError", "cannot index %s", base.valueKind())
-		}
+		return indexValue(base, idxV, t.ln)
 	case *binExpr:
 		return in.evalBin(t)
 	case *callExpr:
@@ -365,6 +369,36 @@ func boolVal(b bool) Value {
 		return Number(1)
 	}
 	return Number(0)
+}
+
+// indexValue applies the indexing operator. Shared by both engines so
+// error text and negative-index semantics cannot drift.
+func indexValue(base, idxV Value, ln int) (Value, error) {
+	idx, ok := idxV.(Number)
+	if !ok {
+		return nil, rte(ln, "TypeError", "index must be a number")
+	}
+	i := int(idx)
+	switch b := base.(type) {
+	case List:
+		if i < 0 {
+			i += len(b)
+		}
+		if i < 0 || i >= len(b) {
+			return nil, rte(ln, "IndexError", "index %d out of range (len %d)", int(idx), len(b))
+		}
+		return b[i], nil
+	case Str:
+		if i < 0 {
+			i += len(b)
+		}
+		if i < 0 || i >= len(b) {
+			return nil, rte(ln, "IndexError", "index %d out of range (len %d)", int(idx), len(b))
+		}
+		return Str(b[i : i+1]), nil
+	default:
+		return nil, rte(ln, "TypeError", "cannot index %s", base.valueKind())
+	}
 }
 
 func (in *Interp) evalBin(t *binExpr) (Value, error) {
@@ -394,7 +428,16 @@ func (in *Interp) evalBin(t *binExpr) (Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	switch t.op {
+	return applyBin(t.op, left, right, t.ln, in.limits.MaxValueBytes)
+}
+
+// applyBin applies a non-logical binary operator to two evaluated
+// operands. It is the single source of truth for operator semantics:
+// the tree-walker, the VM's non-number slow path, and the compiler's
+// constant folder all call it, so results and error text cannot
+// diverge between engines.
+func applyBin(op tokKind, left, right Value, ln int, maxValueBytes int) (Value, error) {
+	switch op {
 	case tokPlus:
 		switch l := left.(type) {
 		case Number:
@@ -403,8 +446,8 @@ func (in *Interp) evalBin(t *binExpr) (Value, error) {
 			}
 		case Str:
 			if r, ok := right.(Str); ok {
-				if len(l)+len(r) > in.limits.MaxValueBytes {
-					return nil, rte(t.ln, "ResourceError", "string exceeds %d bytes", in.limits.MaxValueBytes)
+				if len(l)+len(r) > maxValueBytes {
+					return nil, rte(ln, "ResourceError", "string exceeds %d bytes", maxValueBytes)
 				}
 				return l + r, nil
 			}
@@ -414,36 +457,39 @@ func (in *Interp) evalBin(t *binExpr) (Value, error) {
 				return append(append(out, l...), r...), nil
 			}
 		}
-		return nil, rte(t.ln, "TypeError", "cannot add %s and %s", left.valueKind(), right.valueKind())
+		return nil, rte(ln, "TypeError", "cannot add %s and %s", left.valueKind(), right.valueKind())
 	case tokMinus, tokStar, tokSlash, tokPercent:
 		l, lok := left.(Number)
 		r, rok := right.(Number)
-		if t.op == tokStar {
+		if op == tokStar {
 			// "ab" * 3 string repetition.
 			if ls, ok := left.(Str); ok && rok {
 				n := int(r)
-				if n < 0 || len(ls)*n > in.limits.MaxValueBytes {
-					return nil, rte(t.ln, "ResourceError", "repetition exceeds limit")
+				if n < 0 || len(ls)*n > maxValueBytes {
+					return nil, rte(ln, "ResourceError", "repetition exceeds limit")
 				}
 				return Str(strings.Repeat(string(ls), n)), nil
 			}
 		}
 		if !lok || !rok {
-			return nil, rte(t.ln, "TypeError", "arithmetic needs numbers, got %s and %s", left.valueKind(), right.valueKind())
+			return nil, rte(ln, "TypeError", "arithmetic needs numbers, got %s and %s", left.valueKind(), right.valueKind())
 		}
-		switch t.op {
+		switch op {
 		case tokMinus:
 			return l - r, nil
 		case tokStar:
 			return l * r, nil
 		case tokSlash:
 			if r == 0 {
-				return nil, rte(t.ln, "ZeroDivisionError", "division by zero")
+				return nil, rte(ln, "ZeroDivisionError", "division by zero")
 			}
 			return l / r, nil
 		case tokPercent:
-			if r == 0 {
-				return nil, rte(t.ln, "ZeroDivisionError", "modulo by zero")
+			// Modulo truncates both operands; the guard must test the
+			// truncated divisor or a fractional r in (-1, 1) panics the
+			// runtime (e.g. 1 % 0.5).
+			if int64(r) == 0 {
+				return nil, rte(ln, "ZeroDivisionError", "modulo by zero")
 			}
 			return Number(int64(l) % int64(r)), nil
 		}
@@ -454,9 +500,9 @@ func (in *Interp) evalBin(t *binExpr) (Value, error) {
 	case tokLt, tokGt, tokLe, tokGe:
 		cmp, err := valueCmp(left, right)
 		if err != nil {
-			return nil, rte(t.ln, "TypeError", "%v", err)
+			return nil, rte(ln, "TypeError", "%v", err)
 		}
-		switch t.op {
+		switch op {
 		case tokLt:
 			return boolVal(cmp < 0), nil
 		case tokGt:
@@ -467,7 +513,7 @@ func (in *Interp) evalBin(t *binExpr) (Value, error) {
 			return boolVal(cmp >= 0), nil
 		}
 	}
-	return nil, rte(t.ln, "InternalError", "unknown operator")
+	return nil, rte(ln, "InternalError", "unknown operator")
 }
 
 func valueEq(a, b Value) bool {
@@ -526,26 +572,34 @@ func (in *Interp) call(t *callExpr) (Value, error) {
 		}
 		args[i] = v
 	}
-	fn, ok := builtins[t.name]
-	if !ok {
-		return nil, rte(t.ln, "NameError", "unknown function %q", t.name)
+	return invokeBuiltin(&in.rt, t.name, builtins[t.name], t.ln, args)
+}
+
+// invokeBuiltin checks existence and arity, invokes fn, and wraps
+// non-minilang errors as OSError — after arguments have been
+// evaluated, matching the interpreter's historical order (argument
+// side effects happen even for unknown functions). Shared by both
+// engines.
+func invokeBuiltin(in *rt, name string, fn *builtin, ln int, args []Value) (Value, error) {
+	if fn == nil {
+		return nil, rte(ln, "NameError", "unknown function %q", name)
 	}
 	if fn.arity >= 0 && len(args) != fn.arity {
-		return nil, rte(t.ln, "TypeError", "%s() takes %d arguments, got %d", t.name, fn.arity, len(args))
+		return nil, rte(ln, "TypeError", "%s() takes %d arguments, got %d", name, fn.arity, len(args))
 	}
-	v, err := fn.impl(in, t.ln, args)
+	v, err := fn.impl(in, ln, args)
 	if err != nil {
 		if _, ok := err.(*RuntimeError); ok {
 			return nil, err
 		}
-		return nil, rte(t.ln, "OSError", "%s: %v", t.name, err)
+		return nil, rte(ln, "OSError", "%s: %v", name, err)
 	}
 	return v, nil
 }
 
 type builtin struct {
 	arity int // -1 = variadic
-	impl  func(in *Interp, line int, args []Value) (Value, error)
+	impl  func(in *rt, line int, args []Value) (Value, error)
 }
 
 func argStr(line int, name string, args []Value, i int) (string, error) {
@@ -564,19 +618,28 @@ func argNum(line int, name string, args []Value, i int) (float64, error) {
 	return float64(n), nil
 }
 
+var (
+	builtinNamesOnce sync.Once
+	builtinNames     []string
+)
+
 // BuiltinNames returns the sorted list of builtin function names —
-// used by detection rules that key on dangerous primitives.
+// used by detection rules that key on dangerous primitives and by
+// the kernel's completion handler on every request. The slice is
+// computed once and shared; callers must not mutate it.
 func BuiltinNames() []string {
-	names := make([]string, 0, len(builtins))
-	for name := range builtins {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
+	builtinNamesOnce.Do(func() {
+		builtinNames = make([]string, 0, len(builtins))
+		for name := range builtins {
+			builtinNames = append(builtinNames, name)
+		}
+		sort.Strings(builtinNames)
+	})
+	return builtinNames
 }
 
-var builtins = map[string]builtin{
-	"print": {arity: -1, impl: func(in *Interp, line int, args []Value) (Value, error) {
+var builtins = map[string]*builtin{
+	"print": {arity: -1, impl: func(in *rt, line int, args []Value) (Value, error) {
 		parts := make([]string, len(args))
 		for i, a := range args {
 			parts[i] = Format(a)
@@ -588,7 +651,7 @@ var builtins = map[string]builtin{
 		in.stdout.WriteString(out)
 		return Nil{}, nil
 	}},
-	"len": {arity: 1, impl: func(in *Interp, line int, args []Value) (Value, error) {
+	"len": {arity: 1, impl: func(in *rt, line int, args []Value) (Value, error) {
 		switch v := args[0].(type) {
 		case Str:
 			return Number(len(v)), nil
@@ -597,10 +660,10 @@ var builtins = map[string]builtin{
 		}
 		return nil, rte(line, "TypeError", "len: needs string or list")
 	}},
-	"str": {arity: 1, impl: func(in *Interp, line int, args []Value) (Value, error) {
+	"str": {arity: 1, impl: func(in *rt, line int, args []Value) (Value, error) {
 		return Str(Format(args[0])), nil
 	}},
-	"num": {arity: 1, impl: func(in *Interp, line int, args []Value) (Value, error) {
+	"num": {arity: 1, impl: func(in *rt, line int, args []Value) (Value, error) {
 		s, err := argStr(line, "num", args, 0)
 		if err != nil {
 			if n, ok := args[0].(Number); ok {
@@ -614,7 +677,7 @@ var builtins = map[string]builtin{
 		}
 		return Number(f), nil
 	}},
-	"range": {arity: 1, impl: func(in *Interp, line int, args []Value) (Value, error) {
+	"range": {arity: 1, impl: func(in *rt, line int, args []Value) (Value, error) {
 		n, err := argNum(line, "range", args, 0)
 		if err != nil {
 			return nil, err
@@ -623,12 +686,15 @@ var builtins = map[string]builtin{
 			return nil, rte(line, "ValueError", "range: %g out of bounds", n)
 		}
 		out := make(List, int(n))
-		for i := range out {
+		// Bulk-copy the pre-boxed prefix: element-wise boxing is the
+		// hot path of range-driven loops on both engines.
+		k := copy(out, smallNumList[:min(len(out), len(smallNumList))])
+		for i := k; i < len(out); i++ {
 			out[i] = Number(i)
 		}
 		return out, nil
 	}},
-	"append": {arity: 2, impl: func(in *Interp, line int, args []Value) (Value, error) {
+	"append": {arity: 2, impl: func(in *rt, line int, args []Value) (Value, error) {
 		l, ok := args[0].(List)
 		if !ok {
 			return nil, rte(line, "TypeError", "append: first argument must be a list")
@@ -636,7 +702,7 @@ var builtins = map[string]builtin{
 		out := make(List, 0, len(l)+1)
 		return append(append(out, l...), args[1]), nil
 	}},
-	"split": {arity: 2, impl: func(in *Interp, line int, args []Value) (Value, error) {
+	"split": {arity: 2, impl: func(in *rt, line int, args []Value) (Value, error) {
 		s, err := argStr(line, "split", args, 0)
 		if err != nil {
 			return nil, err
@@ -652,7 +718,7 @@ var builtins = map[string]builtin{
 		}
 		return out, nil
 	}},
-	"join": {arity: 2, impl: func(in *Interp, line int, args []Value) (Value, error) {
+	"join": {arity: 2, impl: func(in *rt, line int, args []Value) (Value, error) {
 		l, ok := args[0].(List)
 		if !ok {
 			return nil, rte(line, "TypeError", "join: first argument must be a list")
@@ -667,7 +733,7 @@ var builtins = map[string]builtin{
 		}
 		return Str(strings.Join(parts, sep)), nil
 	}},
-	"contains": {arity: 2, impl: func(in *Interp, line int, args []Value) (Value, error) {
+	"contains": {arity: 2, impl: func(in *rt, line int, args []Value) (Value, error) {
 		s, err := argStr(line, "contains", args, 0)
 		if err != nil {
 			return nil, err
@@ -678,21 +744,21 @@ var builtins = map[string]builtin{
 		}
 		return boolVal(strings.Contains(s, sub)), nil
 	}},
-	"upper": {arity: 1, impl: func(in *Interp, line int, args []Value) (Value, error) {
+	"upper": {arity: 1, impl: func(in *rt, line int, args []Value) (Value, error) {
 		s, err := argStr(line, "upper", args, 0)
 		if err != nil {
 			return nil, err
 		}
 		return Str(strings.ToUpper(s)), nil
 	}},
-	"lower": {arity: 1, impl: func(in *Interp, line int, args []Value) (Value, error) {
+	"lower": {arity: 1, impl: func(in *rt, line int, args []Value) (Value, error) {
 		s, err := argStr(line, "lower", args, 0)
 		if err != nil {
 			return nil, err
 		}
 		return Str(strings.ToLower(s)), nil
 	}},
-	"sha256": {arity: 1, impl: func(in *Interp, line int, args []Value) (Value, error) {
+	"sha256": {arity: 1, impl: func(in *rt, line int, args []Value) (Value, error) {
 		s, err := argStr(line, "sha256", args, 0)
 		if err != nil {
 			return nil, err
@@ -700,14 +766,14 @@ var builtins = map[string]builtin{
 		sum := sha256.Sum256([]byte(s))
 		return Str(hex.EncodeToString(sum[:])), nil
 	}},
-	"b64encode": {arity: 1, impl: func(in *Interp, line int, args []Value) (Value, error) {
+	"b64encode": {arity: 1, impl: func(in *rt, line int, args []Value) (Value, error) {
 		s, err := argStr(line, "b64encode", args, 0)
 		if err != nil {
 			return nil, err
 		}
 		return Str(base64.StdEncoding.EncodeToString([]byte(s))), nil
 	}},
-	"b64decode": {arity: 1, impl: func(in *Interp, line int, args []Value) (Value, error) {
+	"b64decode": {arity: 1, impl: func(in *rt, line int, args []Value) (Value, error) {
 		s, err := argStr(line, "b64decode", args, 0)
 		if err != nil {
 			return nil, err
@@ -722,7 +788,7 @@ var builtins = map[string]builtin{
 	// encrypt/decrypt implement a deterministic SHA-256 keystream
 	// cipher: real enough to produce ~8 bits/byte entropy output (the
 	// ransomware signal) while trivially reversible for tests.
-	"encrypt": {arity: 2, impl: func(in *Interp, line int, args []Value) (Value, error) {
+	"encrypt": {arity: 2, impl: func(in *rt, line int, args []Value) (Value, error) {
 		data, err := argStr(line, "encrypt", args, 0)
 		if err != nil {
 			return nil, err
@@ -733,7 +799,7 @@ var builtins = map[string]builtin{
 		}
 		return Str(xorKeystream([]byte(data), key)), nil
 	}},
-	"decrypt": {arity: 2, impl: func(in *Interp, line int, args []Value) (Value, error) {
+	"decrypt": {arity: 2, impl: func(in *rt, line int, args []Value) (Value, error) {
 		data, err := argStr(line, "decrypt", args, 0)
 		if err != nil {
 			return nil, err
@@ -746,7 +812,7 @@ var builtins = map[string]builtin{
 	}},
 
 	// ---- Host-mediated primitives (the audited attack surface) ----
-	"read_file": {arity: 1, impl: func(in *Interp, line int, args []Value) (Value, error) {
+	"read_file": {arity: 1, impl: func(in *rt, line int, args []Value) (Value, error) {
 		p, err := argStr(line, "read_file", args, 0)
 		if err != nil {
 			return nil, err
@@ -758,7 +824,7 @@ var builtins = map[string]builtin{
 		in.BytesRead += int64(len(data))
 		return Str(data), nil
 	}},
-	"write_file": {arity: 2, impl: func(in *Interp, line int, args []Value) (Value, error) {
+	"write_file": {arity: 2, impl: func(in *rt, line int, args []Value) (Value, error) {
 		p, err := argStr(line, "write_file", args, 0)
 		if err != nil {
 			return nil, err
@@ -773,14 +839,14 @@ var builtins = map[string]builtin{
 		in.BytesWritten += int64(len(data))
 		return Nil{}, nil
 	}},
-	"delete_file": {arity: 1, impl: func(in *Interp, line int, args []Value) (Value, error) {
+	"delete_file": {arity: 1, impl: func(in *rt, line int, args []Value) (Value, error) {
 		p, err := argStr(line, "delete_file", args, 0)
 		if err != nil {
 			return nil, err
 		}
 		return Nil{}, in.host.DeleteFile(p)
 	}},
-	"rename_file": {arity: 2, impl: func(in *Interp, line int, args []Value) (Value, error) {
+	"rename_file": {arity: 2, impl: func(in *rt, line int, args []Value) (Value, error) {
 		oldP, err := argStr(line, "rename_file", args, 0)
 		if err != nil {
 			return nil, err
@@ -791,7 +857,7 @@ var builtins = map[string]builtin{
 		}
 		return Nil{}, in.host.RenameFile(oldP, newP)
 	}},
-	"list_files": {arity: 1, impl: func(in *Interp, line int, args []Value) (Value, error) {
+	"list_files": {arity: 1, impl: func(in *rt, line int, args []Value) (Value, error) {
 		dir, err := argStr(line, "list_files", args, 0)
 		if err != nil {
 			return nil, err
@@ -806,7 +872,7 @@ var builtins = map[string]builtin{
 		}
 		return out, nil
 	}},
-	"http_get": {arity: 1, impl: func(in *Interp, line int, args []Value) (Value, error) {
+	"http_get": {arity: 1, impl: func(in *rt, line int, args []Value) (Value, error) {
 		url, err := argStr(line, "http_get", args, 0)
 		if err != nil {
 			return nil, err
@@ -820,7 +886,7 @@ var builtins = map[string]builtin{
 		_ = status
 		return Str(body), nil
 	}},
-	"http_post": {arity: 2, impl: func(in *Interp, line int, args []Value) (Value, error) {
+	"http_post": {arity: 2, impl: func(in *rt, line int, args []Value) (Value, error) {
 		url, err := argStr(line, "http_post", args, 0)
 		if err != nil {
 			return nil, err
@@ -837,7 +903,7 @@ var builtins = map[string]builtin{
 		in.NetBytes += int64(len(body))
 		return Number(status), nil
 	}},
-	"shell": {arity: 1, impl: func(in *Interp, line int, args []Value) (Value, error) {
+	"shell": {arity: 1, impl: func(in *rt, line int, args []Value) (Value, error) {
 		cmd, err := argStr(line, "shell", args, 0)
 		if err != nil {
 			return nil, err
@@ -849,7 +915,7 @@ var builtins = map[string]builtin{
 		in.ShellCalls++
 		return Str(out), nil
 	}},
-	"spin": {arity: 1, impl: func(in *Interp, line int, args []Value) (Value, error) {
+	"spin": {arity: 1, impl: func(in *rt, line int, args []Value) (Value, error) {
 		ms, err := argNum(line, "spin", args, 0)
 		if err != nil {
 			return nil, err
@@ -865,10 +931,10 @@ var builtins = map[string]builtin{
 		in.CPUMillis += millis
 		return Nil{}, nil
 	}},
-	"hostname": {arity: 0, impl: func(in *Interp, line int, args []Value) (Value, error) {
+	"hostname": {arity: 0, impl: func(in *rt, line int, args []Value) (Value, error) {
 		return Str(in.host.Hostname()), nil
 	}},
-	"env": {arity: 1, impl: func(in *Interp, line int, args []Value) (Value, error) {
+	"env": {arity: 1, impl: func(in *rt, line int, args []Value) (Value, error) {
 		name, err := argStr(line, "env", args, 0)
 		if err != nil {
 			return nil, err

@@ -18,6 +18,17 @@
 //
 // Values are strings, numbers, lists, and nil. Expressions support
 // calls, + (concat/add), comparisons, and indexing.
+//
+// Two execution engines share one runtime substrate (rt): the
+// reference tree-walking interpreter (Interp) and a bytecode VM (VM)
+// that compiles programs to a register/stack hybrid with constant
+// folding and fused superinstructions (compile.go, opt.go, vm.go).
+// The VM is the default engine (NewEngine, kernel Config.Engine); the
+// interpreter remains the oracle the VM is differentially fuzzed
+// against (FuzzVMMatchesInterp), with observable equivalence pinned
+// down to host-call order, stdout bytes, error lines, and step
+// accounting. VM.SetProfiler attaches a deterministic per-opcode /
+// per-line execution profile.
 package minilang
 
 import (

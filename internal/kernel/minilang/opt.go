@@ -1,0 +1,309 @@
+package minilang
+
+// Constant folding for the bytecode compiler. A subtree folds only if
+// it is built entirely from literals and pure operators (arithmetic,
+// comparison, not, and/or) and the operation provably succeeds under
+// the engine's limits — anything that could error at runtime
+// (division by zero, an over-limit string) is left unfolded so the
+// runtime raises exactly what the interpreter would. Calls, variable
+// reads, list construction, and indexing never fold, so host-visible
+// side effects can never be elided: structurally, only literal leaves
+// participate. Folding is cost-preserving: a foldedExpr remembers how
+// many interpreter ticks evaluating the original subtree would have
+// charged, and the compiler charges them all at the subtree's line.
+// That batching is exact because a foldable subtree cannot span lines
+// (the grammar only permits newlines inside list and call-argument
+// brackets, which never fold).
+//
+// The pass copies nodes on change instead of mutating, so a Program
+// stays shareable with the tree-walking interpreter.
+
+// hasJumpTarget reports whether an instruction's a operand is a code
+// index (as opposed to a slot/const index or arg count).
+func hasJumpTarget(o op) bool {
+	switch o {
+	case opJump, opJumpIfFalse, opAndFalse, opOrTrue, opIterNext:
+		return true
+	}
+	return false
+}
+
+func isArith(o op) bool { return o >= opAdd && o <= opGe }
+
+// operandKind classifies a push instruction for fusion.
+func operandKind(o op) (slot, konst bool) {
+	return o == opLoad, o == opConst
+}
+
+// peephole rewrites the linear instruction stream, fusing the
+// dominant dispatch patterns into superinstructions:
+//
+//	[load|const][load|const][arith]         ->  bin.ll / bin.lc / bin.cl
+//	[load|const][load|const][arith][store]  ->  bin.ll.st / bin.lc.st / bin.cl.st
+//	[arith][store]                          ->  bin.st
+//	[load][store]                           ->  move
+//	[const][store]                          ->  conststore
+//
+// Fusion must preserve the tick-accounting schedule exactly: the
+// interpreter may raise NameError between the two operand reads (left
+// read, then right's tick, then right read), so a fused instruction
+// carries the first operand's tick batch in cost (charged before the
+// left read, as usual) and the second's in cost2, charged by the VM
+// between the reads. Folding a trailing store is always safe: nothing
+// observable happens between computing a result and assigning it.
+// Instructions that are jump targets, cross source lines, or carry
+// unexpected charges are left unfused — correctness first, the
+// pattern coverage is best-effort.
+func peephole(ch *chunk) {
+	code := ch.code
+	isTarget := make([]bool, len(code)+1)
+	for _, in := range code {
+		if hasJumpTarget(in.op) && in.a >= 0 {
+			isTarget[in.a] = true
+		}
+	}
+	out := make([]inst, 0, len(code))
+	remap := make([]int32, len(code)+1)
+	// mark points every consumed source index at the fused instruction
+	// about to be appended; jumps can't target them (checked), so the
+	// entries only matter for remap completeness.
+	mark := func(from, to int) {
+		for j := from; j < to; j++ {
+			remap[j] = int32(len(out))
+		}
+	}
+	// fusableStore reports whether code[j] is a store that can absorb
+	// into the preceding value-producing instruction at line.
+	fusableStore := func(j int, line int32) bool {
+		return j < len(code) && !isTarget[j] && code[j].op == opStore &&
+			code[j].cost == 0 && code[j].line == line
+	}
+	i := 0
+	for i < len(code) {
+		remap[i] = int32(len(out))
+		a := code[i]
+		aSlot, aConst := operandKind(a.op)
+		if (aSlot || aConst) && i+2 < len(code) && !isTarget[i+1] && !isTarget[i+2] {
+			b, c := code[i+1], code[i+2]
+			bSlot, bConst := operandKind(b.op)
+			if (bSlot || bConst) && isArith(c.op) && c.cost == 0 &&
+				a.line == b.line && b.line == c.line && !(aConst && bConst) {
+				fused := inst{sub: c.op, a: a.a, b: b.a, line: a.line, cost: a.cost, cost2: b.cost}
+				switch {
+				case aSlot && bSlot:
+					fused.op = opBinLL
+				case aSlot && bConst:
+					fused.op = opBinLC
+				default:
+					fused.op = opBinCL
+				}
+				n := 3
+				if fusableStore(i+3, a.line) {
+					fused.op += opBinLLSt - opBinLL
+					fused.c = code[i+3].a
+					n = 4
+				} else if j := i + 3; j < len(code) && !isTarget[j] &&
+					code[j].op == opJumpIfFalse && code[j].cost == 0 && code[j].line == a.line {
+					fused.op += opBinLLJf - opBinLL
+					fused.c = code[j].a
+					n = 4
+				}
+				mark(i, i+n)
+				out = append(out, fused)
+				i += n
+				continue
+			}
+		}
+		if isArith(a.op) && fusableStore(i+1, a.line) {
+			mark(i, i+2)
+			out = append(out, inst{op: opBinSt, sub: a.op, a: code[i+1].a, line: a.line, cost: a.cost})
+			i += 2
+			continue
+		}
+		if (aSlot || aConst) && fusableStore(i+1, a.line) {
+			// Two consecutive load/store pairs (a = b; c = d) collapse
+			// into one move2 when the second destination fits the sub
+			// byte. The second load's ticks ride in cost2, charged
+			// between the two reads — the interpreter's schedule.
+			if aSlot && i+3 < len(code) && !isTarget[i+2] &&
+				code[i+2].op == opLoad && fusableStore(i+3, code[i+2].line) &&
+				code[i+3].a < 256 {
+				mark(i, i+4)
+				out = append(out, inst{
+					op: opMove2, sub: op(code[i+3].a),
+					a: a.a, b: code[i+1].a, c: code[i+2].a,
+					line: a.line, line2: code[i+2].line,
+					cost: a.cost, cost2: code[i+2].cost,
+				})
+				i += 4
+				continue
+			}
+			o := opMove
+			if aConst {
+				o = opConstStr
+			}
+			mark(i, i+2)
+			out = append(out, inst{op: o, a: a.a, b: code[i+1].a, line: a.line, cost: a.cost})
+			i += 2
+			continue
+		}
+		out = append(out, a)
+		i++
+	}
+	remap[len(code)] = int32(len(out))
+	for idx := range out {
+		if hasJumpTarget(out[idx].op) {
+			out[idx].a = remap[out[idx].a]
+		}
+		if o := out[idx].op; o >= opBinLLJf && o <= opBinCLJf {
+			out[idx].c = remap[out[idx].c]
+		}
+	}
+	ch.code = out
+}
+
+// foldedExpr is a compiler-internal node: a pre-evaluated pure
+// subtree and the tick cost of the original evaluation.
+type foldedExpr struct {
+	ln   int
+	cost int32
+	val  cell
+}
+
+func (e *foldedExpr) line() int { return e.ln }
+
+func foldBlock(stmts []stmtNode, maxValueBytes int) []stmtNode {
+	out := make([]stmtNode, len(stmts))
+	for i, s := range stmts {
+		out[i] = foldStmt(s, maxValueBytes)
+	}
+	return out
+}
+
+func foldStmt(s stmtNode, maxValueBytes int) stmtNode {
+	switch t := s.(type) {
+	case *assignStmt:
+		if e := foldExpr(t.expr, maxValueBytes); e != t.expr {
+			n := *t
+			n.expr = e
+			return &n
+		}
+	case *exprStmt:
+		if e := foldExpr(t.expr, maxValueBytes); e != t.expr {
+			n := *t
+			n.expr = e
+			return &n
+		}
+	case *ifStmt:
+		n := *t
+		n.cond = foldExpr(t.cond, maxValueBytes)
+		n.then = foldBlock(t.then, maxValueBytes)
+		n.elseBody = foldBlock(t.elseBody, maxValueBytes)
+		return &n
+	case *whileStmt:
+		n := *t
+		n.cond = foldExpr(t.cond, maxValueBytes)
+		n.body = foldBlock(t.body, maxValueBytes)
+		return &n
+	case *forStmt:
+		n := *t
+		n.iter = foldExpr(t.iter, maxValueBytes)
+		n.body = foldBlock(t.body, maxValueBytes)
+		return &n
+	}
+	return s
+}
+
+func foldExpr(e exprNode, maxValueBytes int) exprNode {
+	switch t := e.(type) {
+	case *litExpr:
+		return &foldedExpr{ln: t.ln, cost: 1, val: unbox(t.val)}
+	case *notExpr:
+		inner := foldExpr(t.inner, maxValueBytes)
+		if f, ok := inner.(*foldedExpr); ok {
+			return &foldedExpr{ln: t.ln, cost: 1 + f.cost, val: boolCell(!truthyCell(f.val))}
+		}
+		if inner != t.inner {
+			n := *t
+			n.inner = inner
+			return &n
+		}
+	case *binExpr:
+		left := foldExpr(t.left, maxValueBytes)
+		right := foldExpr(t.right, maxValueBytes)
+		lf, lok := left.(*foldedExpr)
+		rf, rok := right.(*foldedExpr)
+		if t.op == tokKwAnd || t.op == tokKwOr {
+			if lok {
+				ltr := truthyCell(lf.val)
+				switch {
+				case t.op == tokKwAnd && !ltr:
+					// Short-circuit: right never evaluated.
+					return &foldedExpr{ln: t.ln, cost: 1 + lf.cost, val: boolCell(false)}
+				case t.op == tokKwOr && ltr:
+					return &foldedExpr{ln: t.ln, cost: 1 + lf.cost, val: boolCell(true)}
+				case rok:
+					return &foldedExpr{ln: t.ln, cost: 1 + lf.cost + rf.cost, val: boolCell(truthyCell(rf.val))}
+				}
+			}
+		} else if lok && rok {
+			// Fold only when the operation succeeds under the same
+			// limits the runtime would apply; otherwise leave the
+			// error to happen at runtime, identically to the
+			// interpreter.
+			if v, err := applyBin(t.op, box(lf.val), box(rf.val), t.ln, maxValueBytes); err == nil {
+				return &foldedExpr{ln: t.ln, cost: 1 + lf.cost + rf.cost, val: unbox(v)}
+			}
+		}
+		if left != t.left || right != t.right {
+			n := *t
+			n.left = left
+			n.right = right
+			return &n
+		}
+	case *listExpr:
+		var items []exprNode
+		for i, item := range t.items {
+			folded := foldExpr(item, maxValueBytes)
+			if folded != item && items == nil {
+				items = make([]exprNode, len(t.items))
+				copy(items, t.items[:i])
+			}
+			if items != nil {
+				items[i] = folded
+			}
+		}
+		if items != nil {
+			n := *t
+			n.items = items
+			return &n
+		}
+	case *indexExpr:
+		base := foldExpr(t.base, maxValueBytes)
+		index := foldExpr(t.index, maxValueBytes)
+		if base != t.base || index != t.index {
+			n := *t
+			n.base = base
+			n.index = index
+			return &n
+		}
+	case *callExpr:
+		var args []exprNode
+		for i, a := range t.args {
+			folded := foldExpr(a, maxValueBytes)
+			if folded != a && args == nil {
+				args = make([]exprNode, len(t.args))
+				copy(args, t.args[:i])
+			}
+			if args != nil {
+				args[i] = folded
+			}
+		}
+		if args != nil {
+			n := *t
+			n.args = args
+			return &n
+		}
+	}
+	return e
+}
