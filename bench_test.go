@@ -816,6 +816,85 @@ func BenchmarkMinilangEngines(b *testing.B) {
 			}
 		})
 	}
+
+	// host-cell is the one-shot case that used to favor the tree
+	// engine: a cell dominated by host dispatch, executed once per
+	// request (the fleet-census shape — one probe notebook replayed
+	// against many servers). Pre-cache, every execution paid
+	// Run(src) = parse + (vm only) compile, so the VM's front-end
+	// overhead bought nothing — the oneshot variants pin that
+	// penalty. With the manager program cache, the steady-state
+	// per-execution cost is RunProgram on a shared parsed program
+	// through the kernel's persistent engine (parse skipped by the
+	// cache, bytecode compile skipped by the VM's per-program chunk
+	// memo) — the "cached" variants — and the VM no longer trails the
+	// tree-walker on its worst-case workload. vm/cached reports the
+	// ratio against a same-process tree cached probe so the claim is
+	// a pinned metric in the bench artifact.
+	const hostCell = `d = read_file("/var/log/auth.log")
+n = len(d)
+s1 = http_post("http://collector.internal/ingest", d)
+s2 = http_post("http://collector.internal/ack", "probe")
+o = shell("id")
+r = str(n) + ":" + str(s1) + ":" + str(s2) + ":" + o`
+	hostProg, err := minilang.Parse(hostCell)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("host-cell/tree/oneshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			in := minilang.NewInterp(benchHost{}, limits)
+			if err := in.Run(hostCell); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("host-cell/vm/oneshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			vm := minilang.NewVM(benchHost{}, limits)
+			if err := vm.Run(hostCell); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("host-cell/tree/cached", func(b *testing.B) {
+		in := minilang.NewInterp(benchHost{}, limits)
+		if err := in.RunProgram(hostProg); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := in.RunProgram(hostProg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("host-cell/vm/cached", func(b *testing.B) {
+		vm := minilang.NewVM(benchHost{}, limits)
+		if err := vm.RunProgram(hostProg); err != nil { // warm: compile the chunk once
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := vm.RunProgram(hostProg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		vmNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		b.StopTimer()
+		const probe = 2000
+		in := minilang.NewInterp(benchHost{}, limits)
+		start := time.Now()
+		for i := 0; i < probe; i++ {
+			if err := in.RunProgram(hostProg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		treeNs := float64(time.Since(start).Nanoseconds()) / probe
+		if vmNs > 0 {
+			b.ReportMetric(treeNs/vmNs, "vs-tree-cached")
+		}
+	})
 }
 
 // BenchmarkBuiltinNames pins that the memoized builtin listing is

@@ -342,10 +342,16 @@ func TestCLITools(t *testing.T) {
 		if stable(serial) != stable(sharded) {
 			t.Fatalf("sharded store replay diverges from serial:\n%s\nvs\n%s", serial, sharded)
 		}
-		for _, want := range []string{"store:", "segments selected", "scan_finding=", "security_misconfiguration"} {
+		for _, want := range []string{"store:", "segments selected", "frames decoded",
+			"skipped undecoded", " events", "tail-loss bytes", "scan_finding=", "security_misconfiguration"} {
 			if !strings.Contains(sharded, want) {
 				t.Errorf("store replay missing %q:\n%s", want, sharded)
 			}
+		}
+		// A clean store replays with zero tail loss — the stats line is
+		// where silent corruption would first surface.
+		if !strings.Contains(sharded, "0 tail-loss bytes") {
+			t.Errorf("clean store reported tail loss:\n%s", sharded)
 		}
 		if strings.Contains(stable(sharded), "auth=") {
 			t.Errorf("kind filter leaked other kinds:\n%s", sharded)

@@ -18,13 +18,15 @@
 //
 // Every benchmark present in both documents is printed with old/new
 // ns/op, the percent delta, and any custom metrics the two runs
-// share. A benchmark whose ns/op grew more than --max-regress percent
-// is a regression; if any regression's name matches no --allow
-// substring the exit status is 2, which fails the CI gate. Benchmarks
-// only present on one side are reported but never gate (they are
-// additions or removals, not slowdowns). Without --in, compare mode
-// parses bench text from stdin first, so one invocation can both
-// publish and gate.
+// share. A benchmark whose ns/op, allocs/op, or B/op grew more than
+// --max-regress percent is a regression; if any regression's name
+// matches no --allow substring the exit status is 2, which fails the
+// CI gate. The allocation metrics gate only when both artifacts carry
+// them — an old artifact produced without -benchmem never fails the
+// build retroactively. Benchmarks only present on one side are
+// reported but never gate (they are additions or removals, not
+// slowdowns). Without --in, compare mode parses bench text from stdin
+// first, so one invocation can both publish and gate.
 package main
 
 import (
@@ -138,12 +140,28 @@ func splitAllow(s string) []string {
 	return out
 }
 
+// gatedUnits are the metrics where growth is unambiguously bad and so
+// participates in the regression gate. Other custom metrics have no
+// universal better-direction (events/op up is good, disk-B/event down
+// is good), so they are reported for the reader but never fail the
+// build.
+var gatedUnits = []string{"ns/op", "allocs/op", "B/op"}
+
+func isGated(unit string) bool {
+	for _, g := range gatedUnits {
+		if unit == g {
+			return true
+		}
+	}
+	return false
+}
+
 // compare diffs two documents benchmark-by-benchmark. It returns a
-// human-readable report and the names of benchmarks whose ns/op grew
-// more than maxRegress percent and match no allow substring. Only
-// ns/op gates: custom metrics have no universal better-direction
-// (events/op up is good, disk-B/event down is good), so they are
-// reported for the reader but never fail the build.
+// human-readable report and the names of benchmarks where a gated
+// metric (ns/op, allocs/op, B/op) grew more than maxRegress percent
+// and the benchmark matches no allow substring. A gated metric only
+// gates when both runs report it, so artifacts from before -benchmem
+// was wired through compare cleanly against artifacts from after.
 func compare(old, cur Document, maxRegress float64, allow []string) (string, []string) {
 	oldBy := make(map[string]Benchmark, len(old.Benchmarks))
 	for _, b := range old.Benchmarks {
@@ -168,25 +186,39 @@ func compare(old, cur Document, maxRegress float64, allow []string) (string, []s
 			fmt.Fprintf(&sb, "new       %-60s %14.0f ns/op\n", nb.Name, nb.NsPerOp)
 			continue
 		}
-		delta := 0.0
-		if ob.NsPerOp > 0 {
-			delta = (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
+		judge := func(oldVal, newVal float64) (string, float64) {
+			delta := 0.0
+			if oldVal > 0 {
+				delta = (newVal - oldVal) / oldVal * 100
+			}
+			switch {
+			case delta > maxRegress && allowed(nb.Name):
+				return "allowed", delta
+			case delta > maxRegress:
+				return "REGRESSED", delta
+			case delta < -maxRegress:
+				return "improved", delta
+			}
+			return "ok", delta
 		}
-		verdict := "ok"
-		switch {
-		case delta > maxRegress && allowed(nb.Name):
-			verdict = "allowed"
-		case delta > maxRegress:
-			verdict = "REGRESSED"
+		verdict, delta := judge(ob.NsPerOp, nb.NsPerOp)
+		if verdict == "REGRESSED" {
 			regressed = append(regressed, nb.Name)
-		case delta < -maxRegress:
-			verdict = "improved"
 		}
 		fmt.Fprintf(&sb, "%-9s %-60s %14.0f -> %14.0f ns/op  %+7.1f%%\n",
 			verdict, nb.Name, ob.NsPerOp, nb.NsPerOp, delta)
 		for _, unit := range sharedMetricUnits(ob, nb) {
-			fmt.Fprintf(&sb, "          %-60s %14.2f -> %14.2f %s\n",
-				"", ob.Metrics[unit], nb.Metrics[unit], unit)
+			if !isGated(unit) {
+				fmt.Fprintf(&sb, "          %-60s %14.2f -> %14.2f %s\n",
+					"", ob.Metrics[unit], nb.Metrics[unit], unit)
+				continue
+			}
+			mv, md := judge(ob.Metrics[unit], nb.Metrics[unit])
+			if mv == "REGRESSED" {
+				regressed = append(regressed, nb.Name+" ("+unit+")")
+			}
+			fmt.Fprintf(&sb, "%-9s %-60s %14.2f -> %14.2f %s  %+7.1f%%\n",
+				mv, "", ob.Metrics[unit], nb.Metrics[unit], unit, md)
 		}
 	}
 	for _, ob := range old.Benchmarks {

@@ -112,6 +112,79 @@ func TestCompareShowsSharedCustomMetrics(t *testing.T) {
 	}
 }
 
+func TestCompareGatesAllocMetrics(t *testing.T) {
+	old := mkDoc(
+		bench("BenchmarkAllocs", 100, map[string]float64{"allocs/op": 1000, "B/op": 4096}),
+		bench("BenchmarkBytes", 100, map[string]float64{"allocs/op": 10, "B/op": 1000}),
+		bench("BenchmarkSteady", 100, map[string]float64{"allocs/op": 10, "B/op": 1000}),
+	)
+	cur := mkDoc(
+		bench("BenchmarkAllocs", 101, map[string]float64{"allocs/op": 1500, "B/op": 4100}), // allocs +50%
+		bench("BenchmarkBytes", 99, map[string]float64{"allocs/op": 11, "B/op": 1900}),     // B/op +90%
+		bench("BenchmarkSteady", 102, map[string]float64{"allocs/op": 11, "B/op": 1050}),   // inside budget
+	)
+	report, regressed := compare(old, cur, 20, nil)
+	want := []string{"BenchmarkAllocs (allocs/op)", "BenchmarkBytes (B/op)"}
+	if len(regressed) != 2 || regressed[0] != want[0] || regressed[1] != want[1] {
+		t.Fatalf("regressed = %v, want %v", regressed, want)
+	}
+	// The headline ns/op rows are all fine; the metric rows carry the
+	// verdicts.
+	for _, s := range []string{"ok        BenchmarkAllocs", "ok        BenchmarkBytes", "ok        BenchmarkSteady"} {
+		if !strings.Contains(report, s) {
+			t.Errorf("report missing %q:\n%s", s, report)
+		}
+	}
+	if !strings.Contains(report, "REGRESSED") {
+		t.Fatalf("no REGRESSED metric row:\n%s", report)
+	}
+}
+
+func TestCompareAllocGateHonorsAllowlist(t *testing.T) {
+	old := mkDoc(bench("BenchmarkStoreAppend", 100, map[string]float64{"allocs/op": 100}))
+	cur := mkDoc(bench("BenchmarkStoreAppend", 100, map[string]float64{"allocs/op": 500}))
+	if _, regressed := compare(old, cur, 20, nil); len(regressed) != 1 {
+		t.Fatalf("without allowlist: regressed = %v, want 1", regressed)
+	}
+	if _, regressed := compare(old, cur, 20, []string{"StoreAppend"}); len(regressed) != 0 {
+		t.Fatalf("with allowlist: regressed = %v, want none", regressed)
+	}
+}
+
+func TestCompareAllocMetricsAbsentOnOneSideDoNotGate(t *testing.T) {
+	// The previous artifact predates -benchmem: no allocs/op or B/op.
+	// The first run with allocation metrics must not regress against
+	// it, and an artifact that loses the metrics must not either.
+	old := mkDoc(bench("BenchmarkReplay", 100, nil))
+	cur := mkDoc(bench("BenchmarkReplay", 105, map[string]float64{"allocs/op": 1e9, "B/op": 1e12}))
+	if _, regressed := compare(old, cur, 20, nil); len(regressed) != 0 {
+		t.Fatalf("one-sided alloc metrics gated: %v", regressed)
+	}
+	if _, regressed := compare(cur, old, 20, nil); len(regressed) != 0 {
+		t.Fatalf("dropped alloc metrics gated: %v", regressed)
+	}
+}
+
+func TestCompareZeroAllocBaselineDoesNotDivide(t *testing.T) {
+	old := mkDoc(bench("BenchmarkZero", 100, map[string]float64{"allocs/op": 0}))
+	cur := mkDoc(bench("BenchmarkZero", 100, map[string]float64{"allocs/op": 3}))
+	if _, regressed := compare(old, cur, 20, nil); len(regressed) != 0 {
+		t.Fatalf("zero alloc baseline must not regress: %v", regressed)
+	}
+}
+
+func TestParseBenchmemLine(t *testing.T) {
+	in := "BenchmarkStoreReplay/store-full/binary-v2-8   10   138055277 ns/op   34000000 B/op   1888 allocs/op\n"
+	doc, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := doc.Benchmarks[0].Metrics
+	if m["B/op"] != 34000000 || m["allocs/op"] != 1888 {
+		t.Fatalf("benchmem metrics = %v", m)
+	}
+}
+
 func TestCompareZeroOldNsDoesNotDivide(t *testing.T) {
 	old := mkDoc(bench("BenchmarkWeird", 0, nil))
 	cur := mkDoc(bench("BenchmarkWeird", 50, nil))

@@ -215,8 +215,14 @@ func replayTrace(path string, showAlerts bool, workers, batch, topK int, filter 
 		if extra := stats.TailLossBytes - knownLoss; extra > 0 {
 			fmt.Fprintf(os.Stderr, "jsentinel: warning: %d corrupt trailing bytes skipped\n", extra)
 		}
-		fmt.Printf("store: %d/%d segments selected, %d frames decoded, %d skipped undecoded\n",
-			stats.SegmentsSelected, stats.SegmentsTotal, stats.Decoded, stats.Skipped)
+		// The full ReplayStats, one line: how much of the store the
+		// index pruned, how many frames the header push-down discarded
+		// without decoding, and how many corrupt trailing bytes the
+		// pass skipped — the numbers an operator needs to judge
+		// whether a detection report covered the whole recording.
+		fmt.Printf("store: %d/%d segments selected, %d frames decoded, %d skipped undecoded, %d events, %d tail-loss bytes\n",
+			stats.SegmentsSelected, stats.SegmentsTotal, stats.Decoded, stats.Skipped,
+			stats.Events, stats.TailLossBytes)
 	} else {
 		// Legacy JSONL replays as a stream: decode, filter, and route
 		// to the shard workers one event at a time, so trace size is

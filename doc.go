@@ -66,6 +66,13 @@
 // Compact enforces retention, and corrupt tails from crashed writers
 // are truncated and surfaced on open, never silently replayed —
 // identically for both codecs, with exact tail-loss accounting.
+// Replay decoding is arena-backed: each segment's strings land in an
+// append-only per-segment arena (zero-copy string headers behind a
+// tested unsafe wrapper), segment buffers recycle containers through
+// a free list, and the hot rules-engine paths build state keys on
+// the stack — a full-store binary replay performs O(segments), not
+// O(events × string fields), heap allocations (see DESIGN.md "Replay
+// memory model" for the borrow contract).
 //
 // The ingest front-end (internal/ingest, jingestd) runs that pipeline
 // as a multi-tenant service: agents stream events over HTTP batches
@@ -100,7 +107,12 @@
 // to host-call order, stdout bytes, error lines, and step-limit
 // accounting, so attack scenarios replay to byte-identical trace
 // streams and incident tables on either engine
-// (internal/attacks/engine_equiv_test.go).
+// (internal/attacks/engine_equiv_test.go). The kernel manager caches
+// parsed programs in a bounded LRU keyed by source hash
+// (kernel.Config.ProgramCacheSize), shared across kernels, so
+// repeated cells — the fleet-census shape — skip the parse and, on
+// the VM, bytecode compilation entirely; hit/miss counters surface
+// in kernel usage.
 //
 // See README.md for the tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for the per-figure reproduction record. The root

@@ -89,10 +89,29 @@ func FuzzReadSegment(f *testing.F) {
 	f.Add(appendV2Frame([]byte(segMagicV2), []byte{0x7f, 1, 2, 3})) // unknown frame type
 	f.Add(appendV2Frame([]byte(segMagicV2), []byte{frameDict}))     // empty dictionary entry
 
+	// Arena edge cases. Inline strings near and past the arena chunk
+	// size: two near-chunk values force a value to span a chunk
+	// rollover, the oversized one takes the dedicated-chunk path; the
+	// torn variant cuts the stream mid-frame — i.e. mid-arena-chunk on
+	// the decode side — so recovery runs with a partially filled arena.
+	bigV2 := buildSegmentV2(
+		trace.Event{Seq: 1, Kind: trace.KindExec, User: "alice", Code: string(bytes.Repeat([]byte("A"), 60<<10))},
+		trace.Event{Seq: 2, Kind: trace.KindExec, User: "alice", Code: string(bytes.Repeat([]byte("B"), 60<<10))},
+		trace.Event{Seq: 3, Kind: trace.KindExec, User: "alice", Code: string(bytes.Repeat([]byte("C"), 70<<10))},
+	)
+	f.Add(bigV2)
+	f.Add(bigV2[:len(bigV2)-(30<<10)]) // torn tail mid-arena-chunk
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var events int
-		res, err := DecodeFrames(bytes.NewReader(data), int64(len(data)), func(trace.Event) error {
+		var plainJSON [][]byte
+		res, err := DecodeFrames(bytes.NewReader(data), int64(len(data)), func(e trace.Event) error {
 			events++
+			j, jerr := json.Marshal(e)
+			if jerr != nil {
+				return jerr
+			}
+			plainJSON = append(plainJSON, j)
 			return nil
 		})
 		if err != nil {
@@ -122,6 +141,34 @@ func FuzzReadSegment(f *testing.F) {
 			if again.Truncated || again.Events != res.Events {
 				t.Fatalf("valid prefix re-decode: %+v, want clean %d events", again, res.Events)
 			}
+		}
+		// Arena differential: the arena-backed decode must agree with
+		// the copying decode byte-for-byte (JSON re-encoding) on every
+		// input, including every corruption the fuzzer invents — same
+		// events, same truncation verdict, same loss accounting.
+		var arenaEvents int
+		sc := &decodeScratch{arena: &trace.Arena{}}
+		resA, err := decodeFrames(bytes.NewReader(data), int64(len(data)), nil, sc, func(e trace.Event) error {
+			if arenaEvents >= len(plainJSON) {
+				t.Fatalf("arena decode produced extra event %d", arenaEvents)
+			}
+			j, jerr := json.Marshal(e)
+			if jerr != nil {
+				return jerr
+			}
+			if !bytes.Equal(j, plainJSON[arenaEvents]) {
+				t.Fatalf("arena decode diverged at event %d:\nplain %s\narena %s",
+					arenaEvents, plainJSON[arenaEvents], j)
+			}
+			arenaEvents++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("arena decode returned %v", err)
+		}
+		if arenaEvents != events || resA != res {
+			t.Fatalf("arena decode result diverged: %+v (%d events), plain %+v (%d events)",
+				resA, arenaEvents, res, events)
 		}
 	})
 }

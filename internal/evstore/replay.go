@@ -127,17 +127,30 @@ type ReplayStats struct {
 // Scan streams matching events in log order through fn — the serial
 // consumer path (export, conversion). Corrupt segment tails are
 // skipped and counted, mirroring Replay. A non-nil error from fn
-// aborts the scan.
+// aborts the scan. Scan keeps plain copying semantics: every event's
+// strings are ordinary heap strings the caller may retain freely (no
+// arena), which is what export/conversion consumers expect.
 func (s *Store) Scan(f Filter, fn func(trace.Event) error) (ReplayStats, error) {
+	return s.scan(f, nil, fn)
+}
+
+// scan is Scan with an optional decode scratch (Replay's serial path
+// passes one carrying an arena; Scan passes nil).
+func (s *Store) scan(f Filter, sc *decodeScratch, fn func(trace.Event) error) (ReplayStats, error) {
 	segs := s.Segments()
 	stats := ReplayStats{SegmentsTotal: len(segs)}
 	skip := f.pushDown()
+	if sc == nil {
+		// Even without an arena, the read/payload buffers are reused
+		// across the whole pass instead of re-allocated per segment.
+		sc = &decodeScratch{}
+	}
 	for _, seg := range segs {
 		if !f.MatchIndex(seg.Index) {
 			continue
 		}
 		stats.SegmentsSelected++
-		res, err := scanSegmentFiltered(seg.Path, skip, func(e trace.Event) error {
+		res, err := scanSegmentScratch(seg.Path, skip, sc, func(e trace.Event) error {
 			stats.Decoded++
 			if !f.Match(e) {
 				return nil
@@ -165,8 +178,16 @@ func (s *Store) Scan(f Filter, fn func(trace.Event) error) (ReplayStats, error) 
 // append order even though decoding overlaps — the same per-group
 // serial-equivalence contract as workload.Replay — while segments the
 // sidecar index rules out (wrong kinds, disjoint time window, absent
-// actor) are never read at all. The batch slice passed to process is
-// reused; process must not retain it.
+// actor) are never read at all.
+//
+// Borrow contract: the batch slice passed to process is reused, so
+// process must not retain the slice or the Event structs in it past
+// the callback's return. Event string fields are decoded into
+// per-segment arenas (trace.Arena) whose chunks are append-only and
+// GC-owned, so a string a consumer does copy out by reference stays
+// valid — retaining one merely pins its chunk. Consumers that keep
+// anything long-lived should still copy explicitly; see DESIGN.md
+// "Replay memory model".
 func (s *Store) Replay(f Filter, workers, batch int, process func([]trace.Event)) (ReplayStats, error) {
 	if workers <= 0 {
 		workers = 1
@@ -175,8 +196,12 @@ func (s *Store) Replay(f Filter, workers, batch int, process func([]trace.Event)
 		batch = 256
 	}
 	if workers == 1 {
+		// Serial path: one scratch (read buffer, payload, dictionary,
+		// arena) serves every segment of the pass, so the whole replay
+		// costs O(segments) allocations, same as the sharded path.
+		sc := &decodeScratch{arena: &trace.Arena{}}
 		buf := make([]trace.Event, 0, batch)
-		stats, err := s.Scan(f, func(e trace.Event) error {
+		stats, err := s.scan(f, sc, func(e trace.Event) error {
 			buf = append(buf, e)
 			if len(buf) == batch {
 				process(buf)
@@ -215,9 +240,19 @@ func (s *Store) Replay(f Filter, workers, batch int, process func([]trace.Event)
 	// count: the array is allocated right-sized and never regrows,
 	// where skewed actor sharding made bucket growth (and the zeroing
 	// of ever-larger backing arrays) the replay's dominant cost.
+	// Each segBuf also owns the decode scratch — read buffer, payload
+	// buffer, dictionary slice, and the string arena — so recycling a
+	// buffer through the free list recycles the whole per-segment
+	// decode state. Recycling reuses containers only: arena chunks are
+	// append-only, so strings already handed to shard workers (or
+	// copied out by consumers) are never overwritten by the next
+	// segment decoded into the same segBuf. That is what makes it safe
+	// to release a segment before a worker's partial cross-segment
+	// batch has been flushed to process.
 	type segBuf struct {
 		events []trace.Event
 		shard  []uint32
+		sc     decodeScratch
 	}
 	type segState struct {
 		buf     *segBuf // valid once done is closed
@@ -258,7 +293,7 @@ func (s *Store) Replay(f Filter, workers, batch int, process func([]trace.Event)
 				select {
 				case sb = <-free:
 				default:
-					sb = &segBuf{}
+					sb = &segBuf{sc: decodeScratch{arena: &trace.Arena{}}}
 				}
 				n := segs[i].Index.Events
 				if cap(sb.events) < n {
@@ -268,7 +303,7 @@ func (s *Store) Replay(f Filter, workers, batch int, process func([]trace.Event)
 					sb.events = sb.events[:0]
 					sb.shard = sb.shard[:0]
 				}
-				res, err := scanSegmentFiltered(segs[i].Path, skip, func(e trace.Event) error {
+				res, err := scanSegmentScratch(segs[i].Path, skip, &sb.sc, func(e trace.Event) error {
 					decoded.Add(1)
 					if !f.Match(e) {
 						return nil

@@ -1,8 +1,10 @@
 package evstore
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -251,5 +253,114 @@ func TestReplayReportsTailLoss(t *testing.T) {
 		if stats.TailLossBytes != 16 {
 			t.Fatalf("workers=%d: tail loss %d bytes, want 16", workers, stats.TailLossBytes)
 		}
+	}
+}
+
+// TestReplayArenaAllocationsScaleWithSegments pins the tentpole perf
+// claim at the store layer: a serial binary-store replay performs
+// O(segments) heap allocations, not O(events × string fields). The
+// bound is generous (64 allocations per segment) so the test survives
+// runtime-version drift while still failing loudly if per-event
+// string allocations ever creep back into the decode path.
+func TestReplayArenaAllocationsScaleWithSegments(t *testing.T) {
+	dir := t.TempDir()
+	// Small segments force a real multi-segment pass; 4000 events with
+	// repeated strings engage the dictionary, unique suffixes keep some
+	// inline traffic flowing through the arena.
+	s, err := Open(dir, Options{SegmentBytes: 32 << 10, Codec: CodecBinary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 6, 2, 8, 0, 0, 0, time.UTC)
+	for i := 0; i < 4000; i++ {
+		if err := s.Append(trace.Event{
+			Seq: uint64(i + 1), Time: base.Add(time.Duration(i) * time.Second),
+			Kind: trace.KindExec, User: fmt.Sprintf("user%d", i%7),
+			Path: fmt.Sprintf("/nb/%d.ipynb", i%11),
+			Code: fmt.Sprintf("print(%d) # unique-inline-padding-%d", i, i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := OpenRead(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	segs := len(rs.Segments())
+	if segs < 3 {
+		t.Fatalf("want a multi-segment store, got %d segments", segs)
+	}
+
+	var events int64
+	replay := func() {
+		events = 0
+		if _, err := rs.Replay(Filter{}, 1, 256, func(b []trace.Event) {
+			events += int64(len(b))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replay() // warm OS/file caches and the testing runtime
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	replay()
+	runtime.ReadMemStats(&m1)
+	if events != 4000 {
+		t.Fatalf("replayed %d events, want 4000", events)
+	}
+	allocs := m1.Mallocs - m0.Mallocs
+	if allocs > uint64(64*segs) {
+		t.Fatalf("serial replay allocated %d times for %d segments (%d events); want O(segments)",
+			allocs, segs, events)
+	}
+}
+
+// TestReplayArenaMatchesScanExactly is the store-layer differential:
+// the arena-backed Replay (serial and sharded) must deliver exactly
+// the events the copying Scan delivers, byte-identical under JSON
+// re-encoding, across both codecs and a filtered pass.
+func TestReplayArenaMatchesScanExactly(t *testing.T) {
+	for _, codec := range []Codec{CodecBinary, CodecJSON} {
+		dir := t.TempDir()
+		writeMixedOpts(t, dir, Options{SegmentBytes: 4096, FlushEvery: 16, Codec: codec}, 300)
+		s, err := OpenRead(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range []Filter{{}, {Kinds: []trace.Kind{trace.KindAuth}}} {
+			want := map[uint64]string{}
+			for _, e := range scanFiltered(t, s, f) {
+				j, _ := json.Marshal(e)
+				want[e.Seq] = string(j)
+			}
+			for _, workers := range []int{1, 8} {
+				got := map[uint64]string{}
+				var mu sync.Mutex
+				if _, err := s.Replay(f, workers, 64, func(b []trace.Event) {
+					mu.Lock()
+					for _, e := range b {
+						j, _ := json.Marshal(e)
+						got[e.Seq] = string(j)
+					}
+					mu.Unlock()
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("codec=%s workers=%d: got %d events, want %d", codec, workers, len(got), len(want))
+				}
+				for seq, j := range want {
+					if got[seq] != j {
+						t.Fatalf("codec=%s workers=%d seq=%d:\n got %s\nwant %s", codec, workers, seq, got[seq], j)
+					}
+				}
+			}
+		}
+		s.Close()
 	}
 }

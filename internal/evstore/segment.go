@@ -258,18 +258,46 @@ type DecodeResult struct {
 // from fn aborts the scan and is returned as-is. size is the total
 // stream length if known (for tail-loss accounting), or -1.
 func DecodeFrames(r io.Reader, size int64, fn func(trace.Event) error) (DecodeResult, error) {
-	return decodeFrames(r, size, nil, fn)
+	return decodeFrames(r, size, nil, nil, fn)
 }
 
-// decodeFrames is DecodeFrames plus the v2 push-down hook: when skip
-// is non-nil it is consulted with each event frame's header kind and
-// actor key, after the checksum verifies but before the body decodes;
-// returning true drops the frame without decoding it. v1 segments
-// have no header to push into, so skip is ignored there and per-event
-// filtering stays with the caller.
-func decodeFrames(r io.Reader, size int64, skip func(kind trace.Kind, actor string) bool, fn func(trace.Event) error) (DecodeResult, error) {
+// decodeScratch is the reusable per-segment decode state: the read
+// buffer, the frame payload buffer, the dictionary slice, and — when
+// Replay owns the lifecycle — a string arena. Reusing one scratch
+// across the segments of a pass keeps a full-store replay at
+// O(segments) allocations; a nil scratch means "allocate fresh",
+// which is what the one-shot DecodeFrames/scanSegment paths use.
+//
+// arena is deliberately opt-in: with it set, every decoded event's
+// inline strings (and the segment dictionary's entries) live in arena
+// chunks instead of individual heap allocations. The arena is
+// append-only (see trace.Arena), so decoded strings stay valid even
+// after the scratch is recycled for the next segment — recycling
+// reuses the *containers* (buffers, slices), never string bytes.
+type decodeScratch struct {
+	br      *bufio.Reader
+	payload []byte
+	dict    []string
+	arena   *trace.Arena
+}
+
+// decodeFrames is DecodeFrames plus the v2 push-down hook and scratch
+// reuse: when skip is non-nil it is consulted with each event frame's
+// header kind and actor key, after the checksum verifies but before
+// the body decodes; returning true drops the frame without decoding
+// it. v1 segments have no header to push into, so skip is ignored
+// there and per-event filtering stays with the caller. sc may be nil.
+func decodeFrames(r io.Reader, size int64, skip func(kind trace.Kind, actor string) bool, sc *decodeScratch, fn func(trace.Event) error) (DecodeResult, error) {
 	var res DecodeResult
-	br := bufio.NewReaderSize(r, 256<<10)
+	if sc == nil {
+		sc = &decodeScratch{}
+	}
+	if sc.br == nil {
+		sc.br = bufio.NewReaderSize(r, 256<<10)
+	} else {
+		sc.br.Reset(r)
+	}
+	br := sc.br
 	truncate := func(reason string) (DecodeResult, error) {
 		res.Truncated = true
 		res.Reason = reason
@@ -299,7 +327,7 @@ func decodeFrames(r io.Reader, size int64, skip func(kind trace.Kind, actor stri
 	if binaryCodec {
 		crcTable = castagnoli
 	}
-	var dict []string
+	dict := sc.dict[:0]
 	lookup := func(ref uint64) (string, bool) {
 		if ref >= uint64(len(dict)) {
 			return "", false
@@ -310,12 +338,17 @@ func decodeFrames(r io.Reader, size int64, skip func(kind trace.Kind, actor stri
 	var hdr [frameHeaderLen]byte
 	// One scratch buffer serves every frame, grown geometrically so a
 	// run of monotonically larger frames doesn't reallocate per frame.
-	// Decoded events copy whatever they keep, so the payload never
-	// escapes the loop and the hot replay path stays allocation-free
-	// per event. The event is hoisted too: &e escapes into
-	// json.Unmarshal, so an in-loop declaration would heap-allocate
-	// every event.
-	var payload []byte
+	// Decoded events copy whatever they keep (into sc.arena when set),
+	// so the payload never escapes the loop and the hot replay path
+	// stays allocation-free per event. The event is hoisted too: &e
+	// escapes into json.Unmarshal, so an in-loop declaration would
+	// heap-allocate every event.
+	payload := sc.payload
+	defer func() {
+		// Hand grown capacity back so the next segment reuses it.
+		sc.dict = dict[:0]
+		sc.payload = payload[:0]
+	}()
 	var e trace.Event
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
@@ -350,15 +383,23 @@ func decodeFrames(r io.Reader, size int64, skip func(kind trace.Kind, actor stri
 		if binaryCodec {
 			switch payload[0] {
 			case frameDict:
-				dict = append(dict, string(payload[1:]))
+				// Materialized exactly once per segment; every event that
+				// cites the entry shares this string by reference. With an
+				// arena the copy out of the reused payload buffer lands in
+				// a chunk instead of its own allocation.
+				if sc.arena != nil {
+					dict = append(dict, sc.arena.String(payload[1:]))
+				} else {
+					dict = append(dict, string(payload[1:]))
+				}
 				res.ValidBytes += frameHeaderLen + int64(length)
 				continue
 			case frameEvent:
-				kind, n1, err := trace.DecodeBinaryString(payload[1:], lookup)
+				kind, n1, err := trace.DecodeBinaryStringArena(payload[1:], lookup, sc.arena)
 				if err != nil {
 					return truncate("frame not an event")
 				}
-				actor, n2, err := trace.DecodeBinaryString(payload[1+n1:], lookup)
+				actor, n2, err := trace.DecodeBinaryStringArena(payload[1+n1:], lookup, sc.arena)
 				if err != nil {
 					return truncate("frame not an event")
 				}
@@ -367,7 +408,7 @@ func decodeFrames(r io.Reader, size int64, skip func(kind trace.Kind, actor stri
 					res.Skipped++
 					continue
 				}
-				e, err = trace.DecodeBinaryEvent(payload[1+n1+n2:], trace.Kind(kind), lookup)
+				e, err = trace.DecodeBinaryEventArena(payload[1+n1+n2:], trace.Kind(kind), lookup, sc.arena)
 				if err != nil {
 					return truncate("frame not an event")
 				}
@@ -395,6 +436,13 @@ func scanSegment(path string, fn func(trace.Event) error) (DecodeResult, error) 
 // scanSegmentFiltered decodes a segment file with an optional v2
 // push-down predicate.
 func scanSegmentFiltered(path string, skip func(kind trace.Kind, actor string) bool, fn func(trace.Event) error) (DecodeResult, error) {
+	return scanSegmentScratch(path, skip, nil, fn)
+}
+
+// scanSegmentScratch is scanSegmentFiltered with reusable decode
+// scratch — the replay paths thread one scratch (and its arena)
+// across all the segments they visit.
+func scanSegmentScratch(path string, skip func(kind trace.Kind, actor string) bool, sc *decodeScratch, fn func(trace.Event) error) (DecodeResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return DecodeResult{}, err
@@ -404,7 +452,7 @@ func scanSegmentFiltered(path string, skip func(kind trace.Kind, actor string) b
 	if err != nil {
 		return DecodeResult{}, err
 	}
-	return decodeFrames(f, st.Size(), skip, fn)
+	return decodeFrames(f, st.Size(), skip, sc, fn)
 }
 
 // rebuildIndex reconstructs a sidecar by scanning the segment data —

@@ -84,6 +84,11 @@ type Config struct {
 	// the VM is differentially tested against. Both are observably
 	// equivalent; tree exists as the oracle and as a fallback knob.
 	Engine string
+	// ProgramCacheSize bounds the manager-wide compiled-program cache
+	// (parsed cell sources shared across kernels, LRU-evicted). 0
+	// means the default capacity; negative disables the cache so
+	// every execution re-parses — the diagnostic escape hatch.
+	ProgramCacheSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -223,6 +228,7 @@ type Kernel struct {
 	mu        sync.Mutex
 	cfg       Config
 	eng       minilang.Engine
+	progs     *progCache // manager-shared; nil disables caching
 	signer    *jmsg.Signer
 	execCount int
 	state     string
@@ -244,6 +250,12 @@ type Usage struct {
 	NetBytes     int64
 	NetCalls     int
 	ShellCalls   int
+	// Program-cache effectiveness for this kernel's executions: a hit
+	// means the cell source was already parsed (and, for the VM, its
+	// bytecode already compiled by this kernel's engine after the
+	// first run of that program).
+	ProgCacheHits   int
+	ProgCacheMisses int
 }
 
 // State returns the kernel execution state.
@@ -336,7 +348,26 @@ func (k *Kernel) Execute(code string, parent *jmsg.Message) (*ExecResult, error)
 		k.cfg.ExecHook(k.ID, user, code)
 	}
 	before := k.eng.Counters()
-	runErr := k.eng.Run(code)
+	var runErr error
+	if k.progs != nil {
+		// Cache hit: the parse front end is skipped outright, and the
+		// engine's per-program compiled form is reused on every run of
+		// this program after the kernel's first. Parse failures come
+		// back as the same SyntaxError Run would produce.
+		prog, hit, perr := k.progs.program(code)
+		if hit {
+			k.usage.ProgCacheHits++
+		} else {
+			k.usage.ProgCacheMisses++
+		}
+		if perr != nil {
+			runErr = perr
+		} else {
+			runErr = k.eng.RunProgram(prog)
+		}
+	} else {
+		runErr = k.eng.Run(code)
+	}
 	after := k.eng.Counters()
 	stdout := k.eng.TakeStdout()
 	k.execCount++
@@ -579,12 +610,28 @@ type Manager struct {
 	mu      sync.Mutex
 	cfg     Config
 	kernels map[string]*Kernel
+	progs   *progCache // shared across kernels; nil when disabled
 	seq     int
 }
 
 // NewManager returns a kernel manager with the given configuration.
 func NewManager(cfg Config) *Manager {
-	return &Manager{cfg: cfg.withDefaults(), kernels: map[string]*Kernel{}}
+	cfg = cfg.withDefaults()
+	m := &Manager{cfg: cfg, kernels: map[string]*Kernel{}}
+	if cfg.ProgramCacheSize >= 0 {
+		m.progs = newProgCache(cfg.ProgramCacheSize)
+	}
+	return m
+}
+
+// ProgCacheStats reports the manager-wide program cache counters:
+// cumulative hits and misses, and the number of resident programs.
+func (m *Manager) ProgCacheStats() (hits, misses uint64, resident int) {
+	if m.progs == nil {
+		return 0, 0, 0
+	}
+	hits, misses = m.progs.stats()
+	return hits, misses, m.progs.len()
 }
 
 // Start launches a kernel for user and returns it.
@@ -605,6 +652,7 @@ func (m *Manager) Start(name, user string) *Kernel {
 		Name:     name,
 		ConnInfo: jmsg.NewConnectionInfo("127.0.0.1", 50000+m.seq*10, m.cfg.ConnectionKey),
 		cfg:      m.cfg,
+		progs:    m.progs,
 		eng:      minilang.NewEngine(m.cfg.Engine, host, m.cfg.Limits),
 		signer:   jmsg.NewSigner([]byte(m.cfg.ConnectionKey)),
 		state:    StateIdle,

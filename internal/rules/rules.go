@@ -110,6 +110,12 @@ func FieldValue(e *trace.Event, field string) string {
 	case "path":
 		return e.Path
 	case "status":
+		// Status codes sit in a small range on every real trace; the
+		// precomputed table keeps this hot-path lookup allocation-free
+		// (strconv.Itoa allocates for values ≥ 100).
+		if uint(e.Status) < uint(len(statusStrings)) {
+			return statusStrings[e.Status]
+		}
 		return strconv.Itoa(e.Status)
 	case "ws_opcode":
 		return e.WSOpcode
@@ -144,6 +150,15 @@ func FieldValue(e *trace.Event, field string) string {
 		return e.Fields[field]
 	}
 }
+
+// statusStrings caches the decimal form of every plausible status
+// code so FieldValue("status") never allocates on the hot path.
+var statusStrings = func() (t [1000]string) {
+	for i := range t {
+		t[i] = strconv.Itoa(i)
+	}
+	return
+}()
 
 // numericValue extracts a field as float64 for gt/lt comparisons.
 func numericValue(e *trace.Event, field string) (float64, bool) {
@@ -333,11 +348,19 @@ type Engine struct {
 const stateShards = 32
 
 // stateShard holds threshold and sequence state for the groups hashed
-// to it, keyed by ruleID+"\x00"+group.
+// to it, keyed by ruleID+"\x00"+group. Both maps are pointer-valued
+// so the hot path can look an entry up with a stack-built []byte key
+// (the compiler's alloc-free map[string(bytes)] pattern) and mutate
+// it in place; a real string key is allocated only when a group is
+// seen for the first time.
 type stateShard struct {
 	mu         sync.Mutex
-	thresholds map[string][]time.Time
+	thresholds map[string]*threshState
 	sequences  map[string]*seqState
+}
+
+type threshState struct {
+	times []time.Time
 }
 
 type seqState struct {
@@ -347,7 +370,7 @@ type seqState struct {
 
 // shardFor picks the shard owning a rule's correlation group via
 // FNV-1a over the composite key.
-func (en *Engine) shardFor(ruleID, group string) (*stateShard, string) {
+func (en *Engine) shardFor(ruleID, group string) *stateShard {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -359,12 +382,22 @@ func (en *Engine) shardFor(ruleID, group string) (*stateShard, string) {
 	}
 	// No separator byte is hashed between ruleID and group: a
 	// cross-boundary collision only shares a shard lock, never a
-	// state entry (the map key below uses a real \x00 separator).
+	// state entry (the map key uses a real \x00 separator).
 	for i := 0; i < len(group); i++ {
 		h ^= uint64(group[i])
 		h *= prime64
 	}
-	return &en.shards[h%stateShards], ruleID + "\x00" + group
+	return &en.shards[h%stateShards]
+}
+
+// stateKey appends the composite correlation key to dst. Callers pass
+// a stack array's prefix so the common case builds the key without a
+// heap allocation; map lookups then use the m[string(key)] form the
+// compiler compiles down to a no-copy lookup.
+func stateKey(dst []byte, ruleID, group string) []byte {
+	dst = append(dst, ruleID...)
+	dst = append(dst, 0)
+	return append(dst, group...)
 }
 
 // ruleKinds returns the event kinds a compiled rule can possibly
@@ -446,7 +479,7 @@ func NewEngine(ruleset []*Rule) (*Engine, error) {
 	}
 	en := &Engine{rules: ruleset}
 	for i := range en.shards {
-		en.shards[i].thresholds = map[string][]time.Time{}
+		en.shards[i].thresholds = map[string]*threshState{}
 		en.shards[i].sequences = map[string]*seqState{}
 	}
 	en.rulesMu.Lock()
@@ -562,11 +595,18 @@ func (en *Engine) evalRule(r *Rule, e *trace.Event) (Alert, bool) {
 	if r.Threshold.GroupBy != "" {
 		group = FieldValue(e, r.Threshold.GroupBy)
 	}
-	sh, key := en.shardFor(r.ID, group)
+	sh := en.shardFor(r.ID, group)
+	var kb [128]byte
+	key := stateKey(kb[:0], r.ID, group)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	st := sh.thresholds[string(key)] // alloc-free lookup form
+	if st == nil {
+		st = &threshState{}
+		sh.thresholds[string(key)] = st // new group: key string allocated once
+	}
 	now := e.Time
-	times := sh.thresholds[key]
+	times := st.times
 	fresh := times[:0]
 	for _, t := range times {
 		if r.Threshold.Window == 0 || now.Sub(t) <= r.Threshold.Window {
@@ -574,9 +614,9 @@ func (en *Engine) evalRule(r *Rule, e *trace.Event) (Alert, bool) {
 		}
 	}
 	fresh = append(fresh, now)
-	sh.thresholds[key] = fresh
+	st.times = fresh
 	if len(fresh) >= r.Threshold.Count {
-		sh.thresholds[key] = nil // reset after firing
+		st.times = st.times[:0] // reset after firing, keeping capacity
 		return en.mkAlert(r, e, group, len(fresh)), true
 	}
 	return Alert{}, false
@@ -596,13 +636,15 @@ func (en *Engine) evalSequence(r *Rule, e *trace.Event) (Alert, bool) {
 	default:
 		group = e.SrcIP
 	}
-	sh, key := en.shardFor(r.ID, group)
+	sh := en.shardFor(r.ID, group)
+	var kb [128]byte
+	key := stateKey(kb[:0], r.ID, group)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	st := sh.sequences[key]
+	st := sh.sequences[string(key)] // alloc-free lookup form
 	if st == nil {
 		st = &seqState{}
-		sh.sequences[key] = st
+		sh.sequences[string(key)] = st // new group: key string allocated once
 	}
 	stage := &r.Sequence[st.stage]
 	if stage.Within > 0 && st.stage > 0 && e.Time.Sub(st.lastTime) > stage.Within {
@@ -657,7 +699,7 @@ func (en *Engine) Reset() {
 	for i := range en.shards {
 		sh := &en.shards[i]
 		sh.mu.Lock()
-		sh.thresholds = map[string][]time.Time{}
+		sh.thresholds = map[string]*threshState{}
 		sh.sequences = map[string]*seqState{}
 		sh.mu.Unlock()
 	}

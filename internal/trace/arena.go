@@ -1,0 +1,76 @@
+package trace
+
+// Arena batches the small string allocations a binary decode performs
+// into large chunks, so replaying a segment costs O(chunks) heap
+// allocations instead of O(events × string fields). Decoders copy each
+// inline string's bytes into the current chunk and hand out a
+// zero-copy string header over them (see bytesToString).
+//
+// Safety model — why an arena string can never dangle: the arena is
+// append-only. String always writes after the chunk's high-water mark
+// and nothing ever rewinds it, so bytes underneath a returned string
+// header are immutable for the life of the chunk, and the header
+// itself keeps the chunk alive through the garbage collector. A
+// consumer that retains an arena string past the replay batch
+// callback therefore reads valid, stable bytes forever — the cost is
+// pinning that string's whole chunk (up to arenaChunkSize) instead of
+// just the string, which is why the replay borrow contract still says
+// "copy what you keep" (see DESIGN.md "Replay memory model").
+//
+// An Arena is not safe for concurrent use; evstore gives each decoded
+// segment its own and recycles it through the replay free-list, where
+// channel hand-off provides the needed happens-before edges.
+type Arena struct {
+	cur []byte // current chunk; len is the immutable high-water mark
+
+	// Stats since construction (monotonic; Reset does not clear them).
+	strings int // strings handed out
+	bytes   int // string bytes copied in
+	chunks  int // chunks allocated
+}
+
+// arenaChunkSize is the default chunk allocation. 64KB amortizes one
+// heap allocation over thousands of typical event strings while
+// keeping the worst-case pin from a single retained string small.
+const arenaChunkSize = 64 << 10
+
+// String copies b into the arena and returns a string over the copy
+// without a per-string heap allocation. The result is valid forever
+// (see the safety model above); b itself may be reused immediately.
+func (a *Arena) String(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if cap(a.cur)-len(a.cur) < len(b) {
+		size := arenaChunkSize
+		if len(b) > size {
+			// Oversized value: give it a dedicated exact-size chunk so
+			// it cannot strand most of a fresh standard chunk.
+			size = len(b)
+		}
+		a.cur = make([]byte, 0, size)
+		a.chunks++
+	}
+	off := len(a.cur)
+	a.cur = append(a.cur, b...)
+	a.strings++
+	a.bytes += len(b)
+	return bytesToString(a.cur[off : off+len(b)])
+}
+
+// Reset drops the current chunk so the next String starts fresh. It
+// never reuses chunk memory — previously returned strings stay valid,
+// owned by the garbage collector once the last reference dies. Replay
+// deliberately does NOT call this between segments: spare capacity in
+// the final chunk is safely consumed by the next segment's strings,
+// since appends land beyond the high-water mark.
+func (a *Arena) Reset() {
+	a.cur = nil
+}
+
+// Stats reports lifetime counters: strings handed out, string bytes
+// copied, and chunks allocated. The allocation win is visible as
+// chunks ≪ strings.
+func (a *Arena) Stats() (strings, bytes, chunks int) {
+	return a.strings, a.bytes, a.chunks
+}

@@ -112,7 +112,15 @@ func AppendBinaryString(dst []byte, s string, intern Intern) []byte {
 // The counterpart of AppendBinaryString, used by the segment reader to
 // peek a v2 frame's kind and actor key without decoding the body.
 func DecodeBinaryString(data []byte, lookup Lookup) (string, int, error) {
-	r := &binReader{data: data}
+	return DecodeBinaryStringArena(data, lookup, nil)
+}
+
+// DecodeBinaryStringArena is DecodeBinaryString with an optional
+// arena: when arena is non-nil an inline value is copied into it
+// instead of heap-allocated on its own. Dictionary references return
+// the dictionary's string either way.
+func DecodeBinaryStringArena(data []byte, lookup Lookup, arena *Arena) (string, int, error) {
+	r := &binReader{data: data, arena: arena}
 	s := r.string(lookup)
 	if r.err != nil {
 		return "", 0, r.err
@@ -201,11 +209,13 @@ func AppendBinaryEvent(dst []byte, e Event, intern Intern) []byte {
 
 // binReader walks a binary body with explicit bounds checks; every
 // read either succeeds or latches an error, so corrupt input can
-// never panic or over-read.
+// never panic or over-read. When arena is non-nil, inline strings are
+// copied into it instead of individually heap-allocated.
 type binReader struct {
-	data []byte
-	pos  int
-	err  error
+	data  []byte
+	pos   int
+	err   error
+	arena *Arena
 }
 
 func (r *binReader) fail(format string, args ...any) {
@@ -281,7 +291,12 @@ func (r *binReader) string(lookup Lookup) string {
 		r.fail("trace: string of %d bytes overruns body", n)
 		return ""
 	}
-	s := string(r.data[r.pos : r.pos+int(n)])
+	var s string
+	if r.arena != nil {
+		s = r.arena.String(r.data[r.pos : r.pos+int(n)])
+	} else {
+		s = string(r.data[r.pos : r.pos+int(n)])
+	}
 	r.pos += int(n)
 	return s
 }
@@ -346,11 +361,23 @@ func (r *binReader) skip(wire int, lookup Lookup) {
 // Corrupt input returns an error — never a panic, never a partial
 // event presented as complete.
 func DecodeBinaryEvent(data []byte, kind Kind, lookup Lookup) (Event, error) {
+	return DecodeBinaryEventArena(data, kind, lookup, nil)
+}
+
+// DecodeBinaryEventArena is DecodeBinaryEvent with an optional arena:
+// when arena is non-nil, every inline string field (including map
+// keys and values) is copied into the arena instead of individually
+// heap-allocated, so decoding a segment's worth of events costs
+// O(chunks) string allocations. Strings resolved through lookup are
+// shared by reference, not re-copied — the segment dictionary already
+// materialized them once. nil arena is byte-for-byte identical to
+// DecodeBinaryEvent.
+func DecodeBinaryEventArena(data []byte, kind Kind, lookup Lookup, arena *Arena) (Event, error) {
 	if lookup == nil {
 		lookup = func(uint64) (string, bool) { return "", false }
 	}
 	e := Event{Kind: kind}
-	r := &binReader{data: data}
+	r := &binReader{data: data, arena: arena}
 	for !r.done() {
 		t := r.byte()
 		field, wire := int(t>>3), int(t&7)

@@ -1,0 +1,24 @@
+package trace
+
+import "unsafe"
+
+// zeroCopyStrings gates the unsafe.String fast path in bytesToString.
+// Tests flip it to prove the safe fallback is behaviorally identical;
+// production always runs with it on.
+var zeroCopyStrings = true
+
+// bytesToString returns a string over b without copying. The caller
+// must guarantee b's bytes are never mutated afterwards — Arena
+// provides exactly that guarantee (append-only, never rewound), which
+// is the only call site. The unsafe.String construction is the
+// documented safe pattern for immutable byte views (strings.Builder
+// uses the same trick); the fallback is a plain copying conversion.
+func bytesToString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if zeroCopyStrings {
+		return unsafe.String(&b[0], len(b))
+	}
+	return string(b)
+}
