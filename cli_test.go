@@ -393,6 +393,125 @@ func TestCLITools(t *testing.T) {
 		}
 	})
 
+	t.Run("jsentinel-history-query", func(t *testing.T) {
+		// extractTable pulls the "top N incidents by risk" block out of
+		// any CLI output: the equality contract below compares these
+		// blocks byte for byte.
+		extractTable := func(out string) string {
+			lines := strings.Split(out, "\n")
+			for i, line := range lines {
+				var n int
+				if _, err := fmt.Sscanf(line, "top %d incidents by risk:", &n); err != nil {
+					continue
+				}
+				end := i + 2 + n // header line + column header + n rows
+				if end > len(lines) {
+					t.Fatalf("truncated incident table:\n%s", out)
+				}
+				return strings.Join(lines[i:end], "\n")
+			}
+			t.Fatalf("no incident table in output:\n%s", out)
+			return ""
+		}
+
+		// A census records a queryable history next to its event store
+		// by default; `jsentinel query <store>` answers from it without
+		// re-running detection.
+		storeDir := filepath.Join(work, "hist-census")
+		out, err := runTool(t, filepath.Join(bin, "jscan"),
+			"--fleet", "8", "--seed", "7", "--suites", "misconfig,nbscan,intel", "--events", storeDir)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(out, "jscan: history recorded to") {
+			t.Errorf("census did not report its history:\n%s", out)
+		}
+		if fi, err := os.Stat(filepath.Join(storeDir, "history")); err != nil || !fi.IsDir() {
+			t.Fatalf("census store has no history/ subdirectory: %v", err)
+		}
+		qout, err := runTool(t, filepath.Join(bin, "jsentinel"), "query", "--topk", "50", storeDir)
+		if err != nil {
+			t.Fatalf("query over census history: %v\n%s", err, qout)
+		}
+		for _, want := range []string{"store stats:", "history stats:", "segments selected", "incidents match"} {
+			if !strings.Contains(qout, want) {
+				t.Errorf("query output missing %q:\n%s", want, qout)
+			}
+		}
+
+		// The headline contract at the CLI level: the table a filtered
+		// query renders equals the table a full replay renders —
+		// byte-identical, not just same incidents.
+		tr := workload.StandardMix(31, 400)
+		tracePath := filepath.Join(work, "hist-trace.jsonl")
+		f, err := os.Create(tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := trace.NewJSONLWriter(f)
+		for _, e := range tr.Events {
+			w.Emit(e)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		histDir := filepath.Join(work, "replay-history")
+		rout, err := runTool(t, filepath.Join(bin, "jsentinel"),
+			"--replay", tracePath, "--alerts=false", "--topk", "50", "--history", histDir)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, rout)
+		}
+		if !strings.Contains(rout, "history: recorded to") {
+			t.Errorf("replay did not report its history:\n%s", rout)
+		}
+		hq, err := runTool(t, filepath.Join(bin, "jsentinel"), "query", "--topk", "50", histDir)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, hq)
+		}
+		if got, want := extractTable(hq), extractTable(rout); got != want {
+			t.Errorf("query table != replay table:\n%s\nvs\n%s", got, want)
+		}
+
+		// Filters narrow the table; --alerts lists matching records.
+		aq, err := runTool(t, filepath.Join(bin, "jsentinel"),
+			"query", "--actor", "203.0.113.66", "--alerts", "--topk", "50", histDir)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, aq)
+		}
+		if !strings.Contains(aq, "203.0.113.66") || strings.Contains(extractTable(aq), "mallory") {
+			t.Errorf("actor filter not applied:\n%s", aq)
+		}
+		if !strings.Contains(aq, "alert records match") {
+			t.Errorf("--alerts listing missing:\n%s", aq)
+		}
+
+		// Malformed filter values and unknown flags are usage errors
+		// (exit 2) carrying an example of the wanted shape.
+		for _, tc := range []struct {
+			args []string
+			want string
+		}{
+			{[]string{"query", "--severity", "bogus", histDir}, "e.g. --severity high"},
+			{[]string{"query", "--risk", "bogus", histDir}, "e.g. --risk elevated"},
+			{[]string{"query", "--since", "yesterday", histDir}, "RFC3339 time, e.g. 2026-06-01T09:00:00Z"},
+			{[]string{"query", "--until", "noon", histDir}, "RFC3339 time, e.g. 2026-06-01T09:00:00Z"},
+			{[]string{"query", "--frobnicate", histDir}, "flag provided but not defined"},
+			{[]string{"query"}, "usage: jsentinel query"},
+		} {
+			bad, err := runTool(t, filepath.Join(bin, "jsentinel"), tc.args...)
+			if err == nil {
+				t.Fatalf("query %v accepted:\n%s", tc.args, bad)
+			}
+			if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+				t.Errorf("query %v: want exit 2, got %v", tc.args, err)
+			}
+			if !strings.Contains(bad, tc.want) {
+				t.Errorf("query %v error missing %q:\n%s", tc.args, tc.want, bad)
+			}
+		}
+	})
+
 	t.Run("jupyterd-scan", func(t *testing.T) {
 		out, err := runTool(t, filepath.Join(bin, "jupyterd"), "--sloppy", "--addr", "127.0.0.1:0", "--scan")
 		if err != nil {

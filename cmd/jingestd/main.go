@@ -27,9 +27,14 @@
 //
 // /stats serves live per-tenant counters; /healthz reports 503 once
 // draining. On SIGINT/SIGTERM the daemon stops admitting work, drains
-// every tenant queue, flushes and closes the store, and prints the
-// final per-tenant accounting plus the incident report — a clean
-// signal never loses an accepted event.
+// every tenant queue, flushes and closes the store — and the indexed
+// alert/incident history recorded next to it (default <store>/history
+// when detection is on; jsentinel query reads it back) — then prints
+// the final per-tenant accounting plus the incident report. A clean
+// signal never loses an accepted event. --retain-events/
+// --retain-history cap the sealed segment counts at drain, events
+// compacting before history so raw data never outlives its summary
+// tier the wrong way around.
 package main
 
 import (
@@ -37,6 +42,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -44,6 +50,7 @@ import (
 	"repro/internal/auth"
 	"repro/internal/core"
 	"repro/internal/evstore"
+	"repro/internal/histstore"
 	"repro/internal/ingest"
 	"repro/internal/trace"
 )
@@ -62,6 +69,9 @@ func main() {
 	queue := flag.Int("queue", 1024, "per-tenant queue depth")
 	topK := flag.Int("top", 10, "incidents to list in the shutdown report")
 	codecFlag := flag.String("codec", "", "segment format for new --store segments: binary (default) or json")
+	history := flag.String("history", "", "record alert/incident history here for jsentinel query (defaults to <store>/history when --store and --detect are on; \"none\" disables)")
+	retainEvents := flag.Int("retain-events", -1, "at drain, keep at most this many sealed event segments (-1 = keep all)")
+	retainHistory := flag.Int("retain-history", -1, "at drain, keep at most this many sealed history segments (-1 = keep all); events always compact first")
 	flag.Parse()
 
 	keyring, err := parseTenants(*tenantsFlag)
@@ -101,13 +111,43 @@ func main() {
 	}
 
 	// The sink fan-out: live engine, durable store, either, or both.
+	// With both, the engine's alert/incident stream lands in an
+	// indexed history next to the store (default <store>/history,
+	// appended across restarts like the store itself), so the daemon's
+	// detection results are queryable offline with jsentinel query.
 	var sinks []trace.Sink
 	var eng *core.Engine
+	var hrec *histstore.Recorder
+	if *history == "" && *storePath != "" && *detect {
+		*history = filepath.Join(*storePath, "history")
+	}
+	if *detect && *history != "" && *history != "none" {
+		hs, err := histstore.OpenWith(*history, histstore.OpenAppend, histstore.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jingestd: %v\n", err)
+			os.Exit(1)
+		}
+		for _, loss := range hs.Recovered() {
+			fmt.Fprintf(os.Stderr, "jingestd: recovered %s: %d bytes truncated (%s)\n",
+				loss.Segment, loss.LostBytes, loss.Reason)
+		}
+		hrec = histstore.NewRecorder(hs)
+	}
 	if *detect {
-		eng = core.MustEngine()
+		engOpts := core.DefaultOptions()
+		if hrec != nil {
+			engOpts.OnAlert = hrec.OnAlert
+			engOpts.OnIncidentUpdate = hrec.OnIncidentUpdate
+		}
+		var err error
+		if eng, err = core.NewEngine(engOpts); err != nil {
+			fmt.Fprintf(os.Stderr, "jingestd: %v\n", err)
+			os.Exit(1)
+		}
 		sinks = append(sinks, eng)
 	}
 	closeStore := func() error { return nil }
+	var eventStore *evstore.Store
 	if *storePath != "" {
 		h, err := evstore.OpenSink(*storePath, evstore.SinkAppend, codec)
 		if err != nil {
@@ -124,6 +164,7 @@ func main() {
 		}
 		sinks = append(sinks, h)
 		closeStore = h.Close
+		eventStore = h.Store
 	}
 
 	svc := ingest.New(cfg, trace.Tee(sinks...))
@@ -150,6 +191,28 @@ func main() {
 	if err := closeStore(); err != nil {
 		fmt.Fprintf(os.Stderr, "jingestd: event store: %v\n", err)
 		os.Exit(1)
+	}
+	var histStore *histstore.Store
+	if hrec != nil {
+		histStore = hrec.Store()
+		if err := histStore.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "jingestd: history: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("jingestd: history recorded to %s (%s)\n", *history, histStore.Stats().Render())
+	}
+	// Tiered retention runs after both stores have sealed, so the
+	// active segments count toward the kept tally. Events compact
+	// first, history last: as long as an event segment survives its
+	// history can be re-derived, never the other way around.
+	if *retainEvents >= 0 || *retainHistory >= 0 {
+		res, err := histstore.ApplyTieredRetention(eventStore, histStore, *retainEvents, *retainHistory)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jingestd: retention: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("jingestd: retention dropped %d event segments, %d history segments\n",
+			res.EventSegmentsDropped, res.HistorySegmentsDropped)
 	}
 	if eng != nil {
 		fmt.Print(eng.Report(time.Now()).Render())

@@ -23,6 +23,13 @@
 // --codec=json keeps v1 JSON segments for tooling that greps frames.
 // Readers dispatch per segment, so either codec (or a mix) replays
 // identically.
+//
+// When --events records to a store directory, the alerts and incident
+// snapshots the core engine correlates also land in an indexed
+// history at <events>/history (internal/histstore; --history moves
+// it, "none" disables), so the census is queryable afterwards —
+// `jsentinel query <events-store> --severity high` — without
+// re-running detection.
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
@@ -42,6 +50,7 @@ import (
 	"repro/internal/cryptoaudit"
 	"repro/internal/evstore"
 	"repro/internal/fleet"
+	"repro/internal/histstore"
 	"repro/internal/misconfig"
 	"repro/internal/nbformat"
 	"repro/internal/nbscan"
@@ -66,6 +75,7 @@ func main() {
 	jsonl := flag.String("jsonl", "", "stream per-target fleet results as JSONL to this file ('-' = stdout)")
 	events := flag.String("events", "", "record every fleet finding as a trace-event stream, replayable with jsentinel --replay: an event-store directory, or legacy JSONL when the path ends in .jsonl")
 	codecFlag := flag.String("codec", "", "segment format for new --events store segments: binary (default) or json")
+	history := flag.String("history", "", "record alert/incident history here for jsentinel query (defaults to <events>/history when --events records to a store directory; \"none\" disables)")
 	flag.Parse()
 
 	codec, err := evstore.ParseCodec(*codecFlag)
@@ -89,7 +99,7 @@ func main() {
 			TopK:           *topK,
 			Suites:         suiteNames,
 			CheckpointPath: *resume,
-		}, *jsonl, *events, codec))
+		}, *jsonl, *events, codec, *history))
 	case *notebook != "":
 		data, err := os.ReadFile(*notebook)
 		if err != nil {
@@ -145,7 +155,7 @@ func main() {
 // finding also flows through a bounded stage into the core detection
 // engine; the resulting alert tally and the OSCRP incident/risk
 // summary are part of the census. Returns the process exit code.
-func runFleet(n int, seed int64, opts fleet.Options, jsonlPath, eventsPath string, codec evstore.Codec) int {
+func runFleet(n int, seed int64, opts fleet.Options, jsonlPath, eventsPath string, codec evstore.Codec, historyPath string) int {
 	var stream io.Writer
 	var jsonlFile *os.File
 	switch jsonlPath {
@@ -172,16 +182,12 @@ func runFleet(n int, seed int64, opts fleet.Options, jsonlPath, eventsPath strin
 	// order — a multi-worker stage may reorder findings, but every
 	// incident aggregate (count, top severity, risk) is
 	// order-independent.
-	engine, err := core.NewEngine(core.DefaultOptions())
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "jscan: %v\n", err)
-		return 1
-	}
-	stage := trace.NewStage(engine, opts.Workers, 4096, trace.Block)
 	// The finding stream lands in the segmented event store by
 	// default; a .jsonl path keeps the legacy flat file. Either way
 	// the recording's sticky error is checked before exit — a
-	// truncated stream must not look like a clean sweep.
+	// truncated stream must not look like a clean sweep. Opened before
+	// the history store so the events policy (the one users see) wins
+	// when both refuse a non-empty target.
 	var eventsSink *evstore.SinkHandle
 	if eventsPath != "" {
 		// A census is one sweep: refuse a store that already holds a
@@ -201,6 +207,37 @@ func runFleet(n int, seed int64, opts fleet.Options, jsonlPath, eventsPath strin
 		}
 		eventsSink = h
 	}
+	// History rides next to the finding store by default, so a census
+	// is queryable afterwards (`jsentinel query <events-store>`)
+	// without re-detecting. Same freshness policy as the event
+	// recording: one sweep, one history — replaced when resuming.
+	if historyPath == "" && eventsPath != "" && !strings.HasSuffix(eventsPath, ".jsonl") {
+		historyPath = filepath.Join(eventsPath, "history")
+	}
+	var hrec *histstore.Recorder
+	if historyPath != "" && historyPath != "none" {
+		mode := histstore.OpenFresh
+		if opts.CheckpointPath != "" {
+			mode = histstore.OpenReplace
+		}
+		hs, err := histstore.OpenWith(historyPath, mode, histstore.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jscan: --history: %v\n", err)
+			return 1
+		}
+		hrec = histstore.NewRecorder(hs)
+	}
+	engineOpts := core.DefaultOptions()
+	if hrec != nil {
+		engineOpts.OnAlert = hrec.OnAlert
+		engineOpts.OnIncidentUpdate = hrec.OnIncidentUpdate
+	}
+	engine, err := core.NewEngine(engineOpts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jscan: %v\n", err)
+		return 1
+	}
+	stage := trace.NewStage(engine, opts.Workers, 4096, trace.Block)
 	opts.Events = trace.SinkFunc(func(e trace.Event) {
 		stage.Emit(e)
 		if eventsSink != nil {
@@ -222,6 +259,17 @@ func runFleet(n int, seed int64, opts fleet.Options, jsonlPath, eventsPath strin
 	defer stop()
 	report, err := fleet.Scan(ctx, fl.Targets(), opts)
 	stage.Close() // drain queued findings before the alert tally
+	if hrec != nil {
+		// Stage drained: every finding's alerts and incident updates
+		// have reached the history store. Stats go to stderr so the
+		// census stdout stays byte-identical run to run.
+		if cerr := hrec.Store().Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("history: %w", cerr)
+		} else {
+			fmt.Fprintf(os.Stderr, "jscan: history recorded to %s (%s)\n",
+				historyPath, hrec.Store().Stats().Render())
+		}
+	}
 	if eventsSink != nil {
 		if cerr := eventsSink.Close(); cerr != nil && err == nil {
 			err = fmt.Errorf("event stream: %w", cerr)

@@ -33,9 +33,31 @@
 // cleanly on SIGINT or SIGTERM: queued stage events are processed
 // before the final report renders.
 //
+// Both modes can persist what detection found — alert records and
+// incident snapshots — to an indexed history store (internal/histstore)
+// next to the event store: --history DIR in replay mode (rebuilt from
+// scratch each run), and by default <log>/history in live mode when
+// --log records to a store directory (--history none disables). The
+// history is what makes the third mode cheap:
+//
+//	jsentinel query [filters] PATH
+//
+// answers "which incidents, for which actor/class, at which minimum
+// severity or risk band, in which time window" from the history's
+// per-segment indexes in milliseconds — an index probe, not a
+// re-detection pass — and renders the same deterministic incident
+// table as a full replay of the same filter. PATH is the store
+// directory (its history/ is used) or a history directory itself.
+// Filters: --actor, --class, --severity MIN, --risk MIN (low,
+// moderate, elevated, critical), --since/--until RFC3339. Bad filter
+// values and unknown flags are usage errors (exit 2).
+//
 //	jsentinel --replay events.jsonl
 //	jsentinel --replay ./census-store --kinds scan_finding --workers 8
 //	jsentinel --replay ./store --since 2026-06-01T00:00:00Z --actor mallory-rw
+//	jsentinel --replay ./store --history ./store/history --workers 8
+//	jsentinel query ./store --severity high --actor mallory-rw
+//	jsentinel query ./store --risk critical --since 2026-06-01T00:00:00Z
 //	jsentinel --listen 127.0.0.1:9999 --token <tok>   (tapped live server)
 //	jsentinel --listen 127.0.0.1:9999 --log ./tap-store --codec=binary
 package main
@@ -47,6 +69,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -55,6 +78,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/evstore"
+	"repro/internal/histstore"
 	"repro/internal/netmon"
 	"repro/internal/rules"
 	"repro/internal/server"
@@ -63,6 +87,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "query" {
+		queryCmd(os.Args[2:])
+		return
+	}
 	replay := flag.String("replay", "", "trace to analyze offline: a JSONL file or an event-store directory")
 	listen := flag.String("listen", "", "boot a tapped hardened server on this address and monitor it live")
 	token := flag.String("token", "sentinel-demo-token", "token for the live server")
@@ -78,6 +106,7 @@ func main() {
 	topK := flag.Int("topk", 5, "incidents listed in the top-incidents-by-risk table")
 	logPath := flag.String("log", "", "live mode: record the tapped stream here (store directory, or JSONL when the path ends in .jsonl)")
 	codecFlag := flag.String("codec", "", "segment format for new --log store segments: binary (default) or json")
+	history := flag.String("history", "", "record alert/incident history here for later `jsentinel query` (replay: off unless set, rebuilt each run; live with a store --log: defaults to <log>/history, \"none\" disables)")
 	flag.Parse()
 
 	codec, err := evstore.ParseCodec(*codecFlag)
@@ -92,9 +121,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "jsentinel: %v\n", err)
 			os.Exit(2)
 		}
-		replayTrace(*replay, *showAlerts, *workers, *batch, *topK, filter)
+		replayTrace(*replay, *showAlerts, *workers, *batch, *topK, filter, *history)
 	case *listen != "":
-		live(*listen, *token, *showAlerts, *zeekOut, *logPath, codec, *workers, *queue, *topK)
+		live(*listen, *token, *showAlerts, *zeekOut, *logPath, codec, *workers, *queue, *topK, *history)
 	default:
 		fmt.Fprintln(os.Stderr, "jsentinel: need --replay PATH or --listen ADDR")
 		os.Exit(2)
@@ -105,16 +134,16 @@ func main() {
 func parseFilter(since, until, kinds, actor string) (evstore.Filter, error) {
 	var f evstore.Filter
 	if since != "" {
-		t, err := time.Parse(time.RFC3339, since)
+		t, err := parseRFC3339("--since", since)
 		if err != nil {
-			return f, fmt.Errorf("bad --since: %v", err)
+			return f, err
 		}
 		f.Since = t
 	}
 	if until != "" {
-		t, err := time.Parse(time.RFC3339, until)
+		t, err := parseRFC3339("--until", until)
 		if err != nil {
-			return f, fmt.Errorf("bad --until: %v", err)
+			return f, err
 		}
 		f.Until = t
 	}
@@ -141,11 +170,158 @@ func parseFilter(since, until, kinds, actor string) (evstore.Filter, error) {
 	return f, nil
 }
 
-func newEngine(showAlerts bool) *core.Engine {
+// queryCmd is `jsentinel query`: answer an incident-history question
+// from the per-segment indexes without re-running detection. Unknown
+// flags exit 2 via the flag package; malformed filter values exit 2
+// with an example of the wanted shape.
+func queryCmd(argv []string) {
+	fs := flag.NewFlagSet("jsentinel query", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: jsentinel query [--actor A] [--class C] [--severity MIN] [--risk MIN] [--since T] [--until T] [--topk K] [--alerts] PATH")
+		fmt.Fprintln(os.Stderr, "PATH is an event-store directory holding a history/ subdirectory, or a history directory itself.")
+		fs.PrintDefaults()
+	}
+	actor := fs.String("actor", "", "only incidents/alerts of this actor key")
+	class := fs.String("class", "", "only incidents/alerts of this incident class")
+	severity := fs.String("severity", "", "minimum severity (info, low, medium, high, critical)")
+	risk := fs.String("risk", "", "minimum risk band (low, moderate, elevated, critical)")
+	since := fs.String("since", "", "only activity at or after this RFC3339 time")
+	until := fs.String("until", "", "only activity at or before this RFC3339 time")
+	topK := fs.Int("topk", 5, "incidents listed in the top-incidents-by-risk table")
+	showAlerts := fs.Bool("alerts", false, "also list the matching alert records")
+	fs.Parse(argv)
+
+	usageErr := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "jsentinel query: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	var q histstore.Query
+	q.Actor = *actor
+	q.Class = *class
+	if *severity != "" {
+		sev, ok := rules.ParseSeverity(*severity)
+		if !ok {
+			usageErr("bad --severity %q: want one of %s, e.g. --severity high", *severity, severityNames())
+		}
+		q.MinSeverity = sev
+	}
+	if *risk != "" {
+		band, ok := histstore.ParseBand(*risk)
+		if !ok {
+			usageErr("bad --risk %q: want one of %s, e.g. --risk elevated", *risk, bandNames())
+		}
+		q.MinBand = band
+	}
+	if *since != "" {
+		t, err := parseRFC3339("--since", *since)
+		if err != nil {
+			usageErr("%v", err)
+		}
+		q.Since = t
+	}
+	if *until != "" {
+		t, err := parseRFC3339("--until", *until)
+		if err != nil {
+			usageErr("%v", err)
+		}
+		q.Until = t
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	path := fs.Arg(0)
+
+	// PATH convention: an event store records its history in a
+	// history/ subdirectory (the CLIs' default layout); pointing at
+	// the store prints its stats too, pointing straight at a history
+	// directory skips them.
+	histDir := path
+	if st, err := os.Stat(filepath.Join(path, "history")); err == nil && st.IsDir() {
+		histDir = filepath.Join(path, "history")
+		if es, err := evstore.OpenRead(path); err == nil {
+			fmt.Printf("store stats: %s\n", es.Stats().Render())
+		}
+	}
+	hs, err := histstore.OpenRead(histDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jsentinel query: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("history stats: %s\n", hs.Stats().Render())
+
+	incs, qst, err := histstore.QueryIncidents(hs, q)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jsentinel query: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("query: %d/%d segments selected, %d records scanned, %d tail-loss bytes\n",
+		qst.SegmentsSelected, qst.SegmentsTotal, qst.Records, qst.TailLossBytes)
+	fmt.Printf("%d incidents match\n\n", len(incs))
+	fmt.Print(core.RenderTopIncidents(incs, *topK))
+
+	if *showAlerts {
+		alerts, _, err := histstore.QueryAlerts(hs, q)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jsentinel query: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%d alert records match\n", len(alerts))
+		for _, a := range alerts {
+			fmt.Printf("%s %-20s %-28s %-24s %-8s %d\n",
+				a.Time.UTC().Format(time.RFC3339), a.Actor, a.Class, a.RuleID, a.Severity, a.Count)
+		}
+	}
+}
+
+func severityNames() string {
+	known := rules.KnownSeverities()
+	names := make([]string, len(known))
+	for i, s := range known {
+		names[i] = string(s)
+	}
+	return strings.Join(names, ",")
+}
+
+func bandNames() string {
+	known := histstore.KnownBands()
+	names := make([]string, len(known))
+	for i, b := range known {
+		names[i] = string(b)
+	}
+	return strings.Join(names, ",")
+}
+
+// parseRFC3339 validates a time flag, failing with an example value —
+// a bare "parsing time" error doesn't tell the user what shape was
+// wanted.
+func parseRFC3339(flagName, value string) (time.Time, error) {
+	t, err := time.Parse(time.RFC3339, value)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("bad %s %q: want an RFC3339 time, e.g. 2026-06-01T09:00:00Z", flagName, value)
+	}
+	return t, nil
+}
+
+// newEngine builds the detection engine, optionally printing alerts
+// and/or recording history. The recorder's hooks run first so a
+// printed alert is never ahead of its persisted record.
+func newEngine(showAlerts bool, rec *histstore.Recorder) *core.Engine {
 	opts := core.DefaultOptions()
+	var print func(rules.Alert)
 	if showAlerts {
-		opts.OnAlert = func(a rules.Alert) {
+		print = func(a rules.Alert) {
 			fmt.Printf("ALERT [%-8s] %-28s %-24s %s\n", a.Severity, a.Class, a.RuleID, a.Description)
+		}
+	}
+	opts.OnAlert = print
+	if rec != nil {
+		opts.OnIncidentUpdate = rec.OnIncidentUpdate
+		opts.OnAlert = func(a rules.Alert) {
+			rec.OnAlert(a)
+			if print != nil {
+				print(a)
+			}
 		}
 	}
 	eng, err := core.NewEngine(opts)
@@ -156,18 +332,50 @@ func newEngine(showAlerts bool) *core.Engine {
 	return eng
 }
 
+// openHistory opens the history store for a recording mode, exiting
+// on failure. mode differs per caller: replay rebuilds (Replace),
+// live appends across restarts.
+func openHistory(path string, mode histstore.Mode) *histstore.Recorder {
+	hs, err := histstore.OpenWith(path, mode, histstore.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jsentinel: %v\n", err)
+		os.Exit(1)
+	}
+	for _, loss := range hs.Recovered() {
+		fmt.Fprintf(os.Stderr, "jsentinel: %s had a torn tail: %d bytes truncated (%s)\n",
+			loss.Segment, loss.LostBytes, loss.Reason)
+	}
+	return histstore.NewRecorder(hs)
+}
+
+// closeHistory seals the history and reports where it landed.
+func closeHistory(rec *histstore.Recorder, path string) {
+	if err := rec.Store().Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "jsentinel: history: %v\n", err)
+		return
+	}
+	fmt.Printf("history: recorded to %s (%s)\n", path, rec.Store().Stats().Render())
+}
+
 // replayTrace pushes a recorded trace — JSONL file or store directory
 // — through the detection engine and prints the incident report.
 // Sharding by actor keeps every correlation group (threshold windows,
 // sequences) on one worker in time order, so the parallel replay
 // fires the same alerts as a serial one.
-func replayTrace(path string, showAlerts bool, workers, batch, topK int, filter evstore.Filter) {
+func replayTrace(path string, showAlerts bool, workers, batch, topK int, filter evstore.Filter, history string) {
 	st, err := os.Stat(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "jsentinel: %v\n", err)
 		os.Exit(1)
 	}
-	eng := newEngine(showAlerts)
+	// Replay history is explicit opt-in and rebuilt from scratch: a
+	// replay re-derives the complete detection result, so appending to
+	// a previous run's history would duplicate every incident.
+	var rec *histstore.Recorder
+	if history != "" && history != "none" {
+		rec = openHistory(history, histstore.OpenReplace)
+	}
+	eng := newEngine(showAlerts, rec)
 	var mu sync.Mutex
 	counts := map[trace.Kind]int{}
 	process := func(b []trace.Event) {
@@ -223,6 +431,9 @@ func replayTrace(path string, showAlerts bool, workers, batch, topK int, filter 
 		fmt.Printf("store: %d/%d segments selected, %d frames decoded, %d skipped undecoded, %d events, %d tail-loss bytes\n",
 			stats.SegmentsSelected, stats.SegmentsTotal, stats.Decoded, stats.Skipped,
 			stats.Events, stats.TailLossBytes)
+		// The sidecar-only store summary — what an operator sizes
+		// retention tiers from, printed here and by `jsentinel query`.
+		fmt.Printf("store stats: %s\n", store.Stats().Render())
 	} else {
 		// Legacy JSONL replays as a stream: decode, filter, and route
 		// to the shard workers one event at a time, so trace size is
@@ -262,6 +473,13 @@ func replayTrace(path string, showAlerts bool, workers, batch, topK int, filter 
 	for _, inc := range incs {
 		fmt.Println(inc.Summary())
 	}
+	if rec != nil {
+		if err := rec.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "jsentinel: history: %v\n", err)
+			os.Exit(1)
+		}
+		closeHistory(rec, history)
+	}
 }
 
 // renderTopIncidents prints the risk-ranked incident table from an
@@ -286,11 +504,23 @@ func renderKindMix(counts map[trace.Kind]int) string {
 	return strings.Join(parts, " ")
 }
 
-func live(addr, token string, showAlerts bool, zeekOut, logPath string, codec evstore.Codec, workers, queue, topK int) {
+func live(addr, token string, showAlerts bool, zeekOut, logPath string, codec evstore.Codec, workers, queue, topK int, history string) {
 	cfg := server.HardenedConfig(token)
 	srv := server.NewServer(cfg)
 	mon := netmon.NewMonitor(netmon.FullVisibility(), nil)
-	eng := newEngine(showAlerts)
+	// History rides next to the event log by default: when --log
+	// records to a store directory, <log>/history accumulates the
+	// alert/incident records for `jsentinel query`, appended across
+	// restarts like the log itself. "none" opts out; an explicit
+	// --history records even without --log.
+	if history == "" && logPath != "" && !strings.HasSuffix(logPath, ".jsonl") {
+		history = filepath.Join(logPath, "history")
+	}
+	var hrec *histstore.Recorder
+	if history != "" && history != "none" {
+		hrec = openHistory(history, histstore.OpenAppend)
+	}
+	eng := newEngine(showAlerts, hrec)
 
 	// Optional recording of the tapped stream, replayable later with
 	// --replay. SinkAppend: a monitor log spans restarts.
@@ -358,6 +588,11 @@ func live(addr, token string, showAlerts bool, zeekOut, logPath string, codec ev
 		} else {
 			fmt.Printf("jsentinel: tapped stream recorded to %s\n", logPath)
 		}
+	}
+	if hrec != nil {
+		// Stages are drained, so every queued event's alerts and
+		// incident updates have already landed in the history.
+		closeHistory(hrec, history)
 	}
 
 	vis := mon.Visibility()

@@ -74,6 +74,22 @@
 // O(events × string fields), heap allocations (see DESIGN.md "Replay
 // memory model" for the borrow contract).
 //
+// On top of the event store sits the incident history
+// (internal/histstore): every alert and incident snapshot the core
+// engine emits (Options.OnAlert / OnIncidentUpdate) is persisted as a
+// CRC-framed, schema-versioned record with per-segment sidecar
+// indexes over severity, class, actor, and OSCRP risk band, so
+// `jsentinel query` answers "which incidents reached high severity
+// for actor X last week" from the indexes in well under a millisecond
+// instead of re-running detection over the whole store
+// (BenchmarkIncidentQuery pins the ≥50x contract; the rendered table
+// is byte-identical to a full re-detection pass filtered the same
+// way). Every incident-producing CLI records history next to its
+// event store by default (<store>/history), read-only queries are
+// safe under a live writer, and retention is tiered — raw events
+// compact away first (evstore.Compact), derived incident history
+// last (histstore.ApplyTieredRetention, jingestd --retain-*).
+//
 // The ingest front-end (internal/ingest, jingestd) runs that pipeline
 // as a multi-tenant service: agents stream events over HTTP batches
 // or wsproto WebSockets, each connection authenticated with a

@@ -57,6 +57,13 @@ type Options struct {
 	// outside every engine lock: a callback may re-enter the engine
 	// (Stats, Incidents, Process) without deadlocking.
 	OnAlert func(rules.Alert)
+	// OnIncidentUpdate, if set, is invoked synchronously after each
+	// alert has been folded into its incident, with the incident's
+	// post-fold aggregate state — no alert payloads, so emitting one
+	// per alert stays cheap. Like OnAlert it always runs outside
+	// every engine lock. The history layer (internal/histstore)
+	// records these updates as append-only incident snapshots.
+	OnIncidentUpdate func(IncidentUpdate)
 }
 
 // DefaultOptions returns the stock ruleset, detector suite, and
@@ -81,12 +88,32 @@ type Incident struct {
 	Alerts    []rules.Alert  `json:"alerts"`
 	Severity  rules.Severity `json:"severity"`
 	RiskScore float64        `json:"risk_score"`
+	// Count is the alert count at snapshot time. Incidents
+	// reconstructed from persisted history (internal/histstore) carry
+	// the count without materializing Alerts; renderers read
+	// AlertCount so both shapes print identically.
+	Count int `json:"count,omitempty"`
+
+	// gen counts how many times the quiet-gap rule has closed and
+	// reopened this incident's (actor, class) pair; it distinguishes
+	// successive incidents of the same pair in the update stream.
+	gen int
+}
+
+// AlertCount returns the number of alerts folded into the incident,
+// whether the incident carries the alert payloads (engine snapshots)
+// or only the persisted count (history reconstructions).
+func (inc *Incident) AlertCount() int {
+	if inc.Count > 0 {
+		return inc.Count
+	}
+	return len(inc.Alerts)
 }
 
 // Summary renders a one-line incident description.
 func (inc *Incident) Summary() string {
 	return fmt.Sprintf("[%s] %s by %q: %d alerts, severity %s, risk %.0f",
-		inc.ID, inc.Class, inc.Actor, len(inc.Alerts), inc.Severity, inc.RiskScore)
+		inc.ID, inc.Class, inc.Actor, inc.AlertCount(), inc.Severity, inc.RiskScore)
 }
 
 // snapshot deep-copies the incident so callers never share slices
@@ -94,7 +121,36 @@ func (inc *Incident) Summary() string {
 func (inc *Incident) snapshot() *Incident {
 	out := *inc
 	out.Alerts = append([]rules.Alert(nil), inc.Alerts...)
+	out.Count = len(inc.Alerts)
 	return &out
+}
+
+// IncidentUpdate is the compact incident snapshot handed to the
+// OnIncidentUpdate hook after an alert is folded in: the incident's
+// aggregate state without the alert payloads. (Actor, Class, Gen)
+// identifies one incident within an engine run — Gen counts the
+// times the quiet-gap rule closed and reopened the same actor|class
+// pair, so an update stream reconstructs every distinct incident,
+// not just the last one per pair.
+//
+// Every aggregate field is monotone over an incident's update stream:
+// Alerts strictly increases (it is the fold counter), Opened only
+// moves earlier, LastAlert only later, and Severity rank and
+// RiskScore never decrease (oscrp.RiskScore is monotone in alert
+// count and top severity). A consumer that keeps only the
+// highest-Alerts update per (Actor, Class, Gen) therefore ends up
+// with exactly the engine's final state for that incident — the
+// invariant the histstore query layer's dedup and segment pruning
+// are built on.
+type IncidentUpdate struct {
+	Actor     string
+	Class     string
+	Gen       int
+	Opened    time.Time
+	LastAlert time.Time
+	Alerts    int
+	Severity  rules.Severity
+	RiskScore float64
 }
 
 // defaultShards is the stock actor-shard count: like the rules
@@ -119,11 +175,12 @@ type coreShard struct {
 // copies what it needs out of Options; the Options value is not
 // retained.
 type Engine struct {
-	sig     *rules.Engine
-	profile *oscrp.Profile
-	gap     time.Duration
-	onAlert atomic.Pointer[func(rules.Alert)]
-	shards  []coreShard
+	sig        *rules.Engine
+	profile    *oscrp.Profile
+	gap        time.Duration
+	onAlert    atomic.Pointer[func(rules.Alert)]
+	onIncident atomic.Pointer[func(IncidentUpdate)]
+	shards     []coreShard
 
 	events atomic.Uint64
 	alerts atomic.Uint64
@@ -164,6 +221,7 @@ func NewEngine(opts Options) (*Engine, error) {
 		e.shards[i].open = map[string]*Incident{}
 	}
 	e.SetOnAlert(opts.OnAlert)
+	e.SetOnIncidentUpdate(opts.OnIncidentUpdate)
 	return e, nil
 }
 
@@ -185,6 +243,17 @@ func (e *Engine) SetOnAlert(fn func(rules.Alert)) {
 		return
 	}
 	e.onAlert.Store(&fn)
+}
+
+// SetOnIncidentUpdate swaps the per-incident-update callback
+// (copy-on-write; nil disables it). Like OnAlert, the callback always
+// runs outside every engine lock.
+func (e *Engine) SetOnIncidentUpdate(fn func(IncidentUpdate)) {
+	if fn == nil {
+		e.onIncident.Store(nil)
+		return
+	}
+	e.onIncident.Store(&fn)
 }
 
 // Emit implements trace.Sink.
@@ -220,17 +289,36 @@ func (e *Engine) Process(ev trace.Event) []rules.Alert {
 	e.events.Add(1)
 	if len(fired) > 0 {
 		e.alerts.Add(uint64(len(fired)))
+		// correlate snapshots the incident's aggregate state under the
+		// shard lock; both callbacks then run with every lock released,
+		// so either may re-enter the engine.
+		icb := e.onIncident.Load()
+		var updates []IncidentUpdate
+		if icb != nil {
+			updates = make([]IncidentUpdate, 0, len(fired))
+		}
 		for i := range fired {
-			e.correlate(fired[i])
+			u := e.correlate(fired[i])
+			if icb != nil {
+				updates = append(updates, u)
+			}
 		}
 		if cb := e.onAlert.Load(); cb != nil {
 			for _, a := range fired {
 				(*cb)(a)
 			}
 		}
+		for i := range updates {
+			(*icb)(updates[i])
+		}
 	}
 	return fired
 }
+
+// AlertActor exposes the engine's alert-attribution rule — the actor
+// an alert's incident is keyed by. The history layer records alerts
+// under the same actor so alert and incident queries agree.
+func AlertActor(a rules.Alert) string { return actorOf(a) }
 
 // actorOf attributes an alert to a user, else a source IP, else the
 // kernel.
@@ -256,15 +344,21 @@ func actorOf(a rules.Alert) string {
 }
 
 // correlate folds one alert into its actor's incident state, under
-// that actor's shard lock only.
-func (e *Engine) correlate(a rules.Alert) {
+// that actor's shard lock only, and returns the incident's post-fold
+// aggregate snapshot for the OnIncidentUpdate dispatch.
+func (e *Engine) correlate(a rules.Alert) IncidentUpdate {
 	actor := actorOf(a)
 	sh := &e.shards[trace.ShardIndex(actor, len(e.shards))]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	key := actor + "|" + a.Class
+	gen := 0
 	inc := sh.open[key]
 	if inc != nil && a.Time.Sub(inc.LastAlert) > e.gap {
+		// The gap rule only ever closes an incident here, with its
+		// successor in hand, so the generation chain per (actor, class)
+		// never restarts within one engine run.
+		gen = inc.gen + 1
 		sh.done = append(sh.done, inc)
 		delete(sh.open, key)
 		inc = nil
@@ -275,6 +369,7 @@ func (e *Engine) correlate(a rules.Alert) {
 			Class:     a.Class,
 			Opened:    a.Time,
 			LastAlert: a.Time,
+			gen:       gen,
 		}
 		sh.open[key] = inc
 		e.opened.Add(1)
@@ -294,6 +389,16 @@ func (e *Engine) correlate(a rules.Alert) {
 	}
 	if av, ok := oscrp.AvenueForClass(a.Class); ok {
 		inc.RiskScore = e.profile.RiskScore(av, len(inc.Alerts), inc.Severity.Rank())
+	}
+	return IncidentUpdate{
+		Actor:     inc.Actor,
+		Class:     inc.Class,
+		Gen:       inc.gen,
+		Opened:    inc.Opened,
+		LastAlert: inc.LastAlert,
+		Alerts:    len(inc.Alerts),
+		Severity:  inc.Severity,
+		RiskScore: inc.RiskScore,
 	}
 }
 
@@ -437,7 +542,7 @@ func (e *Engine) Report(now time.Time) Report {
 		cr := ClassReport{Class: c}
 		for _, inc := range byClass[c] {
 			cr.Incidents++
-			cr.Alerts += len(inc.Alerts)
+			cr.Alerts += inc.AlertCount()
 			if inc.RiskScore > cr.TopRisk {
 				cr.TopRisk = inc.RiskScore
 			}
@@ -471,7 +576,7 @@ func RenderIncidentTable(incs []*Incident) string {
 	fmt.Fprintf(&b, "%-20s %-28s %7s %10s %6s\n", "ACTOR", "CLASS", "ALERTS", "SEVERITY", "RISK")
 	for _, inc := range incs {
 		fmt.Fprintf(&b, "%-20s %-28s %7d %10s %6.0f\n",
-			inc.Actor, inc.Class, len(inc.Alerts), inc.Severity, inc.RiskScore)
+			inc.Actor, inc.Class, inc.AlertCount(), inc.Severity, inc.RiskScore)
 	}
 	return b.String()
 }

@@ -27,6 +27,12 @@ type SinkHandle struct {
 	// Recovered reports any corrupt tail truncated while opening a
 	// store path, for the caller to surface.
 	Recovered []TailLoss
+
+	// Store is the underlying segmented store when the path is a store
+	// directory, nil for flat .jsonl paths. Callers that need
+	// store-only operations (Stats, tiered retention via Compact)
+	// reach it here; Close on the handle still owns the lifecycle.
+	Store *Store
 }
 
 // Emit forwards to the underlying sink.
@@ -103,7 +109,7 @@ func OpenSink(path string, mode SinkMode, codec Codec) (*SinkHandle, error) {
 		}
 		existing = 0
 	}
-	return &SinkHandle{sink: store, ExistingEvents: existing, Recovered: store.Recovered(), closeFn: func() error {
+	return &SinkHandle{sink: store, Store: store, ExistingEvents: existing, Recovered: store.Recovered(), closeFn: func() error {
 		if err := store.Close(); err != nil {
 			return err
 		}

@@ -1,0 +1,64 @@
+package histstore
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/rules"
+)
+
+// FuzzHistRecord checks the codec's canonical-form contract: any
+// payload that decodes must re-encode to a stable byte string —
+// decode(encode(decode(input))) is a fixed point. A violation means
+// two different byte strings claim the same record (or a decoded
+// record that cannot be re-persisted), which would break the
+// dedup-by-content reasoning the query layer depends on.
+func FuzzHistRecord(f *testing.F) {
+	seed := []Record{
+		{Kind: KindAlert, Alert: AlertRecord{
+			Time:  time.Date(2026, 6, 1, 9, 0, 0, 123456789, time.UTC),
+			Actor: "mallory-rw", Class: "ransomware.encrypt",
+			RuleID: "SC-014", Severity: rules.SevCritical, Count: 12,
+		}},
+		{Kind: KindAlert, Alert: AlertRecord{}},
+		{Kind: KindIncident, Incident: IncidentRecord{
+			Actor: "203.0.113.66", Class: "auth.bruteforce", Gen: 3,
+			Opened:    time.Date(2026, 6, 1, 9, 0, 0, 0, time.UTC),
+			LastAlert: time.Date(2026, 6, 1, 9, 30, 0, 500, time.UTC),
+			Alerts:    40, Severity: rules.SevHigh, RiskScore: 87.25,
+		}},
+		{Kind: KindIncident, Incident: IncidentRecord{Actor: "a", Class: "c"}},
+	}
+	for _, r := range seed {
+		enc, err := AppendRecord(nil, r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte{KindAlert, RecordVersion})
+	f.Add([]byte{KindIncident, RecordVersion + 1, 0xff})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		rec, err := DecodeRecord(payload)
+		if err != nil {
+			return // rejected input: fine, as long as it never panics
+		}
+		enc1, err := AppendRecord(nil, rec)
+		if err != nil {
+			t.Fatalf("decoded record does not re-encode: %v (%+v)", err, rec)
+		}
+		rec2, err := DecodeRecord(enc1)
+		if err != nil {
+			t.Fatalf("re-encoded record does not decode: %v (%+v)", err, rec)
+		}
+		enc2, err := AppendRecord(nil, rec2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encoding not canonical:\nfirst  %x\nsecond %x\nrecord %+v", enc1, enc2, rec)
+		}
+	})
+}

@@ -1,0 +1,478 @@
+package histstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Options tunes a store. Zero values pick the defaults.
+type Options struct {
+	// SegmentBytes is the rotation threshold: once a segment's valid
+	// data reaches it, the segment is sealed and a new one started.
+	// Default 1 MiB — history records are small, and smaller segments
+	// give index pruning finer granularity.
+	SegmentBytes int64
+	// FlushEvery is how many appended records may sit in the write
+	// buffer before it is flushed to the OS. Default 128.
+	FlushEvery int
+	// MaxActors caps the per-segment actor facet; a segment seeing
+	// more distinct actors is marked overflowed and matches any actor
+	// filter. Default 256.
+	MaxActors int
+	// MaxClasses caps the per-segment class facet likewise.
+	// Default 64.
+	MaxClasses int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.FlushEvery <= 0 {
+		o.FlushEvery = 128
+	}
+	if o.MaxActors <= 0 {
+		o.MaxActors = 256
+	}
+	if o.MaxClasses <= 0 {
+		o.MaxClasses = 64
+	}
+	return o
+}
+
+// SegmentInfo describes one sealed, readable segment.
+type SegmentInfo struct {
+	N     int // segment number; scan order is ascending N
+	Path  string
+	Index Index
+}
+
+// TailLoss records corruption found and truncated during Open.
+type TailLoss struct {
+	Segment   string
+	LostBytes int64
+	Reason    string
+}
+
+// Store is a history log rooted at one directory. AppendAlert and
+// AppendIncident are safe for concurrent use (the core engine invokes
+// its hooks from many worker goroutines); the first write failure is
+// sticky and reported by Err, so a recording pipeline never mistakes
+// a torn history for a complete one.
+type Store struct {
+	dir      string
+	opts     Options
+	readOnly bool
+
+	mu        sync.Mutex
+	sealed    []SegmentInfo
+	nextN     int
+	cur       *segmentWriter
+	recovered []TailLoss
+	err       error // first append/seal failure; sticky
+}
+
+type segmentWriter struct {
+	f         *os.File
+	pending   []byte // buffered frames not yet written through
+	info      SegmentInfo
+	builder   *indexBuilder
+	unflushed int
+}
+
+// Open creates or opens a history directory for appending. Existing
+// segments are validated: a missing or unreadable sidecar is rebuilt
+// by scanning the data, and the newest segment — the only one a
+// crashed writer can have torn — is truncated at its first bad frame,
+// with the loss reported by Recovered. Appends always start a fresh
+// segment, so recovery never rewrites sealed history.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("histstore: %w", err)
+	}
+	return open(dir, opts, false)
+}
+
+// OpenRead opens an existing history without ever mutating it:
+// missing sidecars are rebuilt in memory only and a torn newest
+// segment is reported via Recovered but not truncated (readers stop
+// at the first bad frame regardless). This is the query path's entry
+// point — it sees the flushed prefix of a live writer's active
+// segment and never freezes a stale sidecar over it, exactly the
+// evstore.OpenRead discipline. Appends and Compact on a read-only
+// store fail.
+func OpenRead(dir string) (*Store, error) {
+	if st, err := os.Stat(dir); err != nil {
+		return nil, fmt.Errorf("histstore: %w", err)
+	} else if !st.IsDir() {
+		return nil, fmt.Errorf("histstore: %s is not a history directory", dir)
+	}
+	return open(dir, Options{}, true)
+}
+
+// Mode is the policy for opening a history path that already holds
+// records — the histstore mirror of evstore.SinkMode.
+type Mode int
+
+const (
+	// OpenFresh refuses a non-empty history. The probe is read-only,
+	// so the refusal leaves a live writer's store untouched. For
+	// one-shot runs whose history must equal exactly what this run
+	// detected.
+	OpenFresh Mode = iota
+	// OpenReplace drops the existing history and starts over. For
+	// reruns that re-detect from scratch.
+	OpenReplace
+	// OpenAppend continues an existing history. For long-lived
+	// daemons that span restarts.
+	OpenAppend
+)
+
+// OpenWith opens a history directory under the given mode.
+func OpenWith(dir string, mode Mode, opts Options) (*Store, error) {
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		probe, err := OpenRead(dir)
+		if err != nil {
+			return nil, err
+		}
+		if existing := probe.Records(); mode == OpenFresh && existing > 0 {
+			return nil, fmt.Errorf("histstore: %s already holds recorded history (%d records); delete it or record elsewhere", dir, existing)
+		}
+	}
+	s, err := Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	if mode == OpenReplace {
+		if _, err := s.Compact(0); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func open(dir string, opts Options, readOnly bool) (*Store, error) {
+	opts = opts.withDefaults()
+	paths, err := filepath.Glob(filepath.Join(dir, "hist-*.hr"))
+	if err != nil {
+		return nil, fmt.Errorf("histstore: %w", err)
+	}
+	type numbered struct {
+		n    int
+		path string
+	}
+	var segs []numbered
+	for _, p := range paths {
+		var n int
+		if _, err := fmt.Sscanf(filepath.Base(p), "hist-%d.hr", &n); err != nil {
+			continue // not ours
+		}
+		segs = append(segs, numbered{n, p})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].n < segs[j].n })
+
+	s := &Store{dir: dir, opts: opts, readOnly: readOnly, nextN: 1}
+	for i, seg := range segs {
+		info := SegmentInfo{N: seg.n, Path: seg.path}
+		ix, ok := loadIndex(indexPath(seg.path))
+		if ok {
+			info.Index = ix
+		} else {
+			rebuilt, res, err := rebuildIndex(seg.path, opts.MaxActors, opts.MaxClasses)
+			if err != nil {
+				return nil, fmt.Errorf("histstore: rebuild %s: %w", seg.path, err)
+			}
+			if res.Truncated && i == len(segs)-1 {
+				// Only the newest segment can hold a torn append from
+				// a crashed writer. A writer cuts it off so new frames
+				// never land after garbage; a reader just reports it.
+				if !readOnly {
+					if err := os.Truncate(seg.path, res.ValidBytes); err != nil {
+						return nil, fmt.Errorf("histstore: truncate %s: %w", seg.path, err)
+					}
+				}
+				s.recovered = append(s.recovered, TailLoss{
+					Segment: seg.path, LostBytes: res.TailLossBytes, Reason: res.Reason,
+				})
+			}
+			if !readOnly {
+				if err := writeIndex(indexPath(seg.path), rebuilt); err != nil {
+					return nil, fmt.Errorf("histstore: %w", err)
+				}
+			}
+			info.Index = rebuilt
+		}
+		s.sealed = append(s.sealed, info)
+		s.nextN = seg.n + 1
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Recovered reports any corrupt tails truncated while opening.
+func (s *Store) Recovered() []TailLoss {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]TailLoss(nil), s.recovered...)
+}
+
+// Segments returns the sealed, readable segments in scan order. The
+// active segment (appends since Open) is excluded until sealed by
+// rotation or Close.
+func (s *Store) Segments() []SegmentInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SegmentInfo(nil), s.sealed...)
+}
+
+// Records returns the total records across sealed segments.
+func (s *Store) Records() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, seg := range s.sealed {
+		n += seg.Index.Records
+	}
+	return n
+}
+
+// Stats summarizes the history's on-disk shape from the sidecars
+// alone — O(segments), no segment data touched.
+type Stats struct {
+	Segments           int
+	Records            int
+	AlertRecords       int
+	IncidentRecords    int
+	Bytes              int64
+	RecoveredLossBytes int64
+}
+
+// Stats reports the store's current on-disk summary. Only sealed
+// segments count; the active segment is excluded until rotation or
+// Close, like Segments.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st Stats
+	for _, seg := range s.sealed {
+		st.Segments++
+		st.Records += seg.Index.Records
+		st.AlertRecords += seg.Index.AlertRecords
+		st.IncidentRecords += seg.Index.IncidentRecords
+		st.Bytes += seg.Index.Bytes
+	}
+	for _, loss := range s.recovered {
+		st.RecoveredLossBytes += loss.LostBytes
+	}
+	return st
+}
+
+// Render formats the stats as one deterministic line, for the CLI
+// history-stats output.
+func (st Stats) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "segments=%d records=%d alerts=%d incidents=%d bytes=%d recovered-loss-bytes=%d",
+		st.Segments, st.Records, st.AlertRecords, st.IncidentRecords, st.Bytes, st.RecoveredLossBytes)
+	return b.String()
+}
+
+// AppendAlert records one fired alert.
+func (s *Store) AppendAlert(a AlertRecord) error {
+	return s.Append(Record{Kind: KindAlert, Alert: a})
+}
+
+// AppendIncident records one incident snapshot.
+func (s *Store) AppendIncident(in IncidentRecord) error {
+	return s.Append(Record{Kind: KindIncident, Incident: in})
+}
+
+// Append adds one record to the log.
+func (s *Store) Append(r Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.append(r); err != nil {
+		s.err = err
+		return err
+	}
+	return nil
+}
+
+// Err returns the first append or seal error, or nil.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func (s *Store) append(r Record) error {
+	if s.readOnly {
+		return fmt.Errorf("histstore: store opened read-only")
+	}
+	if s.cur == nil {
+		w, err := s.openSegment()
+		if err != nil {
+			return err
+		}
+		s.cur = w
+	}
+	w := s.cur
+	start := len(w.pending)
+	// Reserve the frame header, encode the payload in place, then
+	// back-fill length and checksum — one buffer, no staging copy.
+	w.pending = append(w.pending, 0, 0, 0, 0, 0, 0, 0, 0)
+	payloadStart := len(w.pending)
+	pending, err := AppendRecord(w.pending, r)
+	if err != nil {
+		w.pending = w.pending[:start]
+		return err
+	}
+	payload := pending[payloadStart:]
+	if len(payload) > maxFrame {
+		w.pending = w.pending[:start]
+		return fmt.Errorf("histstore: record of %d bytes exceeds frame limit", len(payload))
+	}
+	binary.LittleEndian.PutUint32(pending[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(pending[start+4:], crc32.Checksum(payload, castagnoli))
+	w.pending = pending
+	w.info.Index.observe(r, int64(len(w.pending)-start), w.builder, s.opts.MaxActors, s.opts.MaxClasses)
+	w.unflushed++
+	if w.unflushed >= s.opts.FlushEvery {
+		if err := s.flushCur(); err != nil {
+			return err
+		}
+	}
+	if w.info.Index.Bytes >= s.opts.SegmentBytes {
+		return s.sealCur()
+	}
+	return nil
+}
+
+func (s *Store) openSegment() (*segmentWriter, error) {
+	n := s.nextN
+	path := filepath.Join(s.dir, fmt.Sprintf("hist-%08d.hr", n))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("histstore: %w", err)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("histstore: %w", err)
+	}
+	s.nextN++
+	return &segmentWriter{
+		f: f,
+		info: SegmentInfo{N: n, Path: path, Index: Index{
+			Version: IndexVersion, Bytes: int64(len(segMagic)),
+		}},
+		builder: newIndexBuilder(),
+	}, nil
+}
+
+// flushCur writes buffered frames through to the file.
+func (s *Store) flushCur() error {
+	w := s.cur
+	if w == nil || len(w.pending) == 0 {
+		return nil
+	}
+	if _, err := w.f.Write(w.pending); err != nil {
+		return fmt.Errorf("histstore: %w", err)
+	}
+	w.pending = w.pending[:0]
+	w.unflushed = 0
+	return nil
+}
+
+// sealCur flushes the active segment, writes its sidecar, and retires
+// it to the readable set. Data reaches the file before the sidecar
+// exists — the ordering every recovery path relies on.
+func (s *Store) sealCur() error {
+	w := s.cur
+	if w == nil {
+		return nil
+	}
+	if err := s.flushCur(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("histstore: %w", err)
+	}
+	w.info.Index.seal(w.builder)
+	if err := writeIndex(indexPath(w.info.Path), w.info.Index); err != nil {
+		return err
+	}
+	s.sealed = append(s.sealed, w.info)
+	s.cur = nil
+	return nil
+}
+
+// Sync flushes buffered frames to the OS without sealing, making them
+// visible to concurrent OpenRead queries.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.flushCur(); err != nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Close seals the active segment (if any) and returns the sticky
+// error. The store stays usable for reads; a later Append starts a
+// fresh segment.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.sealCur(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Compact enforces retention: it deletes the oldest sealed segments
+// (data and sidecar) so that at most keep remain, and returns how
+// many were removed. The active segment is untouched. keep < 0 is an
+// error; keep == 0 drops all sealed history. Removal is oldest-first
+// and each segment's sidecar goes before its data, so a crash
+// mid-compaction leaves at worst an orphan data file that the next
+// Open re-indexes — never an index without data.
+func (s *Store) Compact(keep int) (int, error) {
+	if keep < 0 {
+		return 0, fmt.Errorf("histstore: negative retention %d", keep)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readOnly {
+		return 0, fmt.Errorf("histstore: store opened read-only")
+	}
+	drop := len(s.sealed) - keep
+	if drop <= 0 {
+		return 0, nil
+	}
+	for i := 0; i < drop; i++ {
+		seg := s.sealed[i]
+		if err := os.Remove(indexPath(seg.Path)); err != nil && !os.IsNotExist(err) {
+			s.sealed = s.sealed[i:]
+			return i, fmt.Errorf("histstore: %w", err)
+		}
+		if err := os.Remove(seg.Path); err != nil {
+			s.sealed = s.sealed[i:]
+			return i, fmt.Errorf("histstore: %w", err)
+		}
+	}
+	s.sealed = append([]SegmentInfo(nil), s.sealed[drop:]...)
+	return drop, nil
+}

@@ -1,0 +1,134 @@
+package histstore
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rules"
+)
+
+// TestQueryUnderLiveWriter interleaves appends with read-only opens
+// and checks two invariants: a query never errors against a live
+// writer, and after a Sync the reader sees exactly the flushed
+// prefix — the snapshot a query at that instant is entitled to.
+func TestQueryUnderLiveWriter(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 2048, FlushEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := w.AppendIncident(mkIncident("mallory", "c", 0, i+1, rules.SevHigh, 80,
+			t0, t0.Add(time.Duration(i)*time.Second))); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 != 49 {
+			continue
+		}
+		if err := w.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := OpenRead(dir)
+		if err != nil {
+			t.Fatalf("open under live writer: %v", err)
+		}
+		incs, _, err := QueryIncidents(r, Query{MinSeverity: rules.SevHigh})
+		if err != nil {
+			t.Fatalf("query under live writer: %v", err)
+		}
+		// FlushEvery 1 + Sync: every append so far is readable, so the
+		// deduped final state must be exactly the last update.
+		if len(incs) != 1 || incs[0].AlertCount() != i+1 {
+			t.Fatalf("after %d flushed updates reader sees %+v", i+1, incs)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentAppendAndQuery hammers a writer from several
+// goroutines while readers re-open and query — the race detector's
+// view of the reader-under-writer contract. Results only need to be
+// valid prefixes; exactness is the Sync test above.
+func TestConcurrentAppendAndQuery(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 1024, FlushEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = w.AppendIncident(mkIncident("actor", "c", g, i+1, rules.SevMedium, 40,
+					t0, t0.Add(time.Duration(i)*time.Second)))
+			}
+		}(g)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				rd, err := OpenRead(dir)
+				if err != nil {
+					t.Errorf("open: %v", err)
+					return
+				}
+				if _, _, err := QueryIncidents(rd, Query{}); err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	incs, _, err := QueryIncidents(w, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(incs) != 4 {
+		t.Fatalf("got %d incidents, want 4 (one per generation)", len(incs))
+	}
+	for _, inc := range incs {
+		if inc.AlertCount() != 100 {
+			t.Fatalf("incident %+v, want final count 100", inc)
+		}
+	}
+}
+
+// TestFilterIncidentsMatchesQueryPredicate pins the equality
+// contract's other half: FilterIncidents over engine snapshots
+// applies the same predicate QueryIncidents applies to records.
+func TestFilterIncidentsMatchesQueryPredicate(t *testing.T) {
+	incs := []*core.Incident{
+		{Actor: "a", Class: "x", Severity: rules.SevLow, RiskScore: 10, Opened: t0, LastAlert: t0.Add(time.Minute), Count: 2},
+		{Actor: "b", Class: "y", Severity: rules.SevCritical, RiskScore: 90, Opened: t0.Add(time.Hour), LastAlert: t0.Add(2 * time.Hour), Count: 9},
+	}
+	if got := FilterIncidents(incs, Query{MinSeverity: rules.SevHigh}); len(got) != 1 || got[0].Actor != "b" {
+		t.Fatalf("severity filter: %+v", got)
+	}
+	if got := FilterIncidents(incs, Query{MinBand: BandCritical}); len(got) != 1 || got[0].Actor != "b" {
+		t.Fatalf("band filter: %+v", got)
+	}
+	if got := FilterIncidents(incs, Query{Until: t0.Add(30 * time.Minute)}); len(got) != 1 || got[0].Actor != "a" {
+		t.Fatalf("window filter: %+v", got)
+	}
+	if got := FilterIncidents(incs, Query{Actor: "a", Class: "x"}); len(got) != 1 || got[0].Actor != "a" {
+		t.Fatalf("actor+class filter: %+v", got)
+	}
+	if got := FilterIncidents(incs, Query{}); len(got) != 2 {
+		t.Fatalf("empty query dropped incidents: %+v", got)
+	}
+}

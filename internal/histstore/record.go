@@ -1,0 +1,368 @@
+// Package histstore persists what detection found — alert records and
+// incident snapshots — as an append-only, CRC-framed, schema-versioned
+// history next to the raw event store, so "show me the critical
+// incidents for actor X last week" is an index probe over per-segment
+// sidecars instead of an O(store) re-detection replay.
+//
+// The layout mirrors internal/evstore deliberately: segment-rotated
+// files of length+CRC32C frames behind an 8-byte magic, JSON sidecar
+// indexes written only after the segment data is flushed (a present
+// sidecar certifies a cleanly sealed segment), torn tails truncated by
+// the next writer Open and surfaced via Recovered, and an OpenRead
+// path that never mutates so queries run safely under a live writer.
+// What differs is the payload: typed history records with their own
+// version byte (the segment magic stays fixed; schema evolution is
+// per-record), and index facets chosen for the query predicates —
+// severity, risk band, class, actor, and the incident time interval.
+//
+// Query soundness under segment pruning rests on the monotonicity of
+// incident aggregates (see core.IncidentUpdate): severity and risk
+// only ever rise, the alert count strictly grows, and the
+// [Opened, LastAlert] interval only widens. Filters are therefore
+// minimum thresholds (--severity/--risk) or interval overlap
+// (--since/--until) — upward-closed predicates, so an incident's
+// final record matches whenever any earlier record does, and the
+// final record's segment is never pruned for an incident that belongs
+// in the result. Reconstruction keeps the highest-count record per
+// (actor, class, generation), which is exactly the engine's final
+// state for that incident.
+package histstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/rules"
+)
+
+// Record kinds — the first payload byte of every frame.
+const (
+	// KindAlert frames carry one AlertRecord.
+	KindAlert = 1
+	// KindIncident frames carry one IncidentRecord snapshot.
+	KindIncident = 2
+)
+
+// RecordVersion is the record schema version this build writes, as the
+// second payload byte. Migration rule: adding fields bumps the
+// version, the decoder gains a case for the new layout, and every
+// older version stays decodable forever — history written by any past
+// build must always be readable. An unknown (newer) version is a
+// decode error, never a guess.
+const RecordVersion = 1
+
+// AlertRecord is the persisted form of one fired alert: the fields a
+// history query filters and displays, without the triggering event
+// payload (the raw event store keeps those; history is the compact
+// tier that outlives them).
+type AlertRecord struct {
+	Time     time.Time
+	Actor    string
+	Class    string
+	RuleID   string
+	Severity rules.Severity
+	// Count is the alert's aggregated trigger count (rules.Alert.Count),
+	// zero when the rule fired on a single event.
+	Count int
+}
+
+// IncidentRecord is one incident snapshot: the post-fold aggregate
+// state after an alert joined the incident (core.IncidentUpdate,
+// persisted). Every aggregate is monotone across the records of one
+// (Actor, Class, Gen) incident — Alerts strictly grows, Severity rank
+// and RiskScore never decrease, Opened is fixed, LastAlert only moves
+// later — which is what makes minimum-threshold index pruning sound.
+type IncidentRecord struct {
+	Actor string
+	Class string
+	// Gen distinguishes successive incidents of the same (actor,
+	// class) pair across quiet-gap close/reopen cycles.
+	Gen       int
+	Opened    time.Time
+	LastAlert time.Time
+	Alerts    int
+	Severity  rules.Severity
+	RiskScore float64
+}
+
+// Record is the sum type a frame decodes to: Kind selects which of
+// the two bodies is populated.
+type Record struct {
+	Kind     byte
+	Alert    AlertRecord
+	Incident IncidentRecord
+}
+
+// Band names a risk band over the 0–100 OSCRP score — the coarse
+// facet the per-segment index tracks so a --risk query can prune
+// segments without decoding them.
+type Band string
+
+const (
+	BandLow      Band = "low"      // score < 25
+	BandModerate Band = "moderate" // 25 ≤ score < 50
+	BandElevated Band = "elevated" // 50 ≤ score < 75
+	BandCritical Band = "critical" // score ≥ 75
+)
+
+// KnownBands lists the bands in ascending rank order, for usage
+// messages.
+func KnownBands() []Band {
+	return []Band{BandLow, BandModerate, BandElevated, BandCritical}
+}
+
+// RiskBandOf maps an OSCRP risk score to its band.
+func RiskBandOf(score float64) Band {
+	switch {
+	case score < 25:
+		return BandLow
+	case score < 50:
+		return BandModerate
+	case score < 75:
+		return BandElevated
+	default:
+		return BandCritical
+	}
+}
+
+// BandRank orders bands for minimum-threshold filtering; unknown
+// bands rank -1, below every real one.
+func BandRank(b Band) int {
+	switch b {
+	case BandLow:
+		return 0
+	case BandModerate:
+		return 1
+	case BandElevated:
+		return 2
+	case BandCritical:
+		return 3
+	}
+	return -1
+}
+
+// ParseBand validates a --risk flag value.
+func ParseBand(s string) (Band, bool) {
+	switch Band(s) {
+	case BandLow, BandModerate, BandElevated, BandCritical:
+		return Band(s), true
+	}
+	return "", false
+}
+
+// maxCount bounds decoded count/gen fields; a larger value is
+// corruption, not a real incident.
+const maxCount = 1 << 31
+
+// AppendRecord appends the encoded payload for r to dst and returns
+// the extended slice. The payload is [kind][version][fields]; framing
+// (length + CRC) is the segment writer's job. Encoding is a pure
+// function of the record value, so any two equal records produce
+// identical bytes — the canonical-form property the fuzz round-trip
+// target checks.
+func AppendRecord(dst []byte, r Record) ([]byte, error) {
+	switch r.Kind {
+	case KindAlert:
+		a := &r.Alert
+		dst = append(dst, KindAlert, RecordVersion)
+		dst = appendTime(dst, a.Time)
+		dst = appendString(dst, a.Actor)
+		dst = appendString(dst, a.Class)
+		dst = appendString(dst, a.RuleID)
+		dst = appendString(dst, string(a.Severity))
+		dst = binary.AppendUvarint(dst, uint64(a.Count))
+		return dst, nil
+	case KindIncident:
+		in := &r.Incident
+		dst = append(dst, KindIncident, RecordVersion)
+		dst = appendString(dst, in.Actor)
+		dst = appendString(dst, in.Class)
+		dst = binary.AppendUvarint(dst, uint64(in.Gen))
+		dst = appendTime(dst, in.Opened)
+		dst = appendTime(dst, in.LastAlert)
+		dst = binary.AppendUvarint(dst, uint64(in.Alerts))
+		dst = appendString(dst, string(in.Severity))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(in.RiskScore))
+		return dst, nil
+	}
+	return dst, fmt.Errorf("histstore: unknown record kind %d", r.Kind)
+}
+
+// DecodeRecord decodes one frame payload. It is strict: an unknown
+// kind or version, an implausible count, a non-canonical time, or
+// trailing bytes after the last field are all errors — a corrupt
+// frame must terminate the valid prefix, never half-decode.
+func DecodeRecord(payload []byte) (Record, error) {
+	if len(payload) < 2 {
+		return Record{}, fmt.Errorf("histstore: record too short")
+	}
+	kind, version := payload[0], payload[1]
+	if version != RecordVersion {
+		// v1 is the only version ever written so far; when v2 lands
+		// this becomes a switch and v1 stays decodable.
+		return Record{}, fmt.Errorf("histstore: unknown record version %d", version)
+	}
+	rd := recReader{buf: payload, off: 2}
+	var r Record
+	r.Kind = kind
+	switch kind {
+	case KindAlert:
+		a := &r.Alert
+		a.Time = rd.time()
+		a.Actor = rd.str()
+		a.Class = rd.str()
+		a.RuleID = rd.str()
+		a.Severity = rules.Severity(rd.str())
+		a.Count = rd.count()
+	case KindIncident:
+		in := &r.Incident
+		in.Actor = rd.str()
+		in.Class = rd.str()
+		in.Gen = rd.count()
+		in.Opened = rd.time()
+		in.LastAlert = rd.time()
+		in.Alerts = rd.count()
+		in.Severity = rules.Severity(rd.str())
+		in.RiskScore = math.Float64frombits(rd.u64())
+	default:
+		return Record{}, fmt.Errorf("histstore: unknown record kind %d", kind)
+	}
+	if rd.err != nil {
+		return Record{}, rd.err
+	}
+	if rd.off != len(payload) {
+		return Record{}, fmt.Errorf("histstore: %d trailing bytes after record", len(payload)-rd.off)
+	}
+	return r, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendTime encodes a time as a presence byte, then (when present)
+// zigzag Unix seconds and a sub-second nanosecond count. Only the
+// instant survives — locations don't round-trip, and both sides of
+// every query comparison go through the same encoding.
+func appendTime(dst []byte, t time.Time) []byte {
+	if t.IsZero() {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	dst = binary.AppendVarint(dst, t.Unix())
+	return binary.AppendUvarint(dst, uint64(t.Nanosecond()))
+}
+
+// recReader decodes record fields with a sticky error, so the field
+// list reads linearly and any malformed field poisons the rest.
+type recReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (rd *recReader) fail(msg string) {
+	if rd.err == nil {
+		rd.err = fmt.Errorf("histstore: %s", msg)
+	}
+}
+
+func (rd *recReader) uvarint() uint64 {
+	if rd.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(rd.buf[rd.off:])
+	if n <= 0 {
+		rd.fail("bad uvarint")
+		return 0
+	}
+	rd.off += n
+	return v
+}
+
+func (rd *recReader) varint() int64 {
+	if rd.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(rd.buf[rd.off:])
+	if n <= 0 {
+		rd.fail("bad varint")
+		return 0
+	}
+	rd.off += n
+	return v
+}
+
+func (rd *recReader) str() string {
+	n := rd.uvarint()
+	if rd.err != nil {
+		return ""
+	}
+	if n > uint64(len(rd.buf)-rd.off) {
+		rd.fail("string length past end of record")
+		return ""
+	}
+	s := string(rd.buf[rd.off : rd.off+int(n)])
+	rd.off += int(n)
+	return s
+}
+
+func (rd *recReader) count() int {
+	v := rd.uvarint()
+	if rd.err == nil && v >= maxCount {
+		rd.fail("implausible count")
+	}
+	return int(v)
+}
+
+func (rd *recReader) u64() uint64 {
+	if rd.err != nil {
+		return 0
+	}
+	if len(rd.buf)-rd.off < 8 {
+		rd.fail("short fixed64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(rd.buf[rd.off:])
+	rd.off += 8
+	return v
+}
+
+func (rd *recReader) time() time.Time {
+	if rd.err != nil {
+		return time.Time{}
+	}
+	if rd.off >= len(rd.buf) {
+		rd.fail("missing time presence byte")
+		return time.Time{}
+	}
+	presence := rd.buf[rd.off]
+	rd.off++
+	switch presence {
+	case 0:
+		return time.Time{}
+	case 1:
+		sec := rd.varint()
+		nsec := rd.uvarint()
+		if rd.err != nil {
+			return time.Time{}
+		}
+		if nsec >= 1e9 {
+			rd.fail("nanoseconds out of range")
+			return time.Time{}
+		}
+		t := time.Unix(sec, int64(nsec)).UTC()
+		if t.IsZero() {
+			// The zero instant encodes as presence 0; a presence-1
+			// encoding of it would not round-trip byte-identically.
+			rd.fail("non-canonical zero time")
+			return time.Time{}
+		}
+		return t
+	}
+	rd.fail("bad time presence byte")
+	return time.Time{}
+}

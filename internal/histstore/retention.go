@@ -1,0 +1,37 @@
+package histstore
+
+import "repro/internal/evstore"
+
+// RetentionResult reports what a tiered-retention pass removed.
+type RetentionResult struct {
+	EventSegmentsDropped   int
+	HistorySegmentsDropped int
+}
+
+// ApplyTieredRetention enforces the two-tier retention policy: raw
+// events are the bulky, reproducible tier and compact first; incident
+// history is the cheap, derived-but-precious tier and compacts last.
+// The ordering is load-bearing — as long as an event segment
+// survives, the history over it can be re-derived by re-detection,
+// so events must never outlive the history that summarizes them in
+// the other direction. keepEvents/keepHist are maximum sealed segment
+// counts per tier; a negative keep skips that tier entirely. A
+// failure in the events tier returns before history is touched.
+func ApplyTieredRetention(events *evstore.Store, hist *Store, keepEvents, keepHist int) (RetentionResult, error) {
+	var res RetentionResult
+	if events != nil && keepEvents >= 0 {
+		n, err := events.Compact(keepEvents)
+		res.EventSegmentsDropped = n
+		if err != nil {
+			return res, err
+		}
+	}
+	if hist != nil && keepHist >= 0 {
+		n, err := hist.Compact(keepHist)
+		res.HistorySegmentsDropped = n
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,290 @@
+package histstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// Segment file layout: an 8-byte magic followed by frames of
+//
+//	uint32le payload length | uint32le CRC32C(payload) | payload
+//
+// where every payload is one history record ([kind][version][fields],
+// see AppendRecord). Unlike evstore, the magic never changes across
+// schema revisions: evolution happens at the record version byte, so
+// one segment may legally mix record versions and old segments stay
+// readable forever. Anything failing the length bound, the checksum,
+// or the strict record decode marks the end of the valid prefix;
+// readers stop there and report the remainder as tail loss, and the
+// writer truncates it away on open so appends never land after
+// garbage.
+const (
+	segMagic = "HSEG0001"
+	// maxFrame bounds a frame payload; history records are a few
+	// hundred bytes, so anything near a megabyte is corruption.
+	maxFrame       = 1 << 20
+	frameHeaderLen = 8
+)
+
+// castagnoli matches evstore's v2 framing: hardware-accelerated
+// CRC32-Castagnoli on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// IndexVersion is the sidecar schema version this build writes.
+// Unknown versions are rebuilt from the segment data, never trusted.
+const IndexVersion = 1
+
+// Index is the per-segment sidecar: enough metadata to decide,
+// without touching the segment data, whether a filtered query can
+// skip the segment entirely. The facets mirror the Query predicates:
+//
+//   - Severities/Bands carry per-value record counts; a minimum-
+//     threshold filter skips the segment when no value at or above
+//     the threshold appears. Sound because incident severity and risk
+//     are monotone, so a qualifying incident's final record carries a
+//     qualifying value into its segment's facet.
+//   - Actors/Classes are exact distinct lists up to a cap, past which
+//     the overflow flag means "could contain anyone" (fail-open).
+//   - MinTime/MaxTime span every record's time extent (alert times
+//     and incident [Opened, LastAlert] intervals), so a since/until
+//     window skips segments it cannot overlap.
+//
+// Invariants shared with evstore: the sidecar is written only after
+// the segment's frames are flushed, and counts cover exactly the
+// valid frame prefix.
+type Index struct {
+	Version         int            `json:"version"`
+	Records         int            `json:"records"`
+	AlertRecords    int            `json:"alert_records"`
+	IncidentRecords int            `json:"incident_records"`
+	Bytes           int64          `json:"bytes"` // valid file length including magic
+	MinTime         time.Time      `json:"min_time"`
+	MaxTime         time.Time      `json:"max_time"`
+	Severities      map[string]int `json:"severities,omitempty"`
+	Bands           map[string]int `json:"bands,omitempty"`
+	Actors          []string       `json:"actors,omitempty"`
+	ActorsOverflow  bool           `json:"actors_overflow,omitempty"`
+	Classes         []string       `json:"classes,omitempty"`
+	ClassesOverflow bool           `json:"classes_overflow,omitempty"`
+}
+
+// indexBuilder accumulates the distinct-value sets an Index seals.
+type indexBuilder struct {
+	actors  map[string]struct{}
+	classes map[string]struct{}
+}
+
+func newIndexBuilder() *indexBuilder {
+	return &indexBuilder{actors: map[string]struct{}{}, classes: map[string]struct{}{}}
+}
+
+// observe folds one record into the index.
+func (ix *Index) observe(r Record, frameBytes int64, b *indexBuilder, maxActors, maxClasses int) {
+	var actor, class string
+	var sev string
+	var times [2]time.Time
+	switch r.Kind {
+	case KindAlert:
+		ix.AlertRecords++
+		actor, class, sev = r.Alert.Actor, r.Alert.Class, string(r.Alert.Severity)
+		times[0], times[1] = r.Alert.Time, r.Alert.Time
+	case KindIncident:
+		ix.IncidentRecords++
+		actor, class, sev = r.Incident.Actor, r.Incident.Class, string(r.Incident.Severity)
+		times[0], times[1] = r.Incident.Opened, r.Incident.LastAlert
+		if ix.Bands == nil {
+			ix.Bands = map[string]int{}
+		}
+		ix.Bands[string(RiskBandOf(r.Incident.RiskScore))]++
+	}
+	for _, t := range times {
+		if t.IsZero() {
+			continue
+		}
+		if ix.MinTime.IsZero() || t.Before(ix.MinTime) {
+			ix.MinTime = t
+		}
+		if t.After(ix.MaxTime) {
+			ix.MaxTime = t
+		}
+	}
+	if ix.Severities == nil {
+		ix.Severities = map[string]int{}
+	}
+	ix.Severities[sev]++
+	ix.Records++
+	ix.Bytes += frameBytes
+	if !ix.ActorsOverflow {
+		b.actors[actor] = struct{}{}
+		if len(b.actors) > maxActors {
+			ix.ActorsOverflow = true
+			clear(b.actors)
+		}
+	}
+	if !ix.ClassesOverflow {
+		b.classes[class] = struct{}{}
+		if len(b.classes) > maxClasses {
+			ix.ClassesOverflow = true
+			clear(b.classes)
+		}
+	}
+}
+
+// seal finalizes the distinct-value lists for writing.
+func (ix *Index) seal(b *indexBuilder) {
+	ix.Actors = sortedKeys(b.actors, ix.ActorsOverflow)
+	ix.Classes = sortedKeys(b.classes, ix.ClassesOverflow)
+}
+
+func sortedKeys(set map[string]struct{}, overflow bool) []string {
+	if overflow {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DecodeResult reports what a segment scan found: how much of the
+// file was a valid frame sequence and how much trailing corruption
+// (if any) was cut off.
+type DecodeResult struct {
+	Records    int
+	ValidBytes int64 // length of the valid prefix including magic
+	// TailLossBytes is how many trailing bytes were unreadable —
+	// non-zero only when Truncated is set.
+	TailLossBytes int64
+	Truncated     bool
+	// Reason describes the first bad frame when Truncated.
+	Reason string
+}
+
+// DecodeFrames scans a history segment byte stream, invoking fn for
+// every valid record in order. Corruption — bad magic, an absurd
+// length, a checksum or decode failure, a short final frame — never
+// returns an error: the scan stops at the first bad frame and the
+// result records the clean prefix and the reason. A non-nil error
+// from fn aborts the scan and is returned as-is. size is the total
+// stream length if known (for tail-loss accounting), or -1.
+func DecodeFrames(r io.Reader, size int64, fn func(Record) error) (DecodeResult, error) {
+	var res DecodeResult
+	br := bufio.NewReaderSize(r, 64<<10)
+	truncate := func(reason string) (DecodeResult, error) {
+		res.Truncated = true
+		res.Reason = reason
+		if size >= 0 {
+			res.TailLossBytes = size - res.ValidBytes
+		}
+		return res, nil
+	}
+
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != segMagic {
+		return truncate("bad magic")
+	}
+	res.ValidBytes = int64(len(segMagic))
+
+	var hdr [frameHeaderLen]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return res, nil // clean end of segment
+			}
+			return truncate("short frame header")
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > maxFrame {
+			return truncate("implausible frame length")
+		}
+		if uint32(cap(payload)) < length {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return truncate("short frame payload")
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return truncate("checksum mismatch")
+		}
+		rec, err := DecodeRecord(payload)
+		if err != nil {
+			return truncate("frame not a record")
+		}
+		res.ValidBytes += frameHeaderLen + int64(length)
+		res.Records++
+		if err := fn(rec); err != nil {
+			return res, err
+		}
+	}
+}
+
+// scanSegment decodes a segment file from disk.
+func scanSegment(path string, fn func(Record) error) (DecodeResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return DecodeResult{}, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return DecodeResult{}, err
+	}
+	return DecodeFrames(f, st.Size(), fn)
+}
+
+// rebuildIndex reconstructs a sidecar by scanning the segment data —
+// the recovery path for a segment whose writer died before sealing.
+func rebuildIndex(path string, maxActors, maxClasses int) (Index, DecodeResult, error) {
+	ix := Index{Version: IndexVersion}
+	b := newIndexBuilder()
+	res, err := scanSegment(path, func(r Record) error {
+		// Bytes is re-derived from the valid prefix below.
+		ix.observe(r, 0, b, maxActors, maxClasses)
+		return nil
+	})
+	if err != nil {
+		return Index{}, res, err
+	}
+	ix.seal(b)
+	ix.Bytes = res.ValidBytes
+	return ix, res, nil
+}
+
+func indexPath(segPath string) string {
+	return segPath[:len(segPath)-len(".hr")] + ".hx"
+}
+
+func loadIndex(path string) (Index, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Index{}, false
+	}
+	var ix Index
+	if err := json.Unmarshal(data, &ix); err != nil || ix.Version != IndexVersion {
+		return Index{}, false
+	}
+	return ix, true
+}
+
+func writeIndex(path string, ix Index) error {
+	data, err := json.Marshal(ix)
+	if err != nil {
+		return fmt.Errorf("histstore: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("histstore: %w", err)
+	}
+	return nil
+}

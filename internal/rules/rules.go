@@ -41,6 +41,23 @@ const (
 	SevCritical Severity = "critical"
 )
 
+// KnownSeverities returns the severity names in ascending rank order
+// — the valid values for CLI severity filters.
+func KnownSeverities() []Severity {
+	return []Severity{SevInfo, SevLow, SevMedium, SevHigh, SevCritical}
+}
+
+// ParseSeverity resolves a severity name, reporting whether it is one
+// of the known severities. CLI flag parsing uses it so a typo becomes
+// a usage error instead of a filter that silently matches nothing.
+func ParseSeverity(s string) (Severity, bool) {
+	switch Severity(s) {
+	case SevInfo, SevLow, SevMedium, SevHigh, SevCritical:
+		return Severity(s), true
+	}
+	return "", false
+}
+
 // Rank orders severities (higher is worse).
 func (s Severity) Rank() int {
 	switch s {
